@@ -1,0 +1,100 @@
+// Figure 3(a): decomposition time vs number of distinct values.
+// Series (paper legend): D = CODS data-level, C = commercial row store,
+// C+I = row store with index rebuild, S = SQLite-style row store,
+// M = column store at query level.
+//
+// Workload: R(K, V, P) with CODS_BENCH_ROWS rows (default 100K; the
+// paper uses 10M), decomposed into S(K, V) and T(K, P) keyed on K.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolution/decompose.h"
+#include "query/query_evolution.h"
+
+namespace cods {
+namespace {
+
+using bench::CachedR;
+using bench::CachedRowR;
+using bench::DistinctSweep;
+
+DecomposeSpec Spec() {
+  DecomposeSpec spec;
+  spec.s_columns = {kKeyColumn, kPayloadColumn};
+  spec.t_columns = {kKeyColumn, kDependentColumn};
+  spec.t_key = {kKeyColumn};
+  return spec;
+}
+
+void ReportRows(benchmark::State& state, uint64_t out_rows) {
+  state.counters["distinct"] = static_cast<double>(state.range(0));
+  state.counters["rows"] =
+      static_cast<double>(cods::bench::BenchRows());
+  state.counters["t_rows"] = static_cast<double>(out_rows);
+}
+
+// D: CODS data-level decomposition.
+void BM_Decompose_D_Cods(benchmark::State& state) {
+  auto r = CachedR(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result =
+        CodsDecompose(*r, "S", {kKeyColumn, kPayloadColumn}, {}, "T",
+                      {kKeyColumn, kDependentColumn}, {kKeyColumn});
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    out_rows = result.ValueOrDie().t->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+// Row-store baselines share a driver.
+template <BaselineKind kKind>
+void BM_Decompose_RowStore(benchmark::State& state) {
+  const RowTable& heap = CachedRowR(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result = RowStoreDecompose(heap, Spec(), kKind, "S", "T");
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    out_rows = result.ValueOrDie().t->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+// M: column store, query level (decompress -> query -> re-compress).
+void BM_Decompose_M_ColumnQueryLevel(benchmark::State& state) {
+  auto r = CachedR(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result = ColumnQueryLevelDecompose(*r, Spec(), "S", "T");
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    out_rows = result.ValueOrDie().t->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+void ApplySweep(benchmark::internal::Benchmark* b) {
+  for (int64_t d : DistinctSweep()) b->Arg(d);
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+  b->Repetitions(3);
+  b->ReportAggregatesOnly(true);
+}
+
+BENCHMARK(BM_Decompose_D_Cods)->Apply(ApplySweep);
+BENCHMARK_TEMPLATE(BM_Decompose_RowStore, BaselineKind::kRowStore)
+    ->Name("BM_Decompose_C_RowStore")
+    ->Apply(ApplySweep);
+BENCHMARK_TEMPLATE(BM_Decompose_RowStore, BaselineKind::kRowStoreIndexed)
+    ->Name("BM_Decompose_CI_RowStoreIndexed")
+    ->Apply(ApplySweep);
+BENCHMARK_TEMPLATE(BM_Decompose_RowStore, BaselineKind::kRowStoreLite)
+    ->Name("BM_Decompose_S_RowStoreLite")
+    ->Apply(ApplySweep);
+BENCHMARK(BM_Decompose_M_ColumnQueryLevel)->Apply(ApplySweep);
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,90 @@
+// Figure 3(b): mergence time vs number of distinct values.
+// Series: D = CODS key–foreign-key mergence, C = row-store hash join,
+// C+I = row store + index rebuild, M = column store at query level.
+// (The paper's Figure 3(b) has no SQLite series.)
+//
+// Workload: S(K, V) with CODS_BENCH_ROWS rows joined with T(K, P) that
+// has one row per distinct key, producing R(K, V, P).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolution/merge.h"
+#include "query/query_evolution.h"
+
+namespace cods {
+namespace {
+
+using bench::CachedPair;
+using bench::CachedRowPair;
+using bench::DistinctSweep;
+
+void ReportRows(benchmark::State& state, uint64_t out_rows) {
+  state.counters["distinct"] = static_cast<double>(state.range(0));
+  state.counters["rows"] = static_cast<double>(cods::bench::BenchRows());
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+// D: CODS data-level mergence (key–FK fast path).
+void BM_Merge_D_Cods(benchmark::State& state) {
+  const GeneratedPair& pair =
+      CachedPair(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result = CodsMerge(*pair.s, *pair.t, {kKeyColumn}, {}, "R");
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    CODS_CHECK(result.ValueOrDie().used_key_fk);
+    out_rows = result.ValueOrDie().table->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+template <BaselineKind kKind>
+void BM_Merge_RowStore(benchmark::State& state) {
+  const bench::RowPair& pair =
+      CachedRowPair(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result =
+        RowStoreMerge(*pair.s, *pair.t, {kKeyColumn}, {}, kKind, "R");
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    out_rows = result.ValueOrDie().r->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+void BM_Merge_M_ColumnQueryLevel(benchmark::State& state) {
+  const GeneratedPair& pair =
+      CachedPair(static_cast<uint64_t>(state.range(0)));
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result =
+        ColumnQueryLevelMerge(*pair.s, *pair.t, {kKeyColumn}, {}, "R");
+    CODS_CHECK(result.ok()) << result.status().ToString();
+    out_rows = result.ValueOrDie().r->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  ReportRows(state, out_rows);
+}
+
+void ApplySweep(benchmark::internal::Benchmark* b) {
+  for (int64_t d : DistinctSweep()) b->Arg(d);
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+  b->Repetitions(3);
+  b->ReportAggregatesOnly(true);
+}
+
+BENCHMARK(BM_Merge_D_Cods)->Apply(ApplySweep);
+BENCHMARK_TEMPLATE(BM_Merge_RowStore, BaselineKind::kRowStore)
+    ->Name("BM_Merge_C_RowStore")
+    ->Apply(ApplySweep);
+BENCHMARK_TEMPLATE(BM_Merge_RowStore, BaselineKind::kRowStoreIndexed)
+    ->Name("BM_Merge_CI_RowStoreIndexed")
+    ->Apply(ApplySweep);
+BENCHMARK(BM_Merge_M_ColumnQueryLevel)->Apply(ApplySweep);
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,85 @@
+// Ablation A4: key–foreign-key mergence vs the general two-pass
+// algorithm (§2.5.1 vs §2.5.2). On a key–FK-eligible input, the general
+// algorithm pays for clustering and strided emission; the fast path
+// reuses S's columns outright. A fanout sweep then shows the general
+// algorithm's cost tracking output size (n1·n2 blowup).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolution/merge.h"
+
+namespace cods {
+namespace {
+
+void BM_GeneralVsKeyFk_KeyFk(benchmark::State& state) {
+  const GeneratedPair& pair =
+      bench::CachedPair(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = CodsMergeKeyFk(*pair.s, *pair.t, {kKeyColumn}, {}, "R");
+    CODS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["distinct"] = static_cast<double>(state.range(0));
+}
+
+void BM_GeneralVsKeyFk_General(benchmark::State& state) {
+  const GeneratedPair& pair =
+      bench::CachedPair(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result =
+        CodsMergeGeneral(*pair.s, *pair.t, {kKeyColumn}, {}, "R");
+    CODS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["distinct"] = static_cast<double>(state.range(0));
+}
+
+// Fanout sweep: square joins where each value appears `f` times on both
+// sides, output = 1000·f² rows.
+void BM_GeneralMerge_Fanout(benchmark::State& state) {
+  static std::map<int64_t, GeneratedPair>* cache =
+      new std::map<int64_t, GeneratedPair>();
+  int64_t fanout = state.range(0);
+  auto it = cache->find(fanout);
+  if (it == cache->end()) {
+    auto pair = GenerateGeneralMergePair(
+        1000, static_cast<uint64_t>(fanout),
+        static_cast<uint64_t>(fanout), 5);
+    CODS_CHECK(pair.ok());
+    it = cache->emplace(fanout, std::move(pair).ValueOrDie()).first;
+  }
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto result =
+        CodsMergeGeneral(*it->second.s, *it->second.t, {"J"}, {}, "R");
+    CODS_CHECK(result.ok());
+    out_rows = result.ValueOrDie()->rows();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["fanout"] = static_cast<double>(fanout);
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+void DistinctSweep(benchmark::internal::Benchmark* b) {
+  for (int64_t d : bench::DistinctSweep()) b->Arg(d);
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+  b->Repetitions(3);
+  b->ReportAggregatesOnly(true);
+}
+
+BENCHMARK(BM_GeneralVsKeyFk_KeyFk)->Apply(DistinctSweep);
+BENCHMARK(BM_GeneralVsKeyFk_General)->Apply(DistinctSweep);
+BENCHMARK(BM_GeneralMerge_Fanout)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+}  // namespace
+}  // namespace cods

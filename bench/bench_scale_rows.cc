@@ -1,0 +1,77 @@
+// Ablation A3: scalability in table size ("efficiently and scalably").
+// Fixed 1000 distinct keys, rows swept up to CODS_BENCH_ROWS; CODS vs
+// the column-store query-level baseline. The gap should stay roughly
+// constant in relative terms (both are linear, with very different
+// constants) — CODS's advantage does not erode with scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolution/decompose.h"
+#include "query/query_evolution.h"
+
+namespace cods {
+namespace {
+
+constexpr uint64_t kDistinct = 1000;
+
+std::shared_ptr<const Table> TableWithRows(uint64_t rows) {
+  static std::map<uint64_t, std::shared_ptr<const Table>>* cache =
+      new std::map<uint64_t, std::shared_ptr<const Table>>();
+  auto it = cache->find(rows);
+  if (it != cache->end()) return it->second;
+  WorkloadSpec spec;
+  spec.num_rows = rows;
+  spec.num_distinct = kDistinct;
+  auto r = GenerateEvolutionTable(spec);
+  CODS_CHECK(r.ok());
+  return cache->emplace(rows, r.ValueOrDie()).first->second;
+}
+
+std::vector<int64_t> RowSweep() {
+  std::vector<int64_t> out;
+  for (uint64_t r = 10'000; r <= bench::BenchRows(); r *= 10) {
+    out.push_back(static_cast<int64_t>(r));
+  }
+  return out;
+}
+
+void BM_Scale_Cods(benchmark::State& state) {
+  auto r = TableWithRows(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result =
+        CodsDecompose(*r, "S", {kKeyColumn, kPayloadColumn}, {}, "T",
+                      {kKeyColumn, kDependentColumn}, {kKeyColumn});
+    CODS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+void BM_Scale_ColumnQueryLevel(benchmark::State& state) {
+  auto r = TableWithRows(static_cast<uint64_t>(state.range(0)));
+  DecomposeSpec spec;
+  spec.s_columns = {kKeyColumn, kPayloadColumn};
+  spec.t_columns = {kKeyColumn, kDependentColumn};
+  spec.t_key = {kKeyColumn};
+  for (auto _ : state) {
+    auto result = ColumnQueryLevelDecompose(*r, spec, "S", "T");
+    CODS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t r : RowSweep()) b->Arg(r);
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(1);
+  b->Repetitions(3);
+  b->ReportAggregatesOnly(true);
+}
+
+BENCHMARK(BM_Scale_Cods)->Apply(Sweep);
+BENCHMARK(BM_Scale_ColumnQueryLevel)->Apply(Sweep);
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,110 @@
+// Shared benchmark scaffolding: workload scaling via CODS_BENCH_ROWS,
+// cached table generation (tables are reused across series and
+// iterations), and the Figure 3 distinct-value sweep.
+//
+// The paper's testbed uses 10M-row tables; the default here is 100K so
+// `for b in build/bench/*; do $b; done` completes in minutes. Set
+// CODS_BENCH_ROWS=10000000 to reproduce the paper's scale.
+
+#ifndef CODS_BENCH_BENCH_UTIL_H_
+#define CODS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "query/row_executor.h"
+#include "workload/generator.h"
+
+namespace cods::bench {
+
+/// Benchmark table size: CODS_BENCH_ROWS env var, default 100'000.
+inline uint64_t BenchRows() {
+  static const uint64_t rows = [] {
+    const char* env = std::getenv("CODS_BENCH_ROWS");
+    if (env != nullptr) {
+      uint64_t v = std::strtoull(env, nullptr, 10);
+      if (v > 0) return v;
+    }
+    return uint64_t{100'000};
+  }();
+  return rows;
+}
+
+/// The Figure 3 sweep: 100, 1K, 10K, 100K, 1M — capped at BenchRows().
+inline std::vector<int64_t> DistinctSweep() {
+  std::vector<int64_t> out;
+  for (uint64_t d : {100ull, 1'000ull, 10'000ull, 100'000ull, 1'000'000ull}) {
+    if (d <= BenchRows()) out.push_back(static_cast<int64_t>(d));
+  }
+  return out;
+}
+
+/// Cached R(K, V, P) for a distinct-value count (generation excluded
+/// from timing).
+inline std::shared_ptr<const Table> CachedR(uint64_t distinct) {
+  static std::map<uint64_t, std::shared_ptr<const Table>>* cache =
+      new std::map<uint64_t, std::shared_ptr<const Table>>();
+  auto it = cache->find(distinct);
+  if (it != cache->end()) return it->second;
+  WorkloadSpec spec;
+  spec.num_rows = BenchRows();
+  spec.num_distinct = distinct;
+  auto r = GenerateEvolutionTable(spec);
+  CODS_CHECK(r.ok()) << r.status().ToString();
+  return cache->emplace(distinct, r.ValueOrDie()).first->second;
+}
+
+/// Cached row-store copy of CachedR (the row baselines start from a row
+/// store, as the paper's commercial systems do).
+inline const RowTable& CachedRowR(uint64_t distinct) {
+  static std::map<uint64_t, std::unique_ptr<RowTable>>* cache =
+      new std::map<uint64_t, std::unique_ptr<RowTable>>();
+  auto it = cache->find(distinct);
+  if (it != cache->end()) return *it->second;
+  auto heap = MaterializeToRowStore(*CachedR(distinct));
+  CODS_CHECK(heap.ok()) << heap.status().ToString();
+  return *cache->emplace(distinct, std::move(heap).ValueOrDie())
+              .first->second;
+}
+
+/// Cached decomposed pair (S, T) for mergence benchmarks.
+inline const GeneratedPair& CachedPair(uint64_t distinct) {
+  static std::map<uint64_t, GeneratedPair>* cache =
+      new std::map<uint64_t, GeneratedPair>();
+  auto it = cache->find(distinct);
+  if (it != cache->end()) return it->second;
+  WorkloadSpec spec;
+  spec.num_rows = BenchRows();
+  spec.num_distinct = distinct;
+  auto pair = GenerateMergePair(spec);
+  CODS_CHECK(pair.ok()) << pair.status().ToString();
+  return cache->emplace(distinct, std::move(pair).ValueOrDie())
+      .first->second;
+}
+
+/// Row-store copies of a merge pair.
+struct RowPair {
+  std::unique_ptr<RowTable> s;
+  std::unique_ptr<RowTable> t;
+};
+inline const RowPair& CachedRowPair(uint64_t distinct) {
+  static std::map<uint64_t, RowPair>* cache =
+      new std::map<uint64_t, RowPair>();
+  auto it = cache->find(distinct);
+  if (it != cache->end()) return it->second;
+  const GeneratedPair& pair = CachedPair(distinct);
+  RowPair rp;
+  auto s = MaterializeToRowStore(*pair.s);
+  auto t = MaterializeToRowStore(*pair.t);
+  CODS_CHECK(s.ok() && t.ok());
+  rp.s = std::move(s).ValueOrDie();
+  rp.t = std::move(t).ValueOrDie();
+  return cache->emplace(distinct, std::move(rp)).first->second;
+}
+
+}  // namespace cods::bench
+
+#endif  // CODS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,122 @@
+// Ablation A1: WAH compressed bitmap operations vs uncompressed bitmaps
+// across bit densities — the §2.2 design choice. At low density (the
+// regime of per-value bitmaps in high-cardinality columns) WAH wins on
+// both space (see the `wah_bytes`/`plain_bytes` counters) and op time;
+// at high density plain bitmaps catch up.
+
+#include <benchmark/benchmark.h>
+
+#include "bitmap/plain_bitmap.h"
+#include "bitmap/wah_ops.h"
+#include "common/random.h"
+
+namespace cods {
+namespace {
+
+constexpr uint64_t kBits = 1 << 22;  // 4M bits per operand
+
+// density = 1 / (1 << range(0)): Arg(0)=50%, Arg(4)≈3%, Arg(10)≈0.1%...
+double DensityFromArg(int64_t arg) { return 1.0 / (uint64_t{2} << arg); }
+
+WahBitmap MakeWah(double density, uint64_t seed) {
+  Rng rng(seed);
+  WahBitmap bm;
+  uint64_t pos = 0;
+  // Geometric gaps approximate Bernoulli(density) fast.
+  while (pos < kBits) {
+    uint64_t gap = static_cast<uint64_t>(
+        rng.NextDouble() < density ? 0 : rng.Uniform(0, static_cast<int64_t>(2.0 / density)));
+    pos += gap;
+    if (pos >= kBits) break;
+    bm.AppendSetBit(pos);
+    ++pos;
+  }
+  bm.AppendRun(false, kBits - bm.size());
+  return bm;
+}
+
+void BM_WahAnd(benchmark::State& state) {
+  double density = DensityFromArg(state.range(0));
+  WahBitmap a = MakeWah(density, 1);
+  WahBitmap b = MakeWah(density, 2);
+  for (auto _ : state) {
+    WahBitmap c = WahAnd(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["density_pct"] = density * 100;
+  state.counters["wah_bytes"] = static_cast<double>(a.SizeBytes());
+}
+
+void BM_PlainAnd(benchmark::State& state) {
+  double density = DensityFromArg(state.range(0));
+  PlainBitmap a = PlainBitmap::FromWah(MakeWah(density, 1));
+  PlainBitmap b = PlainBitmap::FromWah(MakeWah(density, 2));
+  for (auto _ : state) {
+    PlainBitmap c = a.And(b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["density_pct"] = density * 100;
+  state.counters["plain_bytes"] = static_cast<double>(a.SizeBytes());
+}
+
+void BM_WahOr(benchmark::State& state) {
+  double density = DensityFromArg(state.range(0));
+  WahBitmap a = MakeWah(density, 3);
+  WahBitmap b = MakeWah(density, 4);
+  for (auto _ : state) {
+    WahBitmap c = WahOr(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_PlainOr(benchmark::State& state) {
+  double density = DensityFromArg(state.range(0));
+  PlainBitmap a = PlainBitmap::FromWah(MakeWah(density, 3));
+  PlainBitmap b = PlainBitmap::FromWah(MakeWah(density, 4));
+  for (auto _ : state) {
+    PlainBitmap c = a.Or(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+
+void BM_WahCountOnes(benchmark::State& state) {
+  WahBitmap a = MakeWah(DensityFromArg(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountOnes());
+  }
+}
+
+void BM_WahDecompress(benchmark::State& state) {
+  // Cost of the decompression CODS avoids.
+  WahBitmap a = MakeWah(DensityFromArg(state.range(0)), 6);
+  for (auto _ : state) {
+    PlainBitmap p = PlainBitmap::FromWah(a);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void BM_WahRecompress(benchmark::State& state) {
+  // Cost of the re-compression CODS avoids.
+  PlainBitmap p = PlainBitmap::FromWah(MakeWah(DensityFromArg(state.range(0)), 7));
+  for (auto _ : state) {
+    WahBitmap w = p.ToWah();
+    benchmark::DoNotOptimize(w);
+  }
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  // Densities: 50%, ~6%, ~0.8%, ~0.05%.
+  for (int64_t a : {0, 3, 6, 10}) b->Arg(a);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_WahAnd)->Apply(Sweep);
+BENCHMARK(BM_PlainAnd)->Apply(Sweep);
+BENCHMARK(BM_WahOr)->Apply(Sweep);
+BENCHMARK(BM_PlainOr)->Apply(Sweep);
+BENCHMARK(BM_WahCountOnes)->Apply(Sweep);
+BENCHMARK(BM_WahDecompress)->Apply(Sweep);
+BENCHMARK(BM_WahRecompress)->Apply(Sweep);
+
+}  // namespace
+}  // namespace cods

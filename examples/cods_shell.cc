@@ -1,0 +1,279 @@
+// cods_shell: an interactive (or piped) shell for the CODS platform —
+// the command-line counterpart of the paper's demo UI. It combines the
+// SMO script language with dot-commands for loading data, displaying
+// tables, persistence, versioning, and the cost advisor.
+//
+//   $ ./build/examples/cods_shell            # interactive
+//   $ echo 'LOAD r.csv INTO R; ...' | ./build/examples/cods_shell
+//
+// Commands (';'-terminated SMO statements, or one of):
+//   .load <csv-path> <table>     load a CSV file (schema inferred)
+//   .tables                      list tables
+//   .show <table>                display a table
+//   .stats <table>               storage statistics
+//   .count <table> <col> <op> <lit>   bitmap-index COUNT(*)
+//   .advise decompose <t> (cols) (cols)  cost advisor
+//   .save <path> / .open <path>  persist / load the whole catalog
+//   .commit <msg> / .log / .checkout <v>  versioning
+//   .undo                        undo the last invertible operator
+//   .help / .quit
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "evolution/advisor.h"
+#include "evolution/engine.h"
+#include "evolution/inverse.h"
+#include "evolution/versioned_catalog.h"
+#include "query/column_select.h"
+#include "smo/parser.h"
+#include "storage/csv.h"
+#include "storage/printer.h"
+#include "storage/serde.h"
+
+using namespace cods;
+
+namespace {
+
+// Splits a dot-command into whitespace-separated words, keeping
+// parenthesized groups together.
+std::vector<std::string> Words(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+std::vector<std::string> ParseNameGroup(const std::string& group) {
+  std::string inner = group;
+  if (!inner.empty() && inner.front() == '(') inner = inner.substr(1);
+  if (!inner.empty() && inner.back() == ')') inner.pop_back();
+  std::vector<std::string> names;
+  for (const std::string& part : Split(inner, ',')) {
+    std::string t(Trim(part));
+    if (!t.empty()) names.push_back(t);
+  }
+  return names;
+}
+
+class Shell {
+ public:
+  Shell() : engine_(versions_.working(), &observer_) {}
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::cout << "cods> " << std::flush;
+    std::string pending;
+    while (std::getline(in, line)) {
+      std::string_view trimmed = Trim(line);
+      if (!trimmed.empty() && trimmed[0] == '.') {
+        if (!DotCommand(std::string(trimmed))) return 0;
+      } else {
+        pending += line;
+        pending += "\n";
+        if (trimmed.ends_with(";")) {
+          RunScript(pending);
+          pending.clear();
+        }
+      }
+      if (interactive) std::cout << "cods> " << std::flush;
+    }
+    if (!Trim(pending).empty()) RunScript(pending);
+    return 0;
+  }
+
+ private:
+  void RunScript(const std::string& text) {
+    auto script = ParseSmoScript(text);
+    if (!script.ok()) {
+      std::cout << "parse error: " << script.status().ToString() << "\n";
+      return;
+    }
+    for (const Smo& smo : *script) {
+      if (IsInvertible(smo.kind)) {
+        // Best-effort logging; lossy ops simply are not undoable.
+        (void)log_.Record(smo, *versions_.working());
+      }
+      Status st = engine_.Apply(smo);
+      if (!st.ok()) {
+        std::cout << "error: " << st.ToString() << "\n";
+        return;
+      }
+      std::cout << "ok: " << smo.ToString() << "\n";
+    }
+  }
+
+  // Returns false to quit.
+  bool DotCommand(const std::string& line) {
+    std::vector<std::string> w = Words(line);
+    const std::string& cmd = w[0];
+    Catalog& catalog = *versions_.working();
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::cout << kHelp;
+    } else if (cmd == ".tables") {
+      for (const std::string& name : catalog.TableNames()) {
+        auto t = catalog.GetTable(name).ValueOrDie();
+        std::cout << "  " << name << " " << t->schema().ToString() << " ["
+                  << t->rows() << " rows]\n";
+      }
+    } else if (cmd == ".load" && w.size() == 4 && w[2] == "INTO") {
+      Report(LoadCsv(w[1], w[3]));
+    } else if (cmd == ".load" && w.size() == 3) {
+      Report(LoadCsv(w[1], w[2]));
+    } else if (cmd == ".show" && w.size() == 2) {
+      WithTable(w[1], [](const Table& t) {
+        std::cout << FormatTable(t);
+      });
+    } else if (cmd == ".stats" && w.size() == 2) {
+      WithTable(w[1], [](const Table& t) {
+        std::cout << FormatTableStats(t);
+      });
+    } else if (cmd == ".count" && w.size() == 5) {
+      Report(Count(w[1], w[2], w[3], w[4]));
+    } else if (cmd == ".advise" && w.size() == 5 && w[1] == "decompose") {
+      Report(Advise(w[2], w[3], w[4]));
+    } else if (cmd == ".save" && w.size() == 2) {
+      Report(SaveCatalog(catalog, w[1]));
+    } else if (cmd == ".open" && w.size() == 2) {
+      Report(Open(w[1]));
+    } else if (cmd == ".commit") {
+      std::string msg = w.size() > 1 ? line.substr(line.find(w[1])) : "";
+      uint64_t v = versions_.Commit(msg);
+      std::cout << "committed version " << v << "\n";
+    } else if (cmd == ".log") {
+      for (const auto& info : versions_.History()) {
+        std::cout << "  v" << info.id << ": " << info.message << " ("
+                  << info.table_names.size() << " tables, "
+                  << info.total_rows << " rows)\n";
+      }
+    } else if (cmd == ".checkout" && w.size() == 2) {
+      Report(versions_.Checkout(std::strtoull(w[1].c_str(), nullptr, 10)));
+      log_.Clear();  // the undo log refers to the abandoned timeline
+    } else if (cmd == ".undo") {
+      Report(Undo());
+    } else {
+      std::cout << "unknown command; try .help\n";
+    }
+    return true;
+  }
+
+  Status LoadCsv(const std::string& path, const std::string& table) {
+    CODS_ASSIGN_OR_RETURN(auto t, [&]() -> Result<std::shared_ptr<const Table>> {
+      std::ifstream in(path);
+      if (!in) return Status::IOError("cannot open '" + path + "'");
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return CsvToTableInferred(buf.str(), table);
+    }());
+    CODS_RETURN_NOT_OK(versions_.working()->AddTable(t));
+    std::cout << "loaded " << t->rows() << " rows into " << table << "\n";
+    return Status::OK();
+  }
+
+  Status Count(const std::string& table, const std::string& column,
+               const std::string& op_text, const std::string& literal) {
+    CODS_ASSIGN_OR_RETURN(auto t, versions_.working()->GetTable(table));
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("bad operator '" + op_text + "'");
+    }
+    CODS_ASSIGN_OR_RETURN(size_t col_idx, t->schema().ColumnIndex(column));
+    CODS_ASSIGN_OR_RETURN(
+        Value lit, Value::Parse(literal, t->schema().column(col_idx).type));
+    CODS_ASSIGN_OR_RETURN(
+        uint64_t count,
+        CountWhere(*t, {ColumnPredicate::Compare(column, op, lit)}));
+    std::cout << count << "\n";
+    return Status::OK();
+  }
+
+  Status Advise(const std::string& table, const std::string& group1,
+                const std::string& group2) {
+    CODS_ASSIGN_OR_RETURN(auto t, versions_.working()->GetTable(table));
+    CODS_ASSIGN_OR_RETURN(auto est,
+                          EstimateDecompose(*t, ParseNameGroup(group1),
+                                            ParseNameGroup(group2)));
+    std::cout << est.ToString() << "\n";
+    return Status::OK();
+  }
+
+  Status Open(const std::string& path) {
+    CODS_ASSIGN_OR_RETURN(Catalog loaded, LoadCatalog(path));
+    *versions_.working() = std::move(loaded);
+    log_.Clear();
+    std::cout << "opened " << path << " ("
+              << versions_.working()->size() << " tables)\n";
+    return Status::OK();
+  }
+
+  Status Undo() {
+    if (log_.size() == 0) {
+      return Status::InvalidArgument("nothing to undo");
+    }
+    Smo inverse = log_.UndoScript().front();
+    CODS_RETURN_NOT_OK(engine_.Apply(inverse));
+    std::cout << "undid via: " << inverse.ToString() << "\n";
+    // One-shot undo: recording deeper history would need the pre-states
+    // of earlier operators, which are gone once undone.
+    log_.Clear();
+    return Status::OK();
+  }
+
+  template <typename Fn>
+  void WithTable(const std::string& name, Fn&& fn) {
+    auto t = versions_.working()->GetTable(name);
+    if (!t.ok()) {
+      std::cout << "error: " << t.status().ToString() << "\n";
+      return;
+    }
+    fn(*t.ValueOrDie());
+  }
+
+  void Report(const Status& st) {
+    if (!st.ok()) std::cout << "error: " << st.ToString() << "\n";
+  }
+
+  static constexpr const char* kHelp =
+      "SMO statements end with ';' (CREATE/DROP/RENAME/COPY TABLE, UNION\n"
+      "TABLES, PARTITION TABLE, DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/\n"
+      "RENAME COLUMN). Dot commands:\n"
+      "  .load <csv> <table>   .tables   .show <t>   .stats <t>\n"
+      "  .count <t> <col> <op> <lit>     .advise decompose <t> (c,..) (c,..)\n"
+      "  .save <path>  .open <path>  .commit <msg>  .log  .checkout <v>\n"
+      "  .undo  .help  .quit\n";
+
+  VersionedCatalog versions_;
+  LoggingObserver observer_;
+  EvolutionEngine engine_;
+  EvolutionLog log_;
+};
+
+}  // namespace
+
+int main() {
+  bool interactive = isatty(0);
+  std::cout << "CODS shell — column-oriented database schema evolution\n"
+            << "type .help for commands\n";
+  Shell shell;
+  return shell.Run(std::cin, interactive);
+}

@@ -1,0 +1,53 @@
+#include "bitmap/rle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cods {
+
+RleVector RleVector::FromRuns(const std::vector<Run>& runs) {
+  RleVector out;
+  for (const Run& r : runs) {
+    CODS_CHECK(r.length > 0) << "zero-length RLE run";
+    out.AppendRun(r.value, r.length);
+  }
+  return out;
+}
+
+RleVector RleVector::Encode(const std::vector<uint32_t>& values) {
+  RleVector out;
+  for (uint32_t v : values) out.Append(v);
+  return out;
+}
+
+void RleVector::Append(uint32_t value) { AppendRun(value, 1); }
+
+void RleVector::AppendRun(uint32_t value, uint64_t count) {
+  if (count == 0) return;
+  if (!runs_.empty() && runs_.back().value == value) {
+    runs_.back().length += count;
+  } else {
+    starts_.push_back(size_);
+    runs_.push_back(Run{value, count});
+  }
+  size_ += count;
+}
+
+uint32_t RleVector::Get(uint64_t pos) const {
+  CODS_DCHECK(pos < size_);
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  size_t idx = static_cast<size_t>(it - starts_.begin()) - 1;
+  return runs_[idx].value;
+}
+
+std::vector<uint32_t> RleVector::Decode() const {
+  std::vector<uint32_t> out;
+  out.reserve(size_);
+  for (const Run& r : runs_) {
+    out.insert(out.end(), r.length, r.value);
+  }
+  return out;
+}
+
+}  // namespace cods

@@ -1,0 +1,64 @@
+// Run-length encoding for value-id sequences. CODS §2.2 notes that
+// run-length encoding is used for sorted columns instead of bitmaps; the
+// column store picks this codec when a column is declared sorted.
+
+#ifndef CODS_BITMAP_RLE_H_
+#define CODS_BITMAP_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cods {
+
+/// Run-length-encoded sequence of uint32 value ids.
+class RleVector {
+ public:
+  struct Run {
+    uint32_t value;
+    uint64_t length;
+  };
+
+  RleVector() = default;
+
+  /// Encodes a full sequence.
+  static RleVector Encode(const std::vector<uint32_t>& values);
+
+  /// Reassembles from a run list (persistence path). Adjacent equal runs
+  /// are merged; zero-length runs are rejected.
+  static RleVector FromRuns(const std::vector<Run>& runs);
+
+  /// Appends one value (extends the last run when equal).
+  void Append(uint32_t value);
+  /// Appends `count` copies of `value`.
+  void AppendRun(uint32_t value, uint64_t count);
+
+  /// Logical number of elements.
+  uint64_t size() const { return size_; }
+  /// Number of runs.
+  size_t NumRuns() const { return runs_.size(); }
+
+  /// Element at `pos` (binary search over run start offsets).
+  uint32_t Get(uint64_t pos) const;
+
+  /// Decodes the full sequence.
+  std::vector<uint32_t> Decode() const;
+
+  /// Encoded footprint in bytes.
+  uint64_t SizeBytes() const {
+    return runs_.size() * (sizeof(Run) + sizeof(uint64_t));
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+  /// Start offset of run i (parallel to runs()).
+  const std::vector<uint64_t>& starts() const { return starts_; }
+
+ private:
+  std::vector<Run> runs_;
+  std::vector<uint64_t> starts_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_BITMAP_RLE_H_

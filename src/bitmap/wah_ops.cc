@@ -1,0 +1,245 @@
+#include "bitmap/wah_ops.h"
+
+#include <bit>
+
+namespace cods {
+
+namespace {
+
+enum class OpKind { kAnd, kOr, kXor, kAndNot };
+
+inline uint64_t ApplyOp(OpKind op, uint64_t x, uint64_t y) {
+  switch (op) {
+    case OpKind::kAnd:
+      return x & y;
+    case OpKind::kOr:
+      return x | y;
+    case OpKind::kXor:
+      return x ^ y;
+    case OpKind::kAndNot:
+      return x & ~y;
+  }
+  return 0;
+}
+
+// Consumes `groups` groups from `dec`, crossing run boundaries as needed.
+void ConsumeAcross(WahDecoder& dec, uint64_t groups) {
+  while (groups > 0) {
+    CODS_DCHECK(!dec.exhausted());
+    uint64_t take = dec.remaining_groups();
+    if (take > groups) take = groups;
+    dec.Consume(take);
+    groups -= take;
+  }
+}
+
+// Shared driver for the binary operations. `emit` is called with either
+// (fill_value, group_count) runs or literal payloads; this keeps the
+// fill-skipping logic in one place. We instantiate it twice: once
+// building an output bitmap, once only counting.
+template <typename FillSink, typename LiteralSink>
+void RunBinaryOp(const WahBitmap& a, const WahBitmap& b, OpKind op,
+                 FillSink&& emit_fill, LiteralSink&& emit_literal) {
+  CODS_CHECK(a.size() == b.size())
+      << "WAH binary op on different sizes: " << a.size() << " vs "
+      << b.size();
+  uint64_t bits_left = a.size();
+  WahDecoder da(a);
+  WahDecoder db(b);
+  while (bits_left > 0) {
+    CODS_DCHECK(!da.exhausted() && !db.exhausted());
+    // Fast paths: a zero fill annihilates AND/ANDNOT; a one fill
+    // saturates OR. These skip whole runs of the other operand.
+    if (da.is_fill() || db.is_fill()) {
+      bool a_is_zero_fill = da.is_fill() && !da.fill_value();
+      bool b_is_zero_fill = db.is_fill() && !db.fill_value();
+      bool a_is_one_fill = da.is_fill() && da.fill_value();
+      bool b_is_one_fill = db.is_fill() && db.fill_value();
+      uint64_t skip = 0;
+      bool out_value = false;
+      bool take_from_a = false;
+      if ((op == OpKind::kAnd || op == OpKind::kAndNot) && a_is_zero_fill) {
+        skip = da.remaining_groups();
+        out_value = false;
+        take_from_a = true;
+      } else if (op == OpKind::kAnd && b_is_zero_fill) {
+        skip = db.remaining_groups();
+        out_value = false;
+        take_from_a = false;
+      } else if (op == OpKind::kAndNot && b_is_one_fill) {
+        skip = db.remaining_groups();
+        out_value = false;
+        take_from_a = false;
+      } else if (op == OpKind::kOr && a_is_one_fill) {
+        skip = da.remaining_groups();
+        out_value = true;
+        take_from_a = true;
+      } else if (op == OpKind::kOr && b_is_one_fill) {
+        skip = db.remaining_groups();
+        out_value = true;
+        take_from_a = false;
+      }
+      if (skip > 0) {
+        emit_fill(out_value, skip);
+        if (take_from_a) {
+          da.Consume(skip);
+          ConsumeAcross(db, skip);
+        } else {
+          db.Consume(skip);
+          ConsumeAcross(da, skip);
+        }
+        bits_left -= skip * kWahGroupBits;
+        continue;
+      }
+    }
+    if (da.is_fill() && db.is_fill()) {
+      uint64_t groups = da.remaining_groups() < db.remaining_groups()
+                            ? da.remaining_groups()
+                            : db.remaining_groups();
+      bool value = ApplyOp(op, da.fill_value() ? 1 : 0,
+                           db.fill_value() ? 1 : 0) != 0;
+      emit_fill(value, groups);
+      da.Consume(groups);
+      db.Consume(groups);
+      bits_left -= groups * kWahGroupBits;
+      continue;
+    }
+    uint64_t payload = ApplyOp(op, da.group_payload(), db.group_payload()) &
+                       wah::kPayloadMask;
+    uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
+    emit_literal(payload, bits);
+    da.Consume(1);
+    db.Consume(1);
+    bits_left -= bits;
+  }
+}
+
+WahBitmap BinaryOp(const WahBitmap& a, const WahBitmap& b, OpKind op) {
+  WahBitmap out;
+  RunBinaryOp(
+      a, b, op,
+      [&](bool value, uint64_t groups) {
+        out.AppendRun(value, groups * kWahGroupBits);
+      },
+      [&](uint64_t payload, uint64_t bits) {
+        if (bits == kWahGroupBits) {
+          out.AppendGroup(payload);
+        } else {
+          // Final partial group: mask garbage above the logical size.
+          payload &= (uint64_t{1} << bits) - 1;
+          for (uint64_t consumed = 0; consumed < bits;) {
+            bool bit = (payload >> consumed) & 1;
+            uint64_t x = (bit ? ~payload : payload) >> consumed;
+            uint64_t run =
+                x == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(x));
+            if (run > bits - consumed) run = bits - consumed;
+            out.AppendRun(bit, run);
+            consumed += run;
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+WahBitmap WahAnd(const WahBitmap& a, const WahBitmap& b) {
+  return BinaryOp(a, b, OpKind::kAnd);
+}
+
+WahBitmap WahOr(const WahBitmap& a, const WahBitmap& b) {
+  return BinaryOp(a, b, OpKind::kOr);
+}
+
+WahBitmap WahXor(const WahBitmap& a, const WahBitmap& b) {
+  return BinaryOp(a, b, OpKind::kXor);
+}
+
+WahBitmap WahAndNot(const WahBitmap& a, const WahBitmap& b) {
+  return BinaryOp(a, b, OpKind::kAndNot);
+}
+
+WahBitmap WahNot(const WahBitmap& a) {
+  WahBitmap out;
+  uint64_t bits_left = a.size();
+  WahDecoder dec(a);
+  while (bits_left > 0) {
+    CODS_DCHECK(!dec.exhausted());
+    if (dec.is_fill()) {
+      uint64_t groups = dec.remaining_groups();
+      out.AppendRun(!dec.fill_value(), groups * kWahGroupBits);
+      dec.Consume(groups);
+      bits_left -= groups * kWahGroupBits;
+    } else {
+      uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
+      uint64_t payload = ~dec.group_payload() & ((bits == kWahGroupBits)
+                                                     ? wah::kPayloadMask
+                                                     : (uint64_t{1} << bits) -
+                                                           1);
+      if (bits == kWahGroupBits) {
+        out.AppendGroup(payload);
+      } else {
+        for (uint64_t consumed = 0; consumed < bits;) {
+          bool bit = (payload >> consumed) & 1;
+          uint64_t x = (bit ? ~payload : payload) >> consumed;
+          uint64_t run =
+              x == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(x));
+          if (run > bits - consumed) run = bits - consumed;
+          out.AppendRun(bit, run);
+          consumed += run;
+        }
+      }
+      dec.Consume(1);
+      bits_left -= bits;
+    }
+  }
+  return out;
+}
+
+uint64_t WahAndCount(const WahBitmap& a, const WahBitmap& b) {
+  uint64_t ones = 0;
+  RunBinaryOp(
+      a, b, OpKind::kAnd,
+      [&](bool value, uint64_t groups) {
+        if (value) ones += groups * kWahGroupBits;
+      },
+      [&](uint64_t payload, uint64_t bits) {
+        if (bits < kWahGroupBits) payload &= (uint64_t{1} << bits) - 1;
+        ones += static_cast<uint64_t>(std::popcount(payload));
+      });
+  return ones;
+}
+
+bool WahIntersects(const WahBitmap& a, const WahBitmap& b) {
+  CODS_CHECK(a.size() == b.size());
+  uint64_t bits_left = a.size();
+  WahDecoder da(a);
+  WahDecoder db(b);
+  while (bits_left > 0) {
+    CODS_DCHECK(!da.exhausted() && !db.exhausted());
+    if (da.is_fill() && !da.fill_value()) {
+      uint64_t groups = da.remaining_groups();
+      da.Consume(groups);
+      ConsumeAcross(db, groups);
+      bits_left -= groups * kWahGroupBits;
+      continue;
+    }
+    if (db.is_fill() && !db.fill_value()) {
+      uint64_t groups = db.remaining_groups();
+      db.Consume(groups);
+      ConsumeAcross(da, groups);
+      bits_left -= groups * kWahGroupBits;
+      continue;
+    }
+    uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
+    uint64_t payload = da.group_payload() & db.group_payload();
+    if (bits < kWahGroupBits) payload &= (uint64_t{1} << bits) - 1;
+    if (payload != 0) return true;
+    da.Consume(1);
+    db.Consume(1);
+    bits_left -= bits;
+  }
+  return false;
+}
+
+}  // namespace cods

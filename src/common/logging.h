@@ -1,0 +1,88 @@
+// Minimal leveled logging plus CHECK macros, in the style of
+// glog / RocksDB's logger. Logging goes to stderr; CHECK failures abort.
+
+#ifndef CODS_COMMON_LOGGING_H_
+#define CODS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cods {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line via operator<< and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process in its destructor (CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cods
+
+#define CODS_LOG(level)                                                   \
+  ::cods::internal::LogMessage(::cods::LogLevel::k##level, __FILE__,      \
+                               __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation would corrupt data.
+#define CODS_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::cods::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define CODS_CHECK_OK(expr)                                     \
+  do {                                                          \
+    ::cods::Status _st = (expr);                                \
+    CODS_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define CODS_DCHECK(cond) CODS_CHECK(cond)
+#else
+#define CODS_DCHECK(cond) \
+  if (true) {             \
+  } else /* NOLINT */     \
+    ::cods::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#endif
+
+#endif  // CODS_COMMON_LOGGING_H_

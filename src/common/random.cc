@@ -1,0 +1,56 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace cods {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  CODS_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::string Rng::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (char& c : out) {
+    c = static_cast<char>('a' + Uniform(0, 25));
+  }
+  return out;
+}
+
+std::vector<uint64_t> Rng::Permutation(uint64_t n) {
+  std::vector<uint64_t> out(n);
+  std::iota(out.begin(), out.end(), uint64_t{0});
+  std::shuffle(out.begin(), out.end(), engine_);
+  return out;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), cdf_(n) {
+  CODS_CHECK(n > 0) << "ZipfSampler needs a non-empty domain";
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& w : cdf_) w /= total;
+}
+
+uint64_t ZipfSampler::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace cods

@@ -1,0 +1,58 @@
+// Deterministic PRNG utilities shared by tests, the workload generator,
+// and benchmarks. A fixed seed gives reproducible workloads.
+
+#ifndef CODS_COMMON_RANDOM_H_
+#define CODS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cods {
+
+/// Thin wrapper around std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p = 0.5);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// A random permutation of 0..n-1.
+  std::vector<uint64_t> Permutation(uint64_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent s.
+/// Uses the classic inverse-CDF-over-precomputed-weights approach; O(log n)
+/// per draw after O(n) setup.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cumulative weights, normalized to [0,1]
+};
+
+}  // namespace cods
+
+#endif  // CODS_COMMON_RANDOM_H_

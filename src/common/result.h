@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef CODS_COMMON_RESULT_H_
+#define CODS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cods {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Typical use:
+///   Result<Table> r = Load(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so functions can `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so functions can
+  /// `return Status::...`). Calling with an OK status is a programming
+  /// error and asserts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the value. Must hold a value.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias for ValueOrDie, mirroring arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace cods
+
+/// Assigns the value of a Result expression to `lhs`, or returns its
+/// Status on error. `lhs` may include a declaration:
+///   CODS_ASSIGN_OR_RETURN(auto table, catalog.Get("R"));
+#define CODS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define CODS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define CODS_ASSIGN_OR_RETURN_CONCAT(x, y) CODS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define CODS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CODS_ASSIGN_OR_RETURN_IMPL(                                              \
+      CODS_ASSIGN_OR_RETURN_CONCAT(_cods_result_, __LINE__), lhs, rexpr)
+
+#endif  // CODS_COMMON_RESULT_H_

@@ -1,0 +1,124 @@
+// Status: error propagation without exceptions, in the style of
+// Arrow / RocksDB. Library code returns Status (or Result<T>) instead of
+// throwing; callers either handle the error or propagate it with
+// CODS_RETURN_NOT_OK.
+
+#ifndef CODS_COMMON_STATUS_H_
+#define CODS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cods {
+
+/// Machine-readable category of an error carried by Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,          // lookup failed (missing table/column/value)
+  kAlreadyExists = 3,     // name collision on create/rename/copy
+  kOutOfRange = 4,        // index or position outside the valid range
+  kNotImplemented = 5,
+  kIOError = 6,
+  kCorruption = 7,        // internal invariant violated in stored data
+  kTypeError = 8,         // value/type mismatch
+  kConstraintViolation = 9,  // key/FD precondition does not hold
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to return in the OK case
+/// (a single pointer that is null on success).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Null iff OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace cods
+
+/// Propagates a non-OK Status to the caller.
+#define CODS_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::cods::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // CODS_COMMON_STATUS_H_

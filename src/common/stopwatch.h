@@ -1,0 +1,40 @@
+// Wall-clock stopwatch used by the benchmark harness and the evolution
+// status tracker.
+
+#ifndef CODS_COMMON_STOPWATCH_H_
+#define CODS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cods {
+
+/// Measures elapsed wall time with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_COMMON_STOPWATCH_H_

@@ -1,0 +1,38 @@
+// Small string helpers used by the CSV loader, the SMO parser, and the
+// table printer.
+
+#ifndef CODS_COMMON_STRING_UTIL_H_
+#define CODS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cods {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Upper-cases ASCII letters.
+std::string ToUpper(std::string_view s);
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` parses as a (possibly signed) decimal integer.
+bool LooksLikeInt(std::string_view s);
+/// True if `s` parses as a floating point literal (and is not an int).
+bool LooksLikeDouble(std::string_view s);
+
+}  // namespace cods
+
+#endif  // CODS_COMMON_STRING_UTIL_H_

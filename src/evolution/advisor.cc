@@ -1,0 +1,154 @@
+#include "evolution/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cods {
+
+const char* EvolutionStrategyToString(EvolutionStrategy strategy) {
+  switch (strategy) {
+    case EvolutionStrategy::kDataLevel:
+      return "data-level (CODS)";
+    case EvolutionStrategy::kQueryLevel:
+      return "query-level (SQL)";
+  }
+  return "?";
+}
+
+double EvolutionCostEstimate::Advantage() const {
+  uint64_t data = data_level_total();
+  if (data == 0) data = 1;
+  return static_cast<double>(query_level_total()) /
+         static_cast<double>(data);
+}
+
+EvolutionStrategy EvolutionCostEstimate::Recommendation() const {
+  return data_level_total() <= query_level_total()
+             ? EvolutionStrategy::kDataLevel
+             : EvolutionStrategy::kQueryLevel;
+}
+
+std::string EvolutionCostEstimate::ToString() const {
+  std::ostringstream out;
+  out << "data-level:  read " << data_level_read_bytes << " B, write "
+      << data_level_write_bytes << " B (total " << data_level_total()
+      << " B)\n";
+  out << "query-level: read " << query_level_read_bytes << " B, write "
+      << query_level_write_bytes << " B (total " << query_level_total()
+      << " B)\n";
+  out << "recommendation: " << EvolutionStrategyToString(Recommendation())
+      << " (" << Advantage() << "x less traffic than query-level)";
+  return out.str();
+}
+
+uint64_t EstimateTupleBytes(const Table& table) {
+  // Per value: 1 tag byte + payload. Strings use the average dictionary
+  // entry length; numbers are 8 bytes.
+  uint64_t bytes = 4;  // arity prefix
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = *table.column(c);
+    if (col.type() == DataType::kString) {
+      uint64_t total_len = 0;
+      for (const Value& v : col.dict().values()) total_len += v.str().size();
+      uint64_t avg =
+          col.dict().empty() ? 0 : total_len / col.dict().size();
+      bytes += 1 + 4 + avg;
+    } else {
+      bytes += 1 + 8;
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+// Compressed bytes of the named columns.
+Result<uint64_t> ColumnsBytes(const Table& table,
+                              const std::vector<std::string>& names) {
+  uint64_t bytes = 0;
+  for (const std::string& n : names) {
+    CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(n));
+    bytes += col->SizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Result<EvolutionCostEstimate> EstimateDecompose(
+    const Table& r, const std::vector<std::string>& s_columns,
+    const std::vector<std::string>& t_columns) {
+  std::vector<std::string> common;
+  for (const std::string& c : s_columns) {
+    if (std::find(t_columns.begin(), t_columns.end(), c) !=
+        t_columns.end()) {
+      common.push_back(c);
+    }
+  }
+  if (common.empty()) {
+    return Status::ConstraintViolation(
+        "decomposition outputs share no attributes");
+  }
+  CODS_ASSIGN_OR_RETURN(auto key_col, r.ColumnByName(common.front()));
+  uint64_t distinct = key_col->distinct_count();
+
+  EvolutionCostEstimate est;
+  // Data level: read the generated side's compressed columns (the
+  // unchanged side is pointer-reused: zero bytes), write the shrunken
+  // bitmaps — approximated by scaling by |T| / |R|.
+  CODS_ASSIGN_OR_RETURN(uint64_t t_bytes, ColumnsBytes(r, t_columns));
+  est.data_level_read_bytes = t_bytes;
+  double shrink = r.rows() == 0
+                      ? 0.0
+                      : static_cast<double>(distinct) /
+                            static_cast<double>(r.rows());
+  est.data_level_write_bytes =
+      static_cast<uint64_t>(static_cast<double>(t_bytes) * shrink) + 1;
+
+  // Query level: materialize every tuple of R (decompress), write S
+  // verbatim as tuples, dedup + write T, then re-encode both outputs.
+  uint64_t tuple_bytes = EstimateTupleBytes(r);
+  est.query_level_read_bytes = r.rows() * tuple_bytes;
+  CODS_ASSIGN_OR_RETURN(uint64_t s_bytes, ColumnsBytes(r, s_columns));
+  est.query_level_write_bytes =
+      r.rows() * tuple_bytes        // S tuples (same multiplicity as R)
+      + distinct * tuple_bytes      // T tuples
+      + s_bytes                     // re-encode S columns
+      + est.data_level_write_bytes; // re-encode T columns
+  return est;
+}
+
+Result<EvolutionCostEstimate> EstimateMerge(
+    const Table& s, const Table& t,
+    const std::vector<std::string>& join_columns) {
+  EvolutionCostEstimate est;
+  // Data level: scan S's key column + all of T compressed; write T's
+  // non-key columns stretched to |S| rows; S's columns are reused.
+  CODS_ASSIGN_OR_RETURN(uint64_t s_key_bytes,
+                        ColumnsBytes(s, join_columns));
+  est.data_level_read_bytes = s_key_bytes + t.SizeBytes();
+  uint64_t t_payload_bytes = t.SizeBytes();
+  for (const std::string& j : join_columns) {
+    CODS_ASSIGN_OR_RETURN(auto col, t.ColumnByName(j));
+    t_payload_bytes -= std::min(t_payload_bytes, col->SizeBytes());
+  }
+  double stretch = t.rows() == 0 ? 1.0
+                                 : static_cast<double>(s.rows()) /
+                                       static_cast<double>(t.rows());
+  est.data_level_write_bytes =
+      static_cast<uint64_t>(static_cast<double>(t_payload_bytes) *
+                            stretch) +
+      1;
+
+  // Query level: materialize both inputs, write the join result as
+  // tuples, re-encode everything.
+  uint64_t s_tuple = EstimateTupleBytes(s);
+  uint64_t t_tuple = EstimateTupleBytes(t);
+  est.query_level_read_bytes = s.rows() * s_tuple + t.rows() * t_tuple;
+  uint64_t out_tuple = s_tuple + t_tuple;  // joined width (join col dup ok)
+  est.query_level_write_bytes =
+      s.rows() * out_tuple + s.SizeBytes() + est.data_level_write_bytes;
+  return est;
+}
+
+}  // namespace cods

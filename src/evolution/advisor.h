@@ -1,0 +1,69 @@
+// Evolution cost advisor. The paper argues CODS "guides the choice
+// between row oriented databases and column oriented databases when
+// schema changes are potentially wanted" — this module turns that into
+// an API: given a table and a planned DECOMPOSE or MERGE, estimate the
+// bytes each execution strategy touches and recommend one.
+//
+// The estimates are intentionally simple traffic models (bytes read +
+// bytes written), not calibrated latencies; they capture the structural
+// asymmetry that makes data-level evolution win — unchanged columns cost
+// zero and compressed bitmaps are far smaller than materialized tuples.
+
+#ifndef CODS_EVOLUTION_ADVISOR_H_
+#define CODS_EVOLUTION_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// Execution strategy for one evolution.
+enum class EvolutionStrategy {
+  kDataLevel,   // CODS: operate on compressed bitmaps
+  kQueryLevel,  // materialize tuples, run SQL-shaped plan, re-encode
+};
+
+const char* EvolutionStrategyToString(EvolutionStrategy strategy);
+
+/// Byte-traffic estimate for one evolution under both strategies.
+struct EvolutionCostEstimate {
+  uint64_t data_level_read_bytes = 0;
+  uint64_t data_level_write_bytes = 0;
+  uint64_t query_level_read_bytes = 0;
+  uint64_t query_level_write_bytes = 0;
+
+  uint64_t data_level_total() const {
+    return data_level_read_bytes + data_level_write_bytes;
+  }
+  uint64_t query_level_total() const {
+    return query_level_read_bytes + query_level_write_bytes;
+  }
+  /// How many times more bytes the query-level strategy touches.
+  double Advantage() const;
+  /// The cheaper strategy.
+  EvolutionStrategy Recommendation() const;
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Estimates decomposing `r` into (s_columns) and (t_columns), where the
+/// common attributes key the T side.
+Result<EvolutionCostEstimate> EstimateDecompose(
+    const Table& r, const std::vector<std::string>& s_columns,
+    const std::vector<std::string>& t_columns);
+
+/// Estimates merging s ⋈ t on `join_columns` (key–FK shape: the join
+/// attributes key `t`).
+Result<EvolutionCostEstimate> EstimateMerge(
+    const Table& s, const Table& t,
+    const std::vector<std::string>& join_columns);
+
+/// Average serialized width of one materialized tuple of `table`
+/// (exposed for tests; drives the query-level read estimate).
+uint64_t EstimateTupleBytes(const Table& table);
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_ADVISOR_H_

@@ -1,0 +1,162 @@
+#include "evolution/engine.h"
+
+namespace cods {
+
+EvolutionEngine::EvolutionEngine(Catalog* catalog,
+                                 EvolutionObserver* observer,
+                                 EngineOptions options)
+    : catalog_(catalog), observer_(observer), options_(options) {
+  CODS_CHECK(catalog_ != nullptr);
+}
+
+Status EvolutionEngine::MaybeValidate(const Table& table) {
+  if (!options_.validate_outputs) return Status::OK();
+  return table.ValidateInvariants().WithContext("output table '" +
+                                                table.name() + "'");
+}
+
+Status EvolutionEngine::Apply(const Smo& smo) {
+  switch (smo.kind) {
+    case SmoKind::kCreateTable:
+      return ApplyCreateTable(smo);
+    case SmoKind::kDropTable:
+      return catalog_->DropTable(smo.table);
+    case SmoKind::kRenameTable:
+      return catalog_->RenameTable(smo.table, smo.new_name);
+    case SmoKind::kCopyTable: {
+      CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
+      CODS_ASSIGN_OR_RETURN(auto copy,
+                            CopyTableOp(*src, smo.out1, options_.deep_copy));
+      return catalog_->AddTable(std::move(copy));
+    }
+    case SmoKind::kUnionTables:
+      return ApplyUnion(smo);
+    case SmoKind::kPartitionTable:
+      return ApplyPartition(smo);
+    case SmoKind::kDecomposeTable:
+      return ApplyDecompose(smo);
+    case SmoKind::kMergeTables:
+      return ApplyMerge(smo);
+    case SmoKind::kAddColumn:
+    case SmoKind::kDropColumn:
+    case SmoKind::kRenameColumn:
+      return ApplyColumnOp(smo);
+  }
+  return Status::NotImplemented("unknown SMO kind");
+}
+
+Status EvolutionEngine::ApplyAll(const std::vector<Smo>& script) {
+  for (const Smo& smo : script) {
+    CODS_RETURN_NOT_OK(Apply(smo).WithContext(smo.ToString()));
+  }
+  return Status::OK();
+}
+
+Status EvolutionEngine::ApplyCreateTable(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto table, MakeEmptyTable(smo.out1, smo.schema));
+  return catalog_->AddTable(std::move(table));
+}
+
+Status EvolutionEngine::ApplyDecompose(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto r, catalog_->GetTable(smo.table));
+  if (smo.out1 != smo.table && catalog_->HasTable(smo.out1)) {
+    return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
+  }
+  if (smo.out2 != smo.table && catalog_->HasTable(smo.out2)) {
+    return Status::AlreadyExists("table '" + smo.out2 + "' already exists");
+  }
+  DecomposeOptions opts;
+  opts.validate_fd = options_.validate_preconditions;
+  CODS_ASSIGN_OR_RETURN(
+      DecomposeResult result,
+      CodsDecompose(*r, smo.out1, smo.columns1, smo.key1, smo.out2,
+                    smo.columns2, smo.key2, observer_, opts));
+  CODS_RETURN_NOT_OK(MaybeValidate(*result.s));
+  CODS_RETURN_NOT_OK(MaybeValidate(*result.t));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
+  catalog_->PutTable(std::move(result.s));
+  catalog_->PutTable(std::move(result.t));
+  return Status::OK();
+}
+
+Status EvolutionEngine::ApplyMerge(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto s, catalog_->GetTable(smo.table));
+  CODS_ASSIGN_OR_RETURN(auto t, catalog_->GetTable(smo.table2));
+  if (smo.out1 != smo.table && smo.out1 != smo.table2 &&
+      catalog_->HasTable(smo.out1)) {
+    return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
+  }
+  MergeOptions opts;
+  opts.validate_key = options_.validate_preconditions;
+  CODS_ASSIGN_OR_RETURN(MergeResult result,
+                        CodsMerge(*s, *t, smo.columns1, smo.key1, smo.out1,
+                                  observer_, opts));
+  CODS_RETURN_NOT_OK(MaybeValidate(*result.table));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table2));
+  catalog_->PutTable(std::move(result.table));
+  return Status::OK();
+}
+
+Status EvolutionEngine::ApplyUnion(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto a, catalog_->GetTable(smo.table));
+  CODS_ASSIGN_OR_RETURN(auto b, catalog_->GetTable(smo.table2));
+  if (smo.out1 != smo.table && smo.out1 != smo.table2 &&
+      catalog_->HasTable(smo.out1)) {
+    return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
+  }
+  CODS_ASSIGN_OR_RETURN(auto out, UnionTablesOp(*a, *b, smo.out1, observer_));
+  CODS_RETURN_NOT_OK(MaybeValidate(*out));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table2));
+  catalog_->PutTable(std::move(out));
+  return Status::OK();
+}
+
+Status EvolutionEngine::ApplyPartition(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
+  if (smo.out1 != smo.table && catalog_->HasTable(smo.out1)) {
+    return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
+  }
+  if (smo.out2 != smo.table && catalog_->HasTable(smo.out2)) {
+    return Status::AlreadyExists("table '" + smo.out2 + "' already exists");
+  }
+  CODS_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      PartitionTableOp(*src, smo.out1, smo.out2, smo.column, smo.compare_op,
+                       smo.literal, observer_));
+  CODS_RETURN_NOT_OK(MaybeValidate(*result.matching));
+  CODS_RETURN_NOT_OK(MaybeValidate(*result.rest));
+  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
+  catalog_->PutTable(std::move(result.matching));
+  catalog_->PutTable(std::move(result.rest));
+  return Status::OK();
+}
+
+Status EvolutionEngine::ApplyColumnOp(const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
+  std::shared_ptr<const Table> out;
+  switch (smo.kind) {
+    case SmoKind::kAddColumn: {
+      CODS_ASSIGN_OR_RETURN(
+          out, AddColumnOp(*src, smo.column_spec, smo.default_value));
+      break;
+    }
+    case SmoKind::kDropColumn: {
+      CODS_ASSIGN_OR_RETURN(out, DropColumnOp(*src, smo.column));
+      break;
+    }
+    case SmoKind::kRenameColumn: {
+      CODS_ASSIGN_OR_RETURN(out,
+                            RenameColumnOp(*src, smo.column, smo.new_name));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("not a column operator");
+  }
+  CODS_RETURN_NOT_OK(MaybeValidate(*out));
+  catalog_->PutTable(std::move(out));
+  return Status::OK();
+}
+
+}  // namespace cods

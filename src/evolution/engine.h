@@ -1,0 +1,70 @@
+// The CODS evolution engine: interprets Schema Modification Operators
+// against a catalog, executing data evolution at the data level. This is
+// the component behind the demo's "execution" button.
+
+#ifndef CODS_EVOLUTION_ENGINE_H_
+#define CODS_EVOLUTION_ENGINE_H_
+
+#include <vector>
+
+#include "evolution/decompose.h"
+#include "evolution/merge.h"
+#include "evolution/observer.h"
+#include "evolution/simple_ops.h"
+#include "evolution/smo.h"
+#include "storage/catalog.h"
+
+namespace cods {
+
+/// Engine options.
+struct EngineOptions {
+  /// Check lossless-join / key preconditions on the data before running
+  /// DECOMPOSE and the key–FK mergence path.
+  bool validate_preconditions = false;
+  /// Run Table::ValidateInvariants on every produced table (tests).
+  bool validate_outputs = false;
+  /// COPY TABLE physically duplicates storage instead of sharing it.
+  bool deep_copy = false;
+};
+
+/// Applies SMOs to a catalog.
+///
+/// Catalog effects per operator:
+///   CREATE/COPY add a table; DROP removes one; RENAME renames in place.
+///   DECOMPOSE replaces the input with its two outputs; MERGE and UNION
+///   replace their two inputs with the output; PARTITION replaces the
+///   input with the two parts; the column operators replace the input
+///   table with its new version under the same name.
+class EvolutionEngine {
+ public:
+  explicit EvolutionEngine(Catalog* catalog,
+                           EvolutionObserver* observer = nullptr,
+                           EngineOptions options = {});
+
+  /// Executes one operator.
+  Status Apply(const Smo& smo);
+
+  /// Executes a script; stops at the first failure.
+  Status ApplyAll(const std::vector<Smo>& script);
+
+  Catalog* catalog() { return catalog_; }
+
+ private:
+  Status ApplyCreateTable(const Smo& smo);
+  Status ApplyDecompose(const Smo& smo);
+  Status ApplyMerge(const Smo& smo);
+  Status ApplyUnion(const Smo& smo);
+  Status ApplyPartition(const Smo& smo);
+  Status ApplyColumnOp(const Smo& smo);
+
+  // Validates a produced table when validate_outputs is on.
+  Status MaybeValidate(const Table& table);
+
+  Catalog* catalog_;
+  EvolutionObserver* observer_;
+  EngineOptions options_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_ENGINE_H_

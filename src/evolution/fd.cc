@@ -1,0 +1,139 @@
+#include "evolution/fd.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cods {
+
+namespace {
+
+// Decodes the named columns into row-major vid tuples packed as vectors.
+Result<std::vector<std::vector<Vid>>> DecodeColumns(
+    const Table& table, const std::vector<std::string>& names) {
+  std::vector<std::vector<Vid>> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(n));
+    out.push_back(col->DecodeVids());
+  }
+  return out;
+}
+
+uint64_t TupleHash(const std::vector<std::vector<Vid>>& cols, uint64_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const auto& c : cols) {
+    h ^= c[row] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool TupleEqual(const std::vector<std::vector<Vid>>& cols, uint64_t a,
+                uint64_t b) {
+  for (const auto& c : cols) {
+    if (c[a] != c[b]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> FunctionalDependencyHolds(const Table& table,
+                                       const std::vector<std::string>& lhs,
+                                       const std::vector<std::string>& rhs) {
+  if (lhs.empty()) {
+    return Status::InvalidArgument("empty FD left-hand side");
+  }
+  CODS_ASSIGN_OR_RETURN(auto lhs_cols, DecodeColumns(table, lhs));
+  CODS_ASSIGN_OR_RETURN(auto rhs_cols, DecodeColumns(table, rhs));
+  // Map each distinct lhs tuple to the first row holding it, then check
+  // that every later row with the same lhs agrees on rhs.
+  auto hash = [&](uint64_t row) { return TupleHash(lhs_cols, row); };
+  auto eq = [&](uint64_t a, uint64_t b) { return TupleEqual(lhs_cols, a, b); };
+  std::unordered_map<uint64_t, uint64_t, decltype(hash), decltype(eq)>
+      first_row(/*bucket_count=*/1024, hash, eq);
+  for (uint64_t r = 0; r < table.rows(); ++r) {
+    auto [it, inserted] = first_row.try_emplace(r, r);
+    if (!inserted) {
+      if (!TupleEqual(rhs_cols, it->second, r)) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsCandidateKey(const Table& table,
+                            const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("empty key column list");
+  }
+  CODS_ASSIGN_OR_RETURN(auto cols, DecodeColumns(table, columns));
+  auto hash = [&](uint64_t row) { return TupleHash(cols, row); };
+  auto eq = [&](uint64_t a, uint64_t b) { return TupleEqual(cols, a, b); };
+  std::unordered_set<uint64_t, decltype(hash), decltype(eq)> seen(
+      /*bucket_count=*/1024, hash, eq);
+  for (uint64_t r = 0; r < table.rows(); ++r) {
+    if (!seen.insert(r).second) return false;
+  }
+  return true;
+}
+
+Result<int> CheckLosslessDecomposition(
+    const Table& table, const std::vector<std::string>& s_columns,
+    const std::vector<std::string>& t_columns) {
+  // Coverage: every schema column appears in s_columns or t_columns.
+  for (const ColumnSpec& spec : table.schema().columns()) {
+    bool in_s = std::find(s_columns.begin(), s_columns.end(), spec.name) !=
+                s_columns.end();
+    bool in_t = std::find(t_columns.begin(), t_columns.end(), spec.name) !=
+                t_columns.end();
+    if (!in_s && !in_t) {
+      return Status::ConstraintViolation(
+          "column '" + spec.name + "' appears in neither output table");
+    }
+  }
+  // Intersection (the join attributes).
+  std::vector<std::string> common;
+  for (const std::string& c : s_columns) {
+    if (std::find(t_columns.begin(), t_columns.end(), c) !=
+        t_columns.end()) {
+      common.push_back(c);
+    }
+  }
+  if (common.empty()) {
+    return Status::ConstraintViolation(
+        "decomposition outputs share no attributes; join would be a "
+        "cartesian product");
+  }
+  // Rest of each side.
+  auto rest = [&](const std::vector<std::string>& side) {
+    std::vector<std::string> out;
+    for (const std::string& c : side) {
+      if (std::find(common.begin(), common.end(), c) == common.end()) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  std::vector<std::string> s_rest = rest(s_columns);
+  std::vector<std::string> t_rest = rest(t_columns);
+  // common -> t_rest means the common attrs are a key of T (after
+  // dedup), i.e. S is unchanged.
+  if (t_rest.empty()) {
+    // T is just the common attrs; trivially functionally determined.
+    return +1;
+  }
+  CODS_ASSIGN_OR_RETURN(bool t_fd,
+                        FunctionalDependencyHolds(table, common, t_rest));
+  if (t_fd) return +1;
+  if (s_rest.empty()) return -1;
+  CODS_ASSIGN_OR_RETURN(bool s_fd,
+                        FunctionalDependencyHolds(table, common, s_rest));
+  if (s_fd) return -1;
+  return Status::ConstraintViolation(
+      "decomposition is lossy: the shared attributes determine neither "
+      "side's remaining attributes");
+}
+
+}  // namespace cods

@@ -1,0 +1,42 @@
+// Functional-dependency and key checks over column tables. The
+// decomposition operator's correctness rests on §2.4's two properties:
+// a lossless-join decomposition requires the common attributes to hold a
+// candidate key of one output, which in turn means the changed table's
+// non-key attributes are functionally dependent on its key in R. These
+// helpers let the engine verify those preconditions instead of trusting
+// declarations.
+
+#ifndef CODS_EVOLUTION_FD_H_
+#define CODS_EVOLUTION_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// True iff `lhs -> rhs` holds in `table` (every distinct lhs tuple
+/// co-occurs with exactly one rhs tuple). O(rows) with hashing.
+Result<bool> FunctionalDependencyHolds(const Table& table,
+                                       const std::vector<std::string>& lhs,
+                                       const std::vector<std::string>& rhs);
+
+/// True iff `columns` is a candidate key of `table` (no duplicate
+/// projections).
+Result<bool> IsCandidateKey(const Table& table,
+                            const std::vector<std::string>& columns);
+
+/// Checks that decomposing `table` into (s_columns) and (t_columns) is
+/// lossless: the column sets cover the schema, their intersection is
+/// non-empty, and the intersection functionally determines at least one
+/// side's remaining attributes. Returns which side is unchanged:
+/// +1 when the intersection is a key for the T side (S unchanged),
+/// -1 when it is a key for the S side (T unchanged), or an error.
+Result<int> CheckLosslessDecomposition(
+    const Table& table, const std::vector<std::string>& s_columns,
+    const std::vector<std::string>& t_columns);
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_FD_H_

@@ -1,0 +1,111 @@
+#include "evolution/inverse.h"
+
+#include <algorithm>
+
+namespace cods {
+
+bool IsInvertible(SmoKind kind) {
+  switch (kind) {
+    case SmoKind::kCreateTable:
+    case SmoKind::kRenameTable:
+    case SmoKind::kCopyTable:
+    case SmoKind::kPartitionTable:
+    case SmoKind::kDecomposeTable:
+    case SmoKind::kMergeTables:
+    case SmoKind::kAddColumn:
+    case SmoKind::kRenameColumn:
+      return true;
+    case SmoKind::kDropTable:
+    case SmoKind::kDropColumn:
+    case SmoKind::kUnionTables:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+// Inverse of MERGE S,T INTO R: decompose R back into the original S and
+// T, reading their column lists and keys from the pre-merge catalog.
+Result<Smo> InvertMerge(const Smo& smo, const Catalog& pre_state) {
+  CODS_ASSIGN_OR_RETURN(auto s, pre_state.GetTable(smo.table));
+  CODS_ASSIGN_OR_RETURN(auto t, pre_state.GetTable(smo.table2));
+  return Smo::DecomposeTable(smo.out1, smo.table, s->schema().ColumnNames(),
+                             s->schema().key(), smo.table2,
+                             t->schema().ColumnNames(), t->schema().key());
+}
+
+// Inverse of DECOMPOSE R INTO S,T: merge S and T back on the common
+// attributes.
+Result<Smo> InvertDecompose(const Smo& smo, const Catalog& pre_state) {
+  CODS_ASSIGN_OR_RETURN(auto r, pre_state.GetTable(smo.table));
+  std::vector<std::string> common;
+  for (const std::string& c : smo.columns1) {
+    if (std::find(smo.columns2.begin(), smo.columns2.end(), c) !=
+        smo.columns2.end()) {
+      common.push_back(c);
+    }
+  }
+  if (common.empty()) {
+    return Status::ConstraintViolation(
+        "decomposition outputs share no attributes; cannot derive a "
+        "merging inverse");
+  }
+  return Smo::MergeTables(smo.out1, smo.out2, smo.table, common,
+                          r->schema().key());
+}
+
+}  // namespace
+
+Result<Smo> InvertSmo(const Smo& smo, const Catalog& pre_state) {
+  switch (smo.kind) {
+    case SmoKind::kCreateTable:
+      return Smo::DropTable(smo.out1);
+    case SmoKind::kRenameTable:
+      return Smo::RenameTable(smo.new_name, smo.table);
+    case SmoKind::kCopyTable:
+      return Smo::DropTable(smo.out1);
+    case SmoKind::kPartitionTable:
+      // The parts carry disjoint row sets; their union restores the
+      // original multiset (row order may differ).
+      return Smo::UnionTables(smo.out1, smo.out2, smo.table);
+    case SmoKind::kDecomposeTable:
+      return InvertDecompose(smo, pre_state);
+    case SmoKind::kMergeTables:
+      return InvertMerge(smo, pre_state);
+    case SmoKind::kAddColumn:
+      return Smo::DropColumn(smo.table, smo.column);
+    case SmoKind::kRenameColumn:
+      return Smo::RenameColumn(smo.table, smo.new_name, smo.column);
+    case SmoKind::kDropTable:
+      return Status::ConstraintViolation(
+          "DROP TABLE discards data and has no inverse");
+    case SmoKind::kDropColumn:
+      return Status::ConstraintViolation(
+          "DROP COLUMN discards data and has no inverse");
+    case SmoKind::kUnionTables:
+      return Status::ConstraintViolation(
+          "UNION TABLES forgets the partition boundary and has no "
+          "inverse");
+  }
+  return Status::NotImplemented("unknown SMO kind");
+}
+
+Status EvolutionLog::Record(const Smo& smo, const Catalog& pre_state) {
+  CODS_ASSIGN_OR_RETURN(Smo inverse, InvertSmo(smo, pre_state));
+  applied_.push_back(smo);
+  inverses_.push_back(std::move(inverse));
+  return Status::OK();
+}
+
+std::vector<Smo> EvolutionLog::UndoScript() const {
+  std::vector<Smo> out(inverses_.rbegin(), inverses_.rend());
+  return out;
+}
+
+void EvolutionLog::Clear() {
+  applied_.clear();
+  inverses_.clear();
+}
+
+}  // namespace cods

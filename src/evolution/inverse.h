@@ -1,0 +1,56 @@
+// Inverse Schema Modification Operators, after the PRISM workbench's
+// notion of information-preserving schema evolution [Curino et al.,
+// VLDB 2008]: for an SMO applied to a given database state, derive the
+// SMO that undoes it. Lossy operators (DROP TABLE, DROP COLUMN, UNION —
+// which forgets the partition boundary) have no inverse and report
+// ConstraintViolation.
+//
+// Inverses may depend on the catalog state *before* the operator runs
+// (e.g. undoing MERGE TABLES requires the original tables' column lists
+// and keys), so InvertSmo takes the pre-application catalog.
+
+#ifndef CODS_EVOLUTION_INVERSE_H_
+#define CODS_EVOLUTION_INVERSE_H_
+
+#include <vector>
+
+#include "evolution/smo.h"
+#include "storage/catalog.h"
+
+namespace cods {
+
+/// True if `smo`'s effect can be undone by another SMO.
+bool IsInvertible(SmoKind kind);
+
+/// Returns the SMO that undoes `smo`, given the catalog as it is BEFORE
+/// `smo` is applied. Fails with ConstraintViolation for lossy operators
+/// and with the usual lookup errors when `smo` references missing
+/// tables/columns.
+Result<Smo> InvertSmo(const Smo& smo, const Catalog& pre_state);
+
+/// Records applied operators together with their inverses (captured
+/// against the pre-application state) and can emit the undo script.
+class EvolutionLog {
+ public:
+  /// Captures the inverse of `smo` against `pre_state`, then remembers
+  /// both. Fails (and records nothing) if `smo` is not invertible —
+  /// callers that allow lossy ops should check IsInvertible first.
+  Status Record(const Smo& smo, const Catalog& pre_state);
+
+  /// Operators recorded so far, oldest first.
+  const std::vector<Smo>& applied() const { return applied_; }
+
+  /// The script that undoes everything recorded, newest first.
+  std::vector<Smo> UndoScript() const;
+
+  size_t size() const { return applied_.size(); }
+  void Clear();
+
+ private:
+  std::vector<Smo> applied_;
+  std::vector<Smo> inverses_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_INVERSE_H_

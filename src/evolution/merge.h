@@ -1,0 +1,80 @@
+// MERGE TABLES (CODS §2.5): data-level equi-join of two tables into one.
+//
+// Key–foreign-key mergence (§2.5.1): when the join attributes comprise
+// the key of T, every column of S is reused by pointer and only T's
+// non-key columns are generated for the output. Instead of random-access
+// OR-combination per value vector, a single sequential scan of S's key
+// column appends bits to per-value output builders in increasing row
+// order — same result, sequential access (the optimization the paper
+// describes).
+//
+// General mergence (§2.5.2): any equi-join, neither side reusable.
+// Two passes over the join attributes:
+//   pass 1 counts occurrences n1(v), n2(v) of each distinct join value;
+//   v occupies n1·n2 consecutive output rows (output clustered by join
+//   value), so the join-attribute bitmaps are pure fill runs;
+//   pass 2 lays S's non-join values out consecutively (each S row's value
+//   repeated n2 times) and T's at constant stride n2, appending bits in
+//   increasing position — compressed output built directly.
+
+#ifndef CODS_EVOLUTION_MERGE_H_
+#define CODS_EVOLUTION_MERGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evolution/observer.h"
+#include "storage/table.h"
+
+namespace cods {
+
+/// Options controlling mergence.
+struct MergeOptions {
+  /// Verify on the data that the join attributes form a key of the reused
+  /// side's counterpart before taking the key–FK fast path.
+  bool validate_key = false;
+  /// Force the general two-pass algorithm even when the key–FK fast path
+  /// applies (used by the ablation benchmark).
+  bool force_general = false;
+};
+
+/// Result of a mergence.
+struct MergeResult {
+  std::shared_ptr<const Table> table;
+  /// True when the key–foreign-key fast path was taken.
+  bool used_key_fk = false;
+};
+
+/// Merges `s` and `t` on `join_columns` into a table named `out_name`
+/// with declared key `out_key`. Output columns: all of S, then T's
+/// non-join columns.
+///
+/// Dispatch: if the join attributes are T's declared key (or S's — the
+/// inputs are swapped internally, changing the output column order to all
+/// of T then S's non-join columns), the key–FK path runs; otherwise the
+/// general two-pass algorithm.
+Result<MergeResult> CodsMerge(const Table& s, const Table& t,
+                              const std::vector<std::string>& join_columns,
+                              const std::vector<std::string>& out_key,
+                              const std::string& out_name,
+                              EvolutionObserver* observer = nullptr,
+                              const MergeOptions& options = {});
+
+/// The key–FK path directly (join attributes must be a key of `t`).
+Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
+    const Table& s, const Table& t,
+    const std::vector<std::string>& join_columns,
+    const std::vector<std::string>& out_key, const std::string& out_name,
+    EvolutionObserver* observer = nullptr);
+
+/// The general two-pass path directly.
+Result<std::shared_ptr<const Table>> CodsMergeGeneral(
+    const Table& s, const Table& t,
+    const std::vector<std::string>& join_columns,
+    const std::vector<std::string>& out_key, const std::string& out_name,
+    EvolutionObserver* observer = nullptr);
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_MERGE_H_

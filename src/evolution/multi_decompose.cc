@@ -1,0 +1,68 @@
+#include "evolution/multi_decompose.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cods {
+
+Result<std::vector<std::shared_ptr<const Table>>> CodsDecomposeMulti(
+    const Table& r, const std::vector<DecomposeOutput>& outputs,
+    EvolutionObserver* observer, const DecomposeOptions& options) {
+  if (outputs.size() < 2) {
+    return Status::InvalidArgument(
+        "multi-way decomposition needs at least two outputs");
+  }
+  // Coverage check up front for a better error than a late step failure.
+  for (const ColumnSpec& spec : r.schema().columns()) {
+    bool covered = false;
+    for (const DecomposeOutput& out : outputs) {
+      if (std::find(out.columns.begin(), out.columns.end(), spec.name) !=
+          out.columns.end()) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return Status::ConstraintViolation("column '" + spec.name +
+                                         "' appears in no output table");
+    }
+  }
+
+  std::vector<std::shared_ptr<const Table>> result(outputs.size());
+
+  // Recursion state: `remainder` holds output[0]'s columns plus the
+  // columns of all not-yet-split outputs.
+  std::shared_ptr<const Table> remainder = r.WithName(outputs[0].name);
+  for (size_t i = outputs.size(); i-- > 1;) {
+    const DecomposeOutput& out = outputs[i];
+    // The S side of this binary step: everything in the remainder except
+    // out's exclusive columns (shared columns stay on both sides so the
+    // join attributes exist).
+    std::unordered_set<std::string> out_cols(out.columns.begin(),
+                                             out.columns.end());
+    std::unordered_set<std::string> keep_needed;
+    for (size_t j = 0; j < i; ++j) {
+      for (const std::string& c : outputs[j].columns) keep_needed.insert(c);
+    }
+    std::vector<std::string> s_columns;
+    for (const ColumnSpec& spec : remainder->schema().columns()) {
+      if (!out_cols.count(spec.name) || keep_needed.count(spec.name)) {
+        s_columns.push_back(spec.name);
+      }
+    }
+    const std::string step_name =
+        i == 1 ? outputs[0].name
+               : outputs[0].name + "__rest" + std::to_string(i);
+    CODS_ASSIGN_OR_RETURN(
+        DecomposeResult step,
+        CodsDecompose(*remainder, step_name, s_columns,
+                      i == 1 ? outputs[0].key : std::vector<std::string>{},
+                      out.name, out.columns, out.key, observer, options));
+    result[i] = step.t;
+    remainder = step.s;
+  }
+  result[0] = remainder;
+  return result;
+}
+
+}  // namespace cods

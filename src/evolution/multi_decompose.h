@@ -1,0 +1,43 @@
+// Multi-way decomposition. §2.4: "Decomposing a table into multiple
+// tables can be done by recursively executing this operation." This
+// helper runs that recursion: R is split into N output tables by a
+// chain of binary lossless-join decompositions, reusing unchanged
+// columns at every step.
+
+#ifndef CODS_EVOLUTION_MULTI_DECOMPOSE_H_
+#define CODS_EVOLUTION_MULTI_DECOMPOSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "evolution/decompose.h"
+
+namespace cods {
+
+/// One output table of a multi-way decomposition.
+struct DecomposeOutput {
+  std::string name;
+  std::vector<std::string> columns;
+  /// Declared key of this output. For every output except the one that
+  /// keeps R's multiplicity (the "fact" side), the common attributes
+  /// shared with the rest must form its key in R.
+  std::vector<std::string> key;
+};
+
+/// Decomposes `r` into outputs.size() tables (>= 2) by recursion:
+/// outputs[i] (for i >= 1) is split off the remainder in order, and
+/// outputs[0] receives what is left — it is the side whose multiplicity
+/// matches R (columns reused, never rewritten).
+///
+/// Each binary step must itself be a lossless-join decomposition; the
+/// usual preconditions (coverage, shared attributes, key declarations)
+/// apply stepwise, and options.validate_fd checks them on the data.
+Result<std::vector<std::shared_ptr<const Table>>> CodsDecomposeMulti(
+    const Table& r, const std::vector<DecomposeOutput>& outputs,
+    EvolutionObserver* observer = nullptr,
+    const DecomposeOptions& options = {});
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_MULTI_DECOMPOSE_H_

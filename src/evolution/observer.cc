@@ -1,0 +1,64 @@
+#include "evolution/observer.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+void LoggingObserver::OnStepBegin(const std::string& op,
+                                  const std::string& step,
+                                  const std::string& detail) {
+  CODS_LOG(Info) << "[" << op << "] " << step
+                 << (detail.empty() ? "" : (": " + detail));
+}
+
+void LoggingObserver::OnStepEnd(const std::string& op,
+                                const std::string& step, double seconds) {
+  CODS_LOG(Info) << "[" << op << "] " << step << " done in " << seconds
+                 << "s";
+}
+
+void RecordingObserver::OnStepBegin(const std::string& op,
+                                    const std::string& step,
+                                    const std::string& detail) {
+  steps_.push_back(Step{op, step, detail, 0});
+}
+
+void RecordingObserver::OnStepEnd(const std::string& op,
+                                  const std::string& step, double seconds) {
+  // Attach the timing to the most recent matching begin.
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    if (it->op == op && it->step == step) {
+      it->seconds = seconds;
+      return;
+    }
+  }
+}
+
+bool RecordingObserver::HasStep(const std::string& step) const {
+  for (const Step& s : steps_) {
+    if (s.step == step) return true;
+  }
+  return false;
+}
+
+double RecordingObserver::TotalSeconds() const {
+  double total = 0;
+  for (const Step& s : steps_) total += s.seconds;
+  return total;
+}
+
+ScopedStep::ScopedStep(EvolutionObserver* observer, std::string op,
+                       std::string step, std::string detail)
+    : observer_(observer), op_(std::move(op)), step_(std::move(step)) {
+  if (observer_ != nullptr) {
+    observer_->OnStepBegin(op_, step_, detail);
+  }
+}
+
+ScopedStep::~ScopedStep() {
+  if (observer_ != nullptr) {
+    observer_->OnStepEnd(op_, step_, watch_.ElapsedSeconds());
+  }
+}
+
+}  // namespace cods

@@ -1,0 +1,84 @@
+// Evolution status tracking — the demo's "Data Evolution Status" pane
+// (§3). Operators report each internal step ("distinction", "filtering",
+// "reuse", ...) with wall-clock timings; observers log them, record them
+// for display, or ignore them.
+
+#ifndef CODS_EVOLUTION_OBSERVER_H_
+#define CODS_EVOLUTION_OBSERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace cods {
+
+/// Receives step-by-step progress of an evolution operator.
+class EvolutionObserver {
+ public:
+  virtual ~EvolutionObserver() = default;
+
+  /// A step of `op` started (e.g. op="DECOMPOSE R", step="distinction").
+  virtual void OnStepBegin(const std::string& op, const std::string& step,
+                           const std::string& detail) = 0;
+
+  /// The most recently begun step of `op` finished.
+  virtual void OnStepEnd(const std::string& op, const std::string& step,
+                         double seconds) = 0;
+};
+
+/// Observer that prints steps to the log (demo mode).
+class LoggingObserver : public EvolutionObserver {
+ public:
+  void OnStepBegin(const std::string& op, const std::string& step,
+                   const std::string& detail) override;
+  void OnStepEnd(const std::string& op, const std::string& step,
+                 double seconds) override;
+};
+
+/// Observer that records steps for later inspection (tests, UIs).
+class RecordingObserver : public EvolutionObserver {
+ public:
+  struct Step {
+    std::string op;
+    std::string step;
+    std::string detail;
+    double seconds = 0;
+  };
+
+  void OnStepBegin(const std::string& op, const std::string& step,
+                   const std::string& detail) override;
+  void OnStepEnd(const std::string& op, const std::string& step,
+                 double seconds) override;
+
+  const std::vector<Step>& steps() const { return steps_; }
+  /// True if a step with the given name was recorded for any op.
+  bool HasStep(const std::string& step) const;
+  /// Sum of seconds across all recorded steps.
+  double TotalSeconds() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// RAII step reporter: begin on construction, end (with elapsed time) on
+/// destruction. Null observers are allowed and make this a no-op.
+class ScopedStep {
+ public:
+  ScopedStep(EvolutionObserver* observer, std::string op, std::string step,
+             std::string detail = "");
+  ~ScopedStep();
+
+  ScopedStep(const ScopedStep&) = delete;
+  ScopedStep& operator=(const ScopedStep&) = delete;
+
+ private:
+  EvolutionObserver* observer_;
+  std::string op_;
+  std::string step_;
+  Stopwatch watch_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_OBSERVER_H_

@@ -1,0 +1,254 @@
+#include "evolution/simple_ops.h"
+
+#include "bitmap/wah_filter.h"
+#include "bitmap/wah_ops.h"
+
+namespace cods {
+
+Result<std::shared_ptr<const Table>> MakeEmptyTable(const std::string& name,
+                                                    const Schema& schema) {
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (const ColumnSpec& spec : schema.columns()) {
+    cols.push_back(Column::FromVids(spec.type, Dictionary(), {}));
+  }
+  return Table::Make(name, schema, std::move(cols), 0);
+}
+
+std::shared_ptr<const Table> ReencodeRleToWah(const Table& table) {
+  bool any = false;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    if (table.column(i)->encoding() == ColumnEncoding::kRle) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return nullptr;
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(table.num_columns());
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const auto& col = table.column(i);
+    cols.push_back(col->encoding() == ColumnEncoding::kRle
+                       ? std::shared_ptr<const Column>(
+                             col->WithEncoding(ColumnEncoding::kWahBitmap))
+                       : col);
+  }
+  auto table_result = Table::Make(table.name(), table.schema(),
+                                  std::move(cols), table.rows());
+  CODS_CHECK(table_result.ok()) << table_result.status().ToString();
+  return table_result.ValueOrDie();
+}
+
+Result<std::shared_ptr<const Table>> CopyTableOp(const Table& src,
+                                                 const std::string& name,
+                                                 bool deep) {
+  if (!deep) {
+    return src.WithName(name);
+  }
+  // Deep copy: physically duplicate every bitmap's words by value.
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < src.num_columns(); ++i) {
+    const Column& c = *src.column(i);
+    if (c.encoding() == ColumnEncoding::kWahBitmap) {
+      std::vector<WahBitmap> copies = c.bitmaps();  // value copy
+      cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
+                                         std::move(copies), c.rows()));
+    } else {
+      cols.push_back(Column::FromVidsRle(c.type(), c.dict(),
+                                         c.DecodeVids()));
+    }
+  }
+  return Table::Make(name, src.schema(), std::move(cols), src.rows());
+}
+
+Result<std::shared_ptr<const Table>> UnionTablesOp(
+    const Table& a, const Table& b, const std::string& name,
+    EvolutionObserver* observer) {
+  if (!a.schema().SameLayout(b.schema())) {
+    return Status::InvalidArgument(
+        "UNION TABLES requires identical column names and types");
+  }
+  if (auto a2 = ReencodeRleToWah(a)) return UnionTablesOp(*a2, b, name, observer);
+  if (auto b2 = ReencodeRleToWah(b)) return UnionTablesOp(a, *b2, name, observer);
+  const std::string op = "UNION " + a.name() + "∪" + b.name();
+  const uint64_t out_rows = a.rows() + b.rows();
+  std::vector<std::shared_ptr<const Column>> cols;
+  ScopedStep step(observer, op, "concat",
+                  "concatenating compressed bitmaps of " +
+                      std::to_string(a.num_columns()) + " columns");
+  for (size_t i = 0; i < a.num_columns(); ++i) {
+    const Column& ca = *a.column(i);
+    const Column& cb = *b.column(i);
+    if (ca.encoding() != ColumnEncoding::kWahBitmap ||
+        cb.encoding() != ColumnEncoding::kWahBitmap) {
+      return Status::InvalidArgument(
+          "UNION TABLES requires WAH-encoded columns");
+    }
+    // Output dictionary: a's values first, then b's new values.
+    Dictionary dict = ca.dict();
+    std::vector<Vid> b_to_out(cb.distinct_count());
+    for (Vid v = 0; v < cb.distinct_count(); ++v) {
+      b_to_out[v] = dict.GetOrInsert(cb.dict().value(v));
+    }
+    std::vector<WahBitmap> bitmaps(dict.size());
+    // Prefix: a's bitmaps (values absent from a start as zero runs).
+    for (Vid v = 0; v < dict.size(); ++v) {
+      if (v < ca.distinct_count()) {
+        bitmaps[v] = ca.bitmap(v);
+      } else {
+        bitmaps[v].AppendRun(false, a.rows());
+      }
+    }
+    // Suffix: b's bitmaps appended on the compressed form.
+    std::vector<bool> extended(dict.size(), false);
+    for (Vid v = 0; v < cb.distinct_count(); ++v) {
+      bitmaps[b_to_out[v]].Concat(cb.bitmap(v));
+      extended[b_to_out[v]] = true;
+    }
+    for (Vid v = 0; v < dict.size(); ++v) {
+      if (!extended[v]) bitmaps[v].AppendRun(false, b.rows());
+    }
+    cols.push_back(Column::FromBitmaps(ca.type(), std::move(dict),
+                                       std::move(bitmaps), out_rows));
+  }
+  // Keys rarely survive a union (duplicates may appear); drop them.
+  CODS_ASSIGN_OR_RETURN(Schema schema,
+                        Schema::Make(a.schema().columns(), {}));
+  return Table::Make(name, std::move(schema), std::move(cols), out_rows);
+}
+
+Result<PartitionResult> PartitionTableOp(const Table& src,
+                                         const std::string& name1,
+                                         const std::string& name2,
+                                         const std::string& column,
+                                         CompareOp op, const Value& literal,
+                                         EvolutionObserver* observer) {
+  if (auto converted = ReencodeRleToWah(src)) {
+    return PartitionTableOp(*converted, name1, name2, column, op, literal,
+                            observer);
+  }
+  const std::string opname = "PARTITION " + src.name();
+  CODS_ASSIGN_OR_RETURN(auto pred_col, src.ColumnByName(column));
+  // Selection bitmap: OR of the bitmaps of qualifying dictionary values,
+  // evaluated on compressed words.
+  WahBitmap selection;
+  selection.AppendRun(false, src.rows());
+  {
+    ScopedStep step(observer, opname, "select",
+                    column + " " + std::string(CompareOpToString(op)) + " " +
+                        literal.ToString());
+    for (Vid v = 0; v < pred_col->distinct_count(); ++v) {
+      if (EvalCompare(pred_col->dict().value(v), op, literal)) {
+        selection = WahOr(selection, pred_col->bitmap(v));
+      }
+    }
+  }
+  std::vector<uint64_t> pos1 = selection.SetPositions();
+  std::vector<uint64_t> pos2 = WahNot(selection).SetPositions();
+
+  auto build_side = [&](const std::string& name,
+                        const std::vector<uint64_t>& positions)
+      -> Result<std::shared_ptr<const Table>> {
+    WahPositionFilter filter(positions, src.rows());
+    std::vector<std::shared_ptr<const Column>> cols;
+    for (size_t i = 0; i < src.num_columns(); ++i) {
+      const Column& c = *src.column(i);
+      if (c.encoding() != ColumnEncoding::kWahBitmap) {
+        return Status::InvalidArgument(
+            "PARTITION TABLE requires WAH-encoded columns");
+      }
+      std::vector<WahBitmap> filtered;
+      filtered.reserve(c.distinct_count());
+      for (Vid v = 0; v < c.distinct_count(); ++v) {
+        filtered.push_back(filter.Filter(c.bitmap(v)));
+      }
+      cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
+                                         std::move(filtered),
+                                         positions.size()));
+    }
+    return Table::Make(name, src.schema(), std::move(cols),
+                       positions.size());
+  };
+
+  PartitionResult result;
+  {
+    ScopedStep step(observer, opname, "filtering",
+                    std::to_string(pos1.size()) + " + " +
+                        std::to_string(pos2.size()) + " rows");
+    CODS_ASSIGN_OR_RETURN(result.matching, build_side(name1, pos1));
+    CODS_ASSIGN_OR_RETURN(result.rest, build_side(name2, pos2));
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const Table>> AddColumnOp(const Table& src,
+                                                 const ColumnSpec& spec,
+                                                 const Value& default_value) {
+  CODS_ASSIGN_OR_RETURN(DataType vtype, default_value.type());
+  if (vtype != spec.type) {
+    return Status::TypeError("default value type does not match column type");
+  }
+  CODS_ASSIGN_OR_RETURN(Schema schema, src.schema().AddColumn(spec));
+  Dictionary dict;
+  dict.GetOrInsert(default_value);
+  WahBitmap all_ones;
+  all_ones.AppendRun(true, src.rows());
+  std::vector<WahBitmap> bitmaps;
+  bitmaps.push_back(std::move(all_ones));
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < src.num_columns(); ++i) cols.push_back(src.column(i));
+  cols.push_back(Column::FromBitmaps(spec.type, std::move(dict),
+                                     std::move(bitmaps), src.rows()));
+  return Table::Make(src.name(), std::move(schema), std::move(cols),
+                     src.rows());
+}
+
+Result<std::shared_ptr<const Table>> AddColumnWithDataOp(
+    const Table& src, const ColumnSpec& spec,
+    const std::vector<Value>& values) {
+  if (values.size() != src.rows()) {
+    return Status::InvalidArgument(
+        "ADD COLUMN data has " + std::to_string(values.size()) +
+        " values for " + std::to_string(src.rows()) + " rows");
+  }
+  CODS_ASSIGN_OR_RETURN(Schema schema, src.schema().AddColumn(spec));
+  Dictionary dict;
+  std::vector<Vid> vids;
+  vids.reserve(values.size());
+  for (const Value& v : values) {
+    CODS_ASSIGN_OR_RETURN(DataType vtype, v.type());
+    if (vtype != spec.type) {
+      return Status::TypeError("value " + v.ToString() +
+                               " does not match new column type");
+    }
+    vids.push_back(dict.GetOrInsert(v));
+  }
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < src.num_columns(); ++i) cols.push_back(src.column(i));
+  cols.push_back(Column::FromVids(spec.type, std::move(dict), vids));
+  return Table::Make(src.name(), std::move(schema), std::move(cols),
+                     src.rows());
+}
+
+Result<std::shared_ptr<const Table>> DropColumnOp(const Table& src,
+                                                  const std::string& column) {
+  CODS_ASSIGN_OR_RETURN(Schema schema, src.schema().DropColumn(column));
+  CODS_ASSIGN_OR_RETURN(size_t idx, src.schema().ColumnIndex(column));
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < src.num_columns(); ++i) {
+    if (i != idx) cols.push_back(src.column(i));
+  }
+  return Table::Make(src.name(), std::move(schema), std::move(cols),
+                     src.rows());
+}
+
+Result<std::shared_ptr<const Table>> RenameColumnOp(const Table& src,
+                                                    const std::string& from,
+                                                    const std::string& to) {
+  CODS_ASSIGN_OR_RETURN(Schema schema, src.schema().RenameColumn(from, to));
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < src.num_columns(); ++i) cols.push_back(src.column(i));
+  return Table::Make(src.name(), std::move(schema), std::move(cols),
+                     src.rows());
+}
+
+}  // namespace cods

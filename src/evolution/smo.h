@@ -1,0 +1,100 @@
+// Schema Modification Operators (Table 1 of the paper, after the PRISM
+// workbench): the user-facing description of a schema update. The
+// EvolutionEngine interprets these against a Catalog, performing
+// data-level data evolution.
+
+#ifndef CODS_EVOLUTION_SMO_H_
+#define CODS_EVOLUTION_SMO_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace cods {
+
+/// The eleven SMOs of Table 1.
+enum class SmoKind {
+  kCreateTable,
+  kDropTable,
+  kRenameTable,
+  kCopyTable,
+  kUnionTables,
+  kPartitionTable,
+  kDecomposeTable,
+  kMergeTables,
+  kAddColumn,
+  kDropColumn,
+  kRenameColumn,
+};
+
+const char* SmoKindToString(SmoKind kind);
+
+/// Comparison operator of a PARTITION TABLE condition.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// Evaluates `lhs op rhs` with Value ordering.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// One schema modification operator with its parameters. Unused fields
+/// are ignored by kinds that do not need them; the factory functions
+/// below construct well-formed instances.
+struct Smo {
+  SmoKind kind = SmoKind::kCreateTable;
+
+  std::string table;   // primary input table
+  std::string table2;  // second input (MERGE, UNION)
+  std::string out1;    // first output table
+  std::string out2;    // second output (DECOMPOSE, PARTITION)
+
+  Schema schema;  // CREATE TABLE
+
+  std::vector<std::string> columns1;  // DECOMPOSE: S's columns; MERGE: join
+  std::vector<std::string> columns2;  // DECOMPOSE: T's columns
+  std::vector<std::string> key1;      // declared key of out1
+  std::vector<std::string> key2;      // declared key of out2
+
+  std::string column;    // column ops: target column
+  std::string new_name;  // RENAME TABLE/COLUMN target name
+  ColumnSpec column_spec;  // ADD COLUMN: new column declaration
+  Value default_value;     // ADD COLUMN: fill value
+
+  // PARTITION TABLE condition: rows with `column op literal` go to out1,
+  // the rest to out2.
+  CompareOp compare_op = CompareOp::kEq;
+  Value literal;
+
+  // ---- Factories ---------------------------------------------------------
+  static Smo CreateTable(std::string name, Schema schema);
+  static Smo DropTable(std::string name);
+  static Smo RenameTable(std::string from, std::string to);
+  static Smo CopyTable(std::string from, std::string to);
+  static Smo UnionTables(std::string a, std::string b, std::string out);
+  static Smo PartitionTable(std::string table, std::string out1,
+                            std::string out2, std::string column,
+                            CompareOp op, Value literal);
+  static Smo DecomposeTable(std::string table, std::string s_name,
+                            std::vector<std::string> s_columns,
+                            std::vector<std::string> s_key,
+                            std::string t_name,
+                            std::vector<std::string> t_columns,
+                            std::vector<std::string> t_key);
+  static Smo MergeTables(std::string s, std::string t, std::string out,
+                         std::vector<std::string> join_columns,
+                         std::vector<std::string> out_key);
+  static Smo AddColumn(std::string table, ColumnSpec spec,
+                       Value default_value);
+  static Smo DropColumn(std::string table, std::string column);
+  static Smo RenameColumn(std::string table, std::string from,
+                          std::string to);
+
+  /// Human-readable rendering, close to the script syntax.
+  std::string ToString() const;
+};
+
+}  // namespace cods
+
+#endif  // CODS_EVOLUTION_SMO_H_

@@ -1,0 +1,96 @@
+#include "evolution/versioned_catalog.h"
+
+#include <unordered_set>
+
+namespace cods {
+
+uint64_t VersionedCatalog::Commit(const std::string& message) {
+  Snapshot snap;
+  snap.message = message;
+  for (const std::string& name : working_.TableNames()) {
+    snap.tables.emplace(name, working_.GetTable(name).ValueOrDie());
+  }
+  versions_.push_back(std::move(snap));
+  return versions_.size();  // 1-based id
+}
+
+Result<const VersionedCatalog::Snapshot*> VersionedCatalog::FindVersion(
+    uint64_t version) const {
+  if (version == 0 || version > versions_.size()) {
+    return Status::OutOfRange("no version " + std::to_string(version) +
+                              " (have 1.." +
+                              std::to_string(versions_.size()) + ")");
+  }
+  return &versions_[version - 1];
+}
+
+std::vector<VersionedCatalog::VersionInfo> VersionedCatalog::History()
+    const {
+  std::vector<VersionInfo> out;
+  out.reserve(versions_.size());
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    VersionInfo info;
+    info.id = i + 1;
+    info.message = versions_[i].message;
+    for (const auto& [name, table] : versions_[i].tables) {
+      info.table_names.push_back(name);
+      info.total_rows += table->rows();
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const Table>> VersionedCatalog::GetTableAt(
+    uint64_t version, const std::string& name) const {
+  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
+  auto it = snap->tables.find(name);
+  if (it == snap->tables.end()) {
+    return Status::KeyError("no table '" + name + "' in version " +
+                            std::to_string(version));
+  }
+  return it->second;
+}
+
+Result<std::vector<std::string>> VersionedCatalog::TableNamesAt(
+    uint64_t version) const {
+  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
+  std::vector<std::string> names;
+  names.reserve(snap->tables.size());
+  for (const auto& [name, _] : snap->tables) names.push_back(name);
+  return names;
+}
+
+Status VersionedCatalog::Checkout(uint64_t version) {
+  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
+  Catalog fresh;
+  for (const auto& [name, table] : snap->tables) {
+    CODS_RETURN_NOT_OK(fresh.AddTable(table));
+  }
+  working_ = std::move(fresh);
+  return Status::OK();
+}
+
+VersionedCatalog::StorageStats VersionedCatalog::ComputeStorageStats()
+    const {
+  StorageStats stats;
+  std::unordered_set<const Column*> seen;
+  auto account = [&](const std::shared_ptr<const Table>& table) {
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      const Column* col = table->column(i).get();
+      stats.naive_bytes += col->SizeBytes();
+      if (seen.insert(col).second) {
+        stats.unique_bytes += col->SizeBytes();
+      }
+    }
+  };
+  for (const Snapshot& snap : versions_) {
+    for (const auto& [_, table] : snap.tables) account(table);
+  }
+  for (const std::string& name : working_.TableNames()) {
+    account(working_.GetTable(name).ValueOrDie());
+  }
+  return stats;
+}
+
+}  // namespace cods

@@ -1,0 +1,85 @@
+#include "query/column_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/scanner.h"
+
+namespace cods {
+
+std::vector<Row> ScanToRows(const Table& table) {
+  return table.Materialize();
+}
+
+std::vector<Row> ProjectRowVec(const std::vector<Row>& rows,
+                               const std::vector<size_t>& indices) {
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t i : indices) projected.push_back(row[i]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<Row> DistinctRowVec(const std::vector<Row>& rows) {
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  seen.reserve(rows.size());
+  std::vector<Row> out;
+  for (const Row& row : rows) {
+    if (seen.insert(row).second) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Row> HashJoinRowVec(const std::vector<Row>& left,
+                                const std::vector<Row>& right,
+                                const std::vector<size_t>& left_join,
+                                const std::vector<size_t>& right_join) {
+  std::unordered_multimap<Row, const Row*, RowHash, RowEq> build;
+  build.reserve(right.size());
+  auto project = [](const Row& row, const std::vector<size_t>& idx) {
+    Row out;
+    out.reserve(idx.size());
+    for (size_t i : idx) out.push_back(row[i]);
+    return out;
+  };
+  for (const Row& r : right) {
+    build.emplace(project(r, right_join), &r);
+  }
+  std::vector<size_t> right_payload;
+  if (!right.empty()) {
+    for (size_t i = 0; i < right.front().size(); ++i) {
+      if (std::find(right_join.begin(), right_join.end(), i) ==
+          right_join.end()) {
+        right_payload.push_back(i);
+      }
+    }
+  }
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    Row key = project(l, left_join);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      Row joined = l;
+      for (size_t i : right_payload) joined.push_back((*it->second)[i]);
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const Table>> RowsToColumnTable(
+    const std::string& name, const Schema& schema,
+    const std::vector<Row>& rows) {
+  TableBuilder builder(name, schema);
+  for (const Row& row : rows) {
+    CODS_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+}  // namespace cods

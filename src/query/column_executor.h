@@ -1,0 +1,43 @@
+// Query-level execution on the column store — the MonetDB-style baseline
+// of Figure 2: decompress columns into tuples, run the query pipeline on
+// tuple vectors, split the result back into columns and re-compress.
+// CODS's whole point is avoiding this round trip; these operators exist
+// to measure it.
+
+#ifndef CODS_QUERY_COLUMN_EXECUTOR_H_
+#define CODS_QUERY_COLUMN_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// Decompresses a column table into a tuple vector.
+std::vector<Row> ScanToRows(const Table& table);
+
+/// Projects a tuple vector onto `indices`.
+std::vector<Row> ProjectRowVec(const std::vector<Row>& rows,
+                               const std::vector<size_t>& indices);
+
+/// Hash-deduplicates a tuple vector (keeps first occurrences in order).
+std::vector<Row> DistinctRowVec(const std::vector<Row>& rows);
+
+/// Equi-joins two tuple vectors; output rows are left row ++ right
+/// payload columns (right columns not in `right_join`).
+std::vector<Row> HashJoinRowVec(const std::vector<Row>& left,
+                                const std::vector<Row>& right,
+                                const std::vector<size_t>& left_join,
+                                const std::vector<size_t>& right_join);
+
+/// Splits tuples into columns, dictionary-encodes and WAH-compresses them
+/// into a new column table (the "re-compress" stage).
+Result<std::shared_ptr<const Table>> RowsToColumnTable(
+    const std::string& name, const Schema& schema,
+    const std::vector<Row>& rows);
+
+}  // namespace cods
+
+#endif  // CODS_QUERY_COLUMN_EXECUTOR_H_

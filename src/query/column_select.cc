@@ -1,0 +1,137 @@
+#include "query/column_select.h"
+
+#include "bitmap/wah_filter.h"
+#include "bitmap/wah_ops.h"
+
+namespace cods {
+
+Result<WahBitmap> EvalPredicate(const Table& table,
+                                const ColumnPredicate& predicate) {
+  CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(predicate.column));
+  if (col->encoding() != ColumnEncoding::kWahBitmap) {
+    return Status::InvalidArgument(
+        "predicates require a WAH-encoded column; re-encode '" +
+        predicate.column + "' first");
+  }
+  auto qualifies = [&](const Value& v) {
+    if (!predicate.in_values.empty()) {
+      for (const Value& candidate : predicate.in_values) {
+        if (v == candidate) return true;
+      }
+      return false;
+    }
+    return EvalCompare(v, predicate.op, predicate.literal);
+  };
+  WahBitmap selection;
+  selection.AppendRun(false, table.rows());
+  for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
+    if (qualifies(col->dict().value(vid))) {
+      selection = WahOr(selection, col->bitmap(vid));
+    }
+  }
+  return selection;
+}
+
+Result<WahBitmap> EvalConjunction(const Table& table,
+                                  const std::vector<ColumnPredicate>& preds) {
+  WahBitmap selection;
+  selection.AppendRun(true, table.rows());
+  for (const ColumnPredicate& pred : preds) {
+    CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
+    selection = WahAnd(selection, one);
+    if (selection.CountOnes() == 0) break;  // short-circuit
+  }
+  return selection;
+}
+
+Result<WahBitmap> EvalDisjunction(const Table& table,
+                                  const std::vector<ColumnPredicate>& preds) {
+  WahBitmap selection;
+  selection.AppendRun(false, table.rows());
+  for (const ColumnPredicate& pred : preds) {
+    CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
+    selection = WahOr(selection, one);
+  }
+  return selection;
+}
+
+Result<uint64_t> CountWhere(const Table& table,
+                            const std::vector<ColumnPredicate>& preds) {
+  CODS_ASSIGN_OR_RETURN(WahBitmap selection, EvalConjunction(table, preds));
+  return selection.CountOnes();
+}
+
+Result<std::shared_ptr<const Table>> SelectWhere(
+    const Table& table, const std::vector<ColumnPredicate>& preds,
+    const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(WahBitmap selection, EvalConjunction(table, preds));
+  std::vector<uint64_t> positions = selection.SetPositions();
+  WahPositionFilter filter(positions, table.rows());
+  std::vector<std::shared_ptr<const Column>> cols;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const Column& c = *table.column(i);
+    if (c.encoding() != ColumnEncoding::kWahBitmap) {
+      return Status::InvalidArgument(
+          "SelectWhere requires WAH-encoded columns");
+    }
+    std::vector<WahBitmap> filtered;
+    filtered.reserve(c.distinct_count());
+    for (Vid v = 0; v < c.distinct_count(); ++v) {
+      filtered.push_back(filter.Filter(c.bitmap(v)));
+    }
+    cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
+                                       std::move(filtered),
+                                       positions.size()));
+  }
+  // Selection preserves key uniqueness, so the key declaration survives.
+  return Table::Make(out_name, table.schema(), std::move(cols),
+                     positions.size());
+}
+
+Result<std::vector<Row>> FetchWhere(
+    const Table& table, const std::vector<ColumnPredicate>& preds) {
+  CODS_ASSIGN_OR_RETURN(auto selected, SelectWhere(table, preds, "tmp"));
+  return selected->Materialize();
+}
+
+Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
+    const Table& table, const std::string& column) {
+  CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(column));
+  std::vector<std::pair<Value, uint64_t>> out;
+  out.reserve(col->distinct_count());
+  for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
+    out.emplace_back(col->dict().value(vid), col->ValueCount(vid));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<Value, double>>> GroupBySum(
+    const Table& table, const std::string& group_column,
+    const std::string& measure_column) {
+  CODS_ASSIGN_OR_RETURN(auto group, table.ColumnByName(group_column));
+  CODS_ASSIGN_OR_RETURN(auto measure, table.ColumnByName(measure_column));
+  if (measure->type() == DataType::kString) {
+    return Status::TypeError("SUM needs a numeric measure column");
+  }
+  if (group->encoding() != ColumnEncoding::kWahBitmap ||
+      measure->encoding() != ColumnEncoding::kWahBitmap) {
+    return Status::InvalidArgument(
+        "GroupBySum requires WAH-encoded columns");
+  }
+  std::vector<std::pair<Value, double>> out;
+  out.reserve(group->distinct_count());
+  for (Vid g = 0; g < group->distinct_count(); ++g) {
+    double sum = 0;
+    for (Vid m = 0; m < measure->distinct_count(); ++m) {
+      uint64_t count = WahAndCount(group->bitmap(g), measure->bitmap(m));
+      if (count == 0) continue;
+      const Value& v = measure->dict().value(m);
+      double x = v.is_int64() ? static_cast<double>(v.int64()) : v.dbl();
+      sum += x * static_cast<double>(count);
+    }
+    out.emplace_back(group->dict().value(g), sum);
+  }
+  return out;
+}
+
+}  // namespace cods

@@ -1,0 +1,91 @@
+// Native query execution on the bitmap-indexed column store: predicates
+// evaluate to WAH bitmaps (an OR over the bitmaps of qualifying
+// dictionary values — no decompression), combine with compressed AND/OR,
+// and materialize only the selected rows. This is the "query execution
+// engine" of Figure 2 operating in its element: selection on compressed
+// bitmaps, exactly the capability WAH indexes were built for (Wu et al.).
+
+#ifndef CODS_QUERY_COLUMN_SELECT_H_
+#define CODS_QUERY_COLUMN_SELECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmap/wah_bitmap.h"
+#include "evolution/smo.h"  // CompareOp / EvalCompare
+#include "storage/table.h"
+
+namespace cods {
+
+/// A single-column comparison predicate: `column op literal`, or
+/// `column IN (values)` when `in_values` is non-empty (op ignored).
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+  std::vector<Value> in_values;
+
+  static ColumnPredicate Compare(std::string column, CompareOp op,
+                                 Value literal) {
+    ColumnPredicate p;
+    p.column = std::move(column);
+    p.op = op;
+    p.literal = std::move(literal);
+    return p;
+  }
+  static ColumnPredicate In(std::string column, std::vector<Value> values) {
+    ColumnPredicate p;
+    p.column = std::move(column);
+    p.in_values = std::move(values);
+    return p;
+  }
+};
+
+/// Evaluates one predicate to a selection bitmap of length table.rows().
+/// Cost: dictionary scan + compressed ORs of qualifying value bitmaps.
+Result<WahBitmap> EvalPredicate(const Table& table,
+                                const ColumnPredicate& predicate);
+
+/// AND of all predicates (all must qualify). Empty list selects all rows.
+Result<WahBitmap> EvalConjunction(const Table& table,
+                                  const std::vector<ColumnPredicate>& preds);
+
+/// OR of all predicates. Empty list selects no rows.
+Result<WahBitmap> EvalDisjunction(const Table& table,
+                                  const std::vector<ColumnPredicate>& preds);
+
+/// SELECT COUNT(*) WHERE all predicates hold — never materializes rows.
+Result<uint64_t> CountWhere(const Table& table,
+                            const std::vector<ColumnPredicate>& preds);
+
+/// SELECT * WHERE all predicates hold, as a new column table named
+/// `out_name`. Row selection runs through the same position-filter
+/// machinery as PARTITION TABLE, so the result is built compressed-to-
+/// compressed.
+Result<std::shared_ptr<const Table>> SelectWhere(
+    const Table& table, const std::vector<ColumnPredicate>& preds,
+    const std::string& out_name);
+
+/// Materializes the selected tuples directly (small results).
+Result<std::vector<Row>> FetchWhere(const Table& table,
+                                    const std::vector<ColumnPredicate>& preds);
+
+/// SELECT column, COUNT(*) GROUP BY column — per distinct value its
+/// multiplicity, straight off the compressed popcounts (no row scan).
+/// Results are in dictionary (first-appearance) order.
+Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
+    const Table& table, const std::string& column);
+
+/// SELECT group_column, SUM(measure) GROUP BY group_column, where
+/// `measure` is a numeric column. Computed as compressed AND-counts
+/// between group and measure bitmaps: O(v_group · v_measure) bitmap
+/// intersections, never materializing rows — efficient when the measure
+/// has few distinct values (the dictionary-encoding sweet spot).
+Result<std::vector<std::pair<Value, double>>> GroupBySum(
+    const Table& table, const std::string& group_column,
+    const std::string& measure_column);
+
+}  // namespace cods
+
+#endif  // CODS_QUERY_COLUMN_SELECT_H_

@@ -1,0 +1,109 @@
+// Query-level data evolution baselines (the C, C+I, S and M series of
+// Figure 3). Each driver executes the paper's SQL plan shape —
+//   INSERT INTO S SELECT <s-cols> FROM R;
+//   INSERT INTO T SELECT DISTINCT <t-cols> FROM R;
+// for decomposition, and INSERT INTO R SELECT ... FROM S JOIN T for
+// mergence — on the corresponding engine, and reports a per-stage timing
+// breakdown so the benches can show where the time goes.
+
+#ifndef CODS_QUERY_QUERY_EVOLUTION_H_
+#define CODS_QUERY_QUERY_EVOLUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/column_executor.h"
+#include "query/row_executor.h"
+
+namespace cods {
+
+/// Which baseline engine executes the evolution.
+enum class BaselineKind {
+  kRowStore,         // "C"  — hash-based plans, no index maintenance
+  kRowStoreIndexed,  // "C+I" — hash-based plans + B+ tree rebuild on outputs
+  kRowStoreLite,     // "S"  — sort-based distinct, index-nested-loop join
+  kColumnQueryLevel, // "M"  — column store via materialize/re-compress
+};
+
+const char* BaselineKindToString(BaselineKind kind);
+
+/// Wall-clock breakdown of one evolution, in seconds.
+struct EvolutionTiming {
+  double scan_s = 0;      // reading + materializing input tuples
+  double query_s = 0;     // distinct / join work
+  double load_s = 0;      // inserting result tuples into output storage
+  double index_s = 0;     // rebuilding indexes on outputs
+  double compress_s = 0;  // dictionary + WAH re-encoding (column baseline)
+
+  double total() const {
+    return scan_s + query_s + load_s + index_s + compress_s;
+  }
+};
+
+/// What to decompose: R(all cols) into S(s_columns) and T(t_columns).
+/// `t_key` names the key of the changed table T (the join attributes);
+/// it must be a prefix-free subset of both outputs for losslessness.
+struct DecomposeSpec {
+  std::vector<std::string> s_columns;
+  std::vector<std::string> t_columns;
+  std::vector<std::string> s_key;  // declared key of S (may be empty)
+  std::vector<std::string> t_key;  // declared key of T (the common attrs)
+};
+
+/// Row-store decomposition result: two heap tables (+ timing).
+struct RowDecomposeResult {
+  std::unique_ptr<RowTable> s;
+  std::unique_ptr<RowTable> t;
+  EvolutionTiming timing;
+};
+
+/// Executes decomposition on a row-store heap table. `kind` must be one
+/// of the row-store baselines.
+Result<RowDecomposeResult> RowStoreDecompose(const RowTable& r,
+                                             const DecomposeSpec& spec,
+                                             BaselineKind kind,
+                                             const std::string& s_name,
+                                             const std::string& t_name);
+
+/// Row-store mergence result.
+struct RowMergeResult {
+  std::unique_ptr<RowTable> r;
+  EvolutionTiming timing;
+};
+
+/// Executes S JOIN T -> R on a row-store baseline.
+Result<RowMergeResult> RowStoreMerge(const RowTable& s, const RowTable& t,
+                                     const std::vector<std::string>& join_columns,
+                                     const std::vector<std::string>& out_key,
+                                     BaselineKind kind,
+                                     const std::string& out_name);
+
+/// Column-store query-level decomposition result (the M series).
+struct ColumnDecomposeResult {
+  std::shared_ptr<const Table> s;
+  std::shared_ptr<const Table> t;
+  EvolutionTiming timing;
+};
+
+/// Executes decomposition on the column store the query-level way:
+/// decompress -> project/distinct on tuples -> re-compress.
+Result<ColumnDecomposeResult> ColumnQueryLevelDecompose(
+    const Table& r, const DecomposeSpec& spec, const std::string& s_name,
+    const std::string& t_name);
+
+/// Column-store query-level mergence result.
+struct ColumnMergeResult {
+  std::shared_ptr<const Table> r;
+  EvolutionTiming timing;
+};
+
+/// Executes S JOIN T -> R the query-level way on the column store.
+Result<ColumnMergeResult> ColumnQueryLevelMerge(
+    const Table& s, const Table& t,
+    const std::vector<std::string>& join_columns,
+    const std::vector<std::string>& out_key, const std::string& out_name);
+
+}  // namespace cods
+
+#endif  // CODS_QUERY_QUERY_EVOLUTION_H_

@@ -1,0 +1,238 @@
+#include "query/row_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/scanner.h"
+
+namespace cods {
+
+namespace {
+
+// Resolves column names to indices in `schema`.
+Result<std::vector<size_t>> ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    CODS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Row ProjectRow(const Row& row, const std::vector<size_t>& indices) {
+  Row out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(row[i]);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RowTable>> MaterializeToRowStore(const Table& table) {
+  auto out = std::make_unique<RowTable>(table.name(), table.schema());
+  TableScanner scanner(table);
+  for (uint64_t r = 0; r < scanner.rows(); ++r) {
+    CODS_ASSIGN_OR_RETURN(RowId rid, out->Insert(scanner.GetRow(r)));
+    (void)rid;
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const Table>> RowTableToColumnTable(
+    const RowTable& table, const std::string& name) {
+  TableBuilder builder(name, table.schema());
+  Status status = Status::OK();
+  table.Scan([&](RowId, const Row& row) {
+    if (!status.ok()) return;
+    status = builder.AppendRow(row);
+  });
+  CODS_RETURN_NOT_OK(status);
+  return builder.Finish();
+}
+
+Result<Schema> SchemaSubset(const Schema& schema,
+                            const std::vector<std::string>& columns,
+                            const std::vector<std::string>& key) {
+  std::vector<ColumnSpec> specs;
+  specs.reserve(columns.size());
+  for (const std::string& n : columns) {
+    CODS_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(n));
+    specs.push_back(schema.column(idx));
+  }
+  return Schema::Make(std::move(specs), key);
+}
+
+Result<std::unique_ptr<RowTable>> ProjectRows(
+    const RowTable& in, const std::vector<std::string>& columns,
+    const std::vector<std::string>& out_key, const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                        ResolveColumns(in.schema(), columns));
+  CODS_ASSIGN_OR_RETURN(Schema out_schema,
+                        SchemaSubset(in.schema(), columns, out_key));
+  auto out = std::make_unique<RowTable>(out_name, std::move(out_schema));
+  Status status = Status::OK();
+  in.Scan([&](RowId, const Row& row) {
+    if (!status.ok()) return;
+    status = out->Insert(ProjectRow(row, indices)).status();
+  });
+  CODS_RETURN_NOT_OK(status);
+  return out;
+}
+
+Result<std::unique_ptr<RowTable>> ProjectRowsDistinctHash(
+    const RowTable& in, const std::vector<std::string>& columns,
+    const std::vector<std::string>& out_key, const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                        ResolveColumns(in.schema(), columns));
+  CODS_ASSIGN_OR_RETURN(Schema out_schema,
+                        SchemaSubset(in.schema(), columns, out_key));
+  auto out = std::make_unique<RowTable>(out_name, std::move(out_schema));
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  Status status = Status::OK();
+  in.Scan([&](RowId, const Row& row) {
+    if (!status.ok()) return;
+    Row projected = ProjectRow(row, indices);
+    if (seen.insert(projected).second) {
+      status = out->Insert(projected).status();
+    }
+  });
+  CODS_RETURN_NOT_OK(status);
+  return out;
+}
+
+Result<std::unique_ptr<RowTable>> ProjectRowsDistinctSort(
+    const RowTable& in, const std::vector<std::string>& columns,
+    const std::vector<std::string>& out_key, const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                        ResolveColumns(in.schema(), columns));
+  CODS_ASSIGN_OR_RETURN(Schema out_schema,
+                        SchemaSubset(in.schema(), columns, out_key));
+  std::vector<Row> rows;
+  rows.reserve(in.rows());
+  in.Scan([&](RowId, const Row& row) {
+    rows.push_back(ProjectRow(row, indices));
+  });
+  std::sort(rows.begin(), rows.end(), RowLess);
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  auto out = std::make_unique<RowTable>(out_name, std::move(out_schema));
+  for (const Row& row : rows) {
+    CODS_RETURN_NOT_OK(out->Insert(row).status());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RowTable>> FilterRows(
+    const RowTable& in, const std::function<bool(const Row&)>& pred,
+    const std::string& out_name) {
+  auto out = std::make_unique<RowTable>(out_name, in.schema());
+  Status status = Status::OK();
+  in.Scan([&](RowId, const Row& row) {
+    if (!status.ok() || !pred(row)) return;
+    status = out->Insert(row).status();
+  });
+  CODS_RETURN_NOT_OK(status);
+  return out;
+}
+
+namespace {
+
+// Shared output construction for the two join strategies.
+struct JoinPlan {
+  std::vector<size_t> s_join;     // join column indices in s
+  std::vector<size_t> t_join;     // join column indices in t
+  std::vector<size_t> t_payload;  // non-join column indices in t
+  Schema out_schema;
+};
+
+Result<JoinPlan> PlanJoin(const RowTable& s, const RowTable& t,
+                          const std::vector<std::string>& join_columns,
+                          const std::vector<std::string>& out_key) {
+  JoinPlan plan;
+  CODS_ASSIGN_OR_RETURN(plan.s_join,
+                        ResolveColumns(s.schema(), join_columns));
+  CODS_ASSIGN_OR_RETURN(plan.t_join,
+                        ResolveColumns(t.schema(), join_columns));
+  std::vector<ColumnSpec> specs = s.schema().columns();
+  for (size_t i = 0; i < t.schema().num_columns(); ++i) {
+    if (std::find(plan.t_join.begin(), plan.t_join.end(), i) ==
+        plan.t_join.end()) {
+      plan.t_payload.push_back(i);
+      specs.push_back(t.schema().column(i));
+    }
+  }
+  CODS_ASSIGN_OR_RETURN(plan.out_schema,
+                        Schema::Make(std::move(specs), out_key));
+  return plan;
+}
+
+Row ConcatJoinRow(const Row& s_row, const Row& t_row,
+                  const std::vector<size_t>& t_payload) {
+  Row out = s_row;
+  out.reserve(s_row.size() + t_payload.size());
+  for (size_t i : t_payload) out.push_back(t_row[i]);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RowTable>> HashJoinRows(
+    const RowTable& s, const RowTable& t,
+    const std::vector<std::string>& join_columns,
+    const std::vector<std::string>& out_key, const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(JoinPlan plan,
+                        PlanJoin(s, t, join_columns, out_key));
+  // Build side: t.
+  std::unordered_multimap<Row, Row, RowHash, RowEq> build;
+  build.reserve(t.rows());
+  t.Scan([&](RowId, const Row& row) {
+    build.emplace(ProjectRow(row, plan.t_join), row);
+  });
+  auto out = std::make_unique<RowTable>(out_name, plan.out_schema);
+  Status status = Status::OK();
+  s.Scan([&](RowId, const Row& s_row) {
+    if (!status.ok()) return;
+    Row key = ProjectRow(s_row, plan.s_join);
+    auto [lo, hi] = build.equal_range(key);
+    for (auto it = lo; it != hi && status.ok(); ++it) {
+      status =
+          out->Insert(ConcatJoinRow(s_row, it->second, plan.t_payload))
+              .status();
+    }
+  });
+  CODS_RETURN_NOT_OK(status);
+  return out;
+}
+
+Result<std::unique_ptr<RowTable>> IndexNestedLoopJoinRows(
+    const RowTable& s, const RowTable& t,
+    const std::vector<std::string>& join_columns,
+    const std::vector<std::string>& out_key, const std::string& out_name) {
+  CODS_ASSIGN_OR_RETURN(JoinPlan plan,
+                        PlanJoin(s, t, join_columns, out_key));
+  BTreeIndex index = BTreeIndex::Build(t, plan.t_join);
+  auto out = std::make_unique<RowTable>(out_name, plan.out_schema);
+  Status status = Status::OK();
+  s.Scan([&](RowId, const Row& s_row) {
+    if (!status.ok()) return;
+    Row key = ProjectRow(s_row, plan.s_join);
+    for (RowId rid : index.Lookup(key)) {
+      Result<Row> t_row = t.Get(rid);
+      if (!t_row.ok()) {
+        status = t_row.status();
+        return;
+      }
+      status = out->Insert(
+                      ConcatJoinRow(s_row, t_row.ValueOrDie(),
+                                    plan.t_payload))
+                   .status();
+      if (!status.ok()) return;
+    }
+  });
+  CODS_RETURN_NOT_OK(status);
+  return out;
+}
+
+}  // namespace cods

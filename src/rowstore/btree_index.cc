@@ -1,0 +1,239 @@
+#include "rowstore/btree_index.h"
+
+#include <algorithm>
+
+namespace cods {
+
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+BTreeIndex::BTreeIndex(std::vector<size_t> key_columns)
+    : key_columns_(std::move(key_columns)),
+      root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+Row BTreeIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) {
+    CODS_DCHECK(c < row.size());
+    key.push_back(row[c]);
+  }
+  return key;
+}
+
+void BTreeIndex::Add(const Row& row, RowId rid) {
+  Insert(ExtractKey(row), rid);
+}
+
+void BTreeIndex::Insert(const Row& key, RowId rid) {
+  std::optional<SplitResult> split = InsertInto(root_.get(), key, rid);
+  if (split.has_value()) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+}
+
+std::optional<BTreeIndex::SplitResult> BTreeIndex::InsertInto(Node* node,
+                                                              const Row& key,
+                                                              RowId rid) {
+  if (node->is_leaf) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                               RowLess);
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                        rid);
+    return SplitIfNeeded(node);
+  }
+  // Internal: child i covers keys < keys[i]; duplicates go right via
+  // upper_bound so equal keys cluster at the leaf level contiguously.
+  auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                             RowLess);
+  size_t child = static_cast<size_t>(it - node->keys.begin());
+  std::optional<SplitResult> split =
+      InsertInto(node->children[child].get(), key, rid);
+  if (split.has_value()) {
+    node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(child),
+                      std::move(split->separator));
+    node->children.insert(
+        node->children.begin() + static_cast<ptrdiff_t>(child) + 1,
+        std::move(split->right));
+    return SplitIfNeeded(node);
+  }
+  return std::nullopt;
+}
+
+std::optional<BTreeIndex::SplitResult> BTreeIndex::SplitIfNeeded(Node* node) {
+  if (node->keys.size() <= kMaxKeys) return std::nullopt;
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(node->is_leaf);
+  SplitResult result;
+  if (node->is_leaf) {
+    // Leaf split: the separator is copied up; the right leaf keeps keys
+    // [mid, end).
+    result.separator = node->keys[mid];
+    right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                       node->keys.end());
+    right->values.assign(node->values.begin() + static_cast<ptrdiff_t>(mid),
+                         node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+  } else {
+    // Internal split: the separator moves up.
+    result.separator = std::move(node->keys[mid]);
+    right->keys.assign(
+        std::make_move_iterator(node->keys.begin() +
+                                static_cast<ptrdiff_t>(mid) + 1),
+        std::make_move_iterator(node->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(node->children.begin() +
+                                static_cast<ptrdiff_t>(mid) + 1),
+        std::make_move_iterator(node->children.end()));
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+  }
+  result.right = std::move(right);
+  return result;
+}
+
+BTreeIndex BTreeIndex::Build(const RowTable& table,
+                             std::vector<size_t> key_columns) {
+  BTreeIndex index(std::move(key_columns));
+  table.Scan([&](RowId rid, const Row& row) { index.Add(row, rid); });
+  return index;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Row& key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key,
+                               RowLess);
+    size_t child = static_cast<size_t>(it - node->keys.begin());
+    node = node->children[child].get();
+  }
+  return node;
+}
+
+std::vector<RowId> BTreeIndex::Lookup(const Row& key) const {
+  std::vector<RowId> out;
+  // FindLeaf descends left of separators equal to `key`, so the walk
+  // starts at the leftmost possible duplicate; equal runs may continue
+  // across the leaf chain.
+  for (const Node* leaf = FindLeaf(key); leaf != nullptr;
+       leaf = leaf->next_leaf) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (RowLess(leaf->keys[i], key)) continue;
+      if (RowLess(key, leaf->keys[i])) return out;
+      out.push_back(leaf->values[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Row, RowId>> BTreeIndex::ScanRange(
+    const Row& lo, const Row& hi) const {
+  std::vector<std::pair<Row, RowId>> out;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (RowLess(leaf->keys[i], lo)) continue;
+      if (RowLess(hi, leaf->keys[i])) return out;
+      out.emplace_back(leaf->keys[i], leaf->values[i]);
+    }
+    leaf = leaf->next_leaf;
+  }
+  return out;
+}
+
+std::vector<std::pair<Row, RowId>> BTreeIndex::ScanAll() const {
+  std::vector<std::pair<Row, RowId>> out;
+  out.reserve(size_);
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children[0].get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      out.emplace_back(leaf->keys[i], leaf->values[i]);
+    }
+  }
+  return out;
+}
+
+size_t BTreeIndex::LeafDepth() const {
+  size_t depth = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[0].get();
+    ++depth;
+  }
+  return depth;
+}
+
+Status BTreeIndex::ValidateNode(const Node* node, const Row* lo,
+                                const Row* hi, size_t depth,
+                                size_t leaf_depth) const {
+  for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+    if (RowLess(node->keys[i + 1], node->keys[i])) {
+      return Status::Corruption("keys out of order in node");
+    }
+  }
+  if (!node->keys.empty()) {
+    if (lo != nullptr && RowLess(node->keys.front(), *lo)) {
+      return Status::Corruption("key below subtree lower bound");
+    }
+    if (hi != nullptr && RowLess(*hi, node->keys.back())) {
+      return Status::Corruption("key above subtree upper bound");
+    }
+  }
+  if (node->is_leaf) {
+    if (depth != leaf_depth) {
+      return Status::Corruption("leaves at unequal depths");
+    }
+    if (node->keys.size() != node->values.size()) {
+      return Status::Corruption("leaf key/value count mismatch");
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Corruption("internal child count mismatch");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Row* child_lo = (i == 0) ? lo : &node->keys[i - 1];
+    const Row* child_hi = (i == node->keys.size()) ? hi : &node->keys[i];
+    CODS_RETURN_NOT_OK(ValidateNode(node->children[i].get(), child_lo,
+                                    child_hi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::Validate() const {
+  size_t leaf_depth = LeafDepth();
+  CODS_RETURN_NOT_OK(ValidateNode(root_.get(), nullptr, nullptr, 0,
+                                  leaf_depth));
+  // Leaf chain must enumerate exactly size_ entries in sorted order.
+  std::vector<std::pair<Row, RowId>> all = ScanAll();
+  if (all.size() != size_) {
+    return Status::Corruption("leaf chain size " + std::to_string(all.size()) +
+                              " != tree size " + std::to_string(size_));
+  }
+  for (size_t i = 0; i + 1 < all.size(); ++i) {
+    if (RowLess(all[i + 1].first, all[i].first)) {
+      return Status::Corruption("leaf chain out of order");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cods

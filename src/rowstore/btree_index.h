@@ -1,0 +1,99 @@
+// In-memory B+ tree index over a projection of a RowTable's columns,
+// with duplicate-key support and leaf chaining for range scans. This is
+// the index the "commercial RDBMS with indexes" baseline (C+I in
+// Figure 3) must rebuild from scratch after query-level evolution.
+
+#ifndef CODS_ROWSTORE_BTREE_INDEX_H_
+#define CODS_ROWSTORE_BTREE_INDEX_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rowstore/row_table.h"
+
+namespace cods {
+
+/// Lexicographic comparison of key tuples.
+bool RowLess(const Row& a, const Row& b);
+
+/// B+ tree multimap from key tuples to row ids.
+class BTreeIndex {
+ public:
+  /// Maximum keys per node; 2*kMinKeys.
+  static constexpr size_t kMaxKeys = 32;
+
+  /// `key_columns` are indices into the indexed table's schema.
+  explicit BTreeIndex(std::vector<size_t> key_columns);
+
+  BTreeIndex(BTreeIndex&&) noexcept = default;
+  BTreeIndex& operator=(BTreeIndex&&) noexcept = default;
+
+  /// Indexes one row (extracts the key projection).
+  void Add(const Row& row, RowId rid);
+
+  /// Inserts an already-extracted key.
+  void Insert(const Row& key, RowId rid);
+
+  /// Builds from scratch over an existing table.
+  static BTreeIndex Build(const RowTable& table,
+                          std::vector<size_t> key_columns);
+
+  /// Row ids with key exactly `key`.
+  std::vector<RowId> Lookup(const Row& key) const;
+
+  /// All (key, rid) pairs with lo <= key <= hi, in key order.
+  std::vector<std::pair<Row, RowId>> ScanRange(const Row& lo,
+                                               const Row& hi) const;
+
+  /// All (key, rid) pairs in key order.
+  std::vector<std::pair<Row, RowId>> ScanAll() const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  /// Structural check: keys sorted in every node, separator invariants
+  /// hold, all leaves at the same depth, leaf chain complete.
+  Status Validate() const;
+
+ private:
+  struct Node {
+    bool is_leaf;
+    std::vector<Row> keys;
+    // Leaf payloads (parallel to keys) when is_leaf.
+    std::vector<RowId> values;
+    // Children (keys.size() + 1 of them) when internal.
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next_leaf = nullptr;
+
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  struct SplitResult {
+    Row separator;
+    std::unique_ptr<Node> right;
+  };
+
+  // Inserts into the subtree; returns a split descriptor when the child
+  // overflowed.
+  std::optional<SplitResult> InsertInto(Node* node, const Row& key,
+                                        RowId rid);
+  std::optional<SplitResult> SplitIfNeeded(Node* node);
+
+  const Node* FindLeaf(const Row& key) const;
+  Status ValidateNode(const Node* node, const Row* lo, const Row* hi,
+                      size_t depth, size_t leaf_depth) const;
+  size_t LeafDepth() const;
+
+  Row ExtractKey(const Row& row) const;
+
+  std::vector<size_t> key_columns_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace cods
+
+#endif  // CODS_ROWSTORE_BTREE_INDEX_H_

@@ -1,0 +1,37 @@
+#include "rowstore/hash_index.h"
+
+namespace cods {
+
+HashIndex::HashIndex(std::vector<size_t> key_columns)
+    : key_columns_(std::move(key_columns)) {}
+
+Row HashIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) {
+    CODS_DCHECK(c < row.size());
+    key.push_back(row[c]);
+  }
+  return key;
+}
+
+void HashIndex::Add(const Row& row, RowId rid) {
+  map_.emplace(ExtractKey(row), rid);
+  ++entries_;
+}
+
+HashIndex HashIndex::Build(const RowTable& table,
+                           std::vector<size_t> key_columns) {
+  HashIndex index(std::move(key_columns));
+  table.Scan([&](RowId rid, const Row& row) { index.Add(row, rid); });
+  return index;
+}
+
+std::vector<RowId> HashIndex::Lookup(const Row& key) const {
+  std::vector<RowId> out;
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace cods

@@ -1,0 +1,47 @@
+// Hash index over a projection of a RowTable's columns. Used by the
+// query-level baselines for equality lookups and by the "with indexes"
+// configuration, whose evolution cost includes rebuilding indexes from
+// scratch on the output tables (§1).
+
+#ifndef CODS_ROWSTORE_HASH_INDEX_H_
+#define CODS_ROWSTORE_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rowstore/row_table.h"
+
+namespace cods {
+
+/// Multimap from key tuples (a projection of each row) to row ids.
+class HashIndex {
+ public:
+  /// `key_columns` are indices into the table's schema.
+  explicit HashIndex(std::vector<size_t> key_columns);
+
+  /// Indexes one row (called on insert).
+  void Add(const Row& row, RowId rid);
+
+  /// Builds from scratch over an existing table (the rebuild cost the
+  /// paper charges to query-level evolution).
+  static HashIndex Build(const RowTable& table,
+                         std::vector<size_t> key_columns);
+
+  /// Row ids whose key projection equals `key`.
+  std::vector<RowId> Lookup(const Row& key) const;
+
+  /// Number of indexed entries.
+  size_t size() const { return entries_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+ private:
+  Row ExtractKey(const Row& row) const;
+
+  std::vector<size_t> key_columns_;
+  std::unordered_multimap<Row, RowId, RowHash, RowEq> map_;
+  size_t entries_ = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_ROWSTORE_HASH_INDEX_H_

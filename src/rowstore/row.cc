@@ -1,0 +1,115 @@
+#include "rowstore/row.h"
+
+#include <cstring>
+
+namespace cods {
+
+namespace {
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+void SerializeRow(const Row& row, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(row.size()), out);
+  for (const Value& v : row) {
+    if (v.is_null()) {
+      out->push_back(kTagNull);
+    } else if (v.is_int64()) {
+      out->push_back(kTagInt64);
+      PutU64(static_cast<uint64_t>(v.int64()), out);
+    } else if (v.is_double()) {
+      out->push_back(kTagDouble);
+      uint64_t bits;
+      double d = v.dbl();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits, out);
+    } else {
+      out->push_back(kTagString);
+      const std::string& s = v.str();
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->insert(out->end(), s.begin(), s.end());
+    }
+  }
+}
+
+Result<Row> DeserializeRow(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  auto need = [&](size_t n) -> bool { return off + n <= size; };
+  if (!need(4)) return Status::Corruption("row truncated (arity)");
+  uint32_t arity = GetU32(data + off);
+  off += 4;
+  Row row;
+  row.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (!need(1)) return Status::Corruption("row truncated (tag)");
+    uint8_t tag = data[off++];
+    switch (tag) {
+      case kTagNull:
+        row.push_back(Value::Null());
+        break;
+      case kTagInt64: {
+        if (!need(8)) return Status::Corruption("row truncated (int64)");
+        row.push_back(Value(static_cast<int64_t>(GetU64(data + off))));
+        off += 8;
+        break;
+      }
+      case kTagDouble: {
+        if (!need(8)) return Status::Corruption("row truncated (double)");
+        uint64_t bits = GetU64(data + off);
+        off += 8;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        row.push_back(Value(d));
+        break;
+      }
+      case kTagString: {
+        if (!need(4)) return Status::Corruption("row truncated (strlen)");
+        uint32_t len = GetU32(data + off);
+        off += 4;
+        if (!need(len)) return Status::Corruption("row truncated (string)");
+        row.push_back(Value(std::string(
+            reinterpret_cast<const char*>(data + off), len)));
+        off += len;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown value tag " + std::to_string(tag));
+    }
+  }
+  if (off != size) return Status::Corruption("trailing bytes after row");
+  return row;
+}
+
+size_t SerializedRowSize(const Row& row) {
+  size_t bytes = 4;
+  for (const Value& v : row) {
+    bytes += 1;
+    if (v.is_int64() || v.is_double()) {
+      bytes += 8;
+    } else if (v.is_string()) {
+      bytes += 4 + v.str().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cods

@@ -1,0 +1,40 @@
+// Tuple serialization for the row-store baseline. The query-level
+// baselines pay for materializing every tuple; serializing through a real
+// byte format (type tags, length-prefixed strings, slotted pages) keeps
+// that cost honest.
+
+#ifndef CODS_ROWSTORE_ROW_H_
+#define CODS_ROWSTORE_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace cods {
+
+/// Physical address of a tuple in a heap file.
+struct RowId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const RowId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+};
+
+/// Serializes a row: per value a 1-byte type tag, then the payload
+/// (int64/double: 8 bytes little-endian; string: u32 length + bytes).
+void SerializeRow(const Row& row, std::vector<uint8_t>* out);
+
+/// Deserializes a row previously produced by SerializeRow.
+Result<Row> DeserializeRow(const uint8_t* data, size_t size);
+
+/// Serialized size in bytes without materializing the buffer.
+size_t SerializedRowSize(const Row& row);
+
+}  // namespace cods
+
+#endif  // CODS_ROWSTORE_ROW_H_

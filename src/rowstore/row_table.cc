@@ -1,0 +1,65 @@
+#include "rowstore/row_table.h"
+
+#include <cstring>
+
+namespace cods {
+
+Page::Page() : data_(kPageSize, 0), free_end_(kPageSize) {}
+
+size_t Page::FreeSpace() const {
+  size_t slot_dir_end = static_cast<size_t>(slot_count_) * sizeof(SlotEntry);
+  return free_end_ - slot_dir_end;
+}
+
+std::optional<uint16_t> Page::Insert(const std::vector<uint8_t>& bytes) {
+  size_t needed = bytes.size() + sizeof(SlotEntry);
+  if (FreeSpace() < needed || bytes.size() > UINT16_MAX) return std::nullopt;
+  free_end_ -= bytes.size();
+  std::memcpy(data_.data() + free_end_, bytes.data(), bytes.size());
+  SlotEntry entry{static_cast<uint16_t>(free_end_),
+                  static_cast<uint16_t>(bytes.size())};
+  std::memcpy(data_.data() + slot_count_ * sizeof(SlotEntry), &entry,
+              sizeof(entry));
+  return slot_count_++;
+}
+
+std::pair<const uint8_t*, size_t> Page::Get(uint16_t slot) const {
+  CODS_CHECK(slot < slot_count_);
+  SlotEntry entry;
+  std::memcpy(&entry, data_.data() + slot * sizeof(SlotEntry), sizeof(entry));
+  return {data_.data() + entry.offset, entry.length};
+}
+
+RowTable::RowTable(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Result<RowId> RowTable::Insert(const Row& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  std::vector<uint8_t> bytes;
+  bytes.reserve(SerializedRowSize(row));
+  SerializeRow(row, &bytes);
+  if (bytes.size() + 8 > Page::kPageSize) {
+    return Status::InvalidArgument("tuple larger than a page");
+  }
+  if (pages_.empty()) pages_.push_back(std::make_unique<Page>());
+  std::optional<uint16_t> slot = pages_.back()->Insert(bytes);
+  if (!slot.has_value()) {
+    pages_.push_back(std::make_unique<Page>());
+    slot = pages_.back()->Insert(bytes);
+    CODS_CHECK(slot.has_value());
+  }
+  ++rows_;
+  return RowId{static_cast<uint32_t>(pages_.size() - 1), *slot};
+}
+
+Result<Row> RowTable::Get(RowId rid) const {
+  if (rid.page >= pages_.size()) return Status::OutOfRange("bad page id");
+  const Page& page = *pages_[rid.page];
+  if (rid.slot >= page.slot_count()) return Status::OutOfRange("bad slot id");
+  auto [data, size] = page.Get(rid.slot);
+  return DeserializeRow(data, size);
+}
+
+}  // namespace cods

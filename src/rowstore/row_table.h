@@ -1,0 +1,94 @@
+// Slotted-page heap file: the storage layer of the row-oriented baseline
+// ("commercial RDBMS" / SQLite stand-ins in Figure 3). Tuples are
+// serialized into fixed-size pages with a slot directory; scans walk
+// pages in order and deserialize every tuple — which is exactly the data
+// access pattern whose cost the query-level evolution approach pays.
+
+#ifndef CODS_ROWSTORE_ROW_TABLE_H_
+#define CODS_ROWSTORE_ROW_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "rowstore/row.h"
+#include "storage/schema.h"
+
+namespace cods {
+
+/// One fixed-size slotted page. Slot directory grows from the front,
+/// tuple bytes grow from the back.
+class Page {
+ public:
+  static constexpr size_t kPageSize = 8192;
+
+  Page();
+
+  /// Tries to insert `bytes`; returns the slot or nullopt if full.
+  std::optional<uint16_t> Insert(const std::vector<uint8_t>& bytes);
+
+  /// Number of occupied slots.
+  uint16_t slot_count() const { return slot_count_; }
+
+  /// Raw bytes of the tuple in `slot`.
+  std::pair<const uint8_t*, size_t> Get(uint16_t slot) const;
+
+  /// Bytes still available for one more tuple (payload + slot entry).
+  size_t FreeSpace() const;
+
+ private:
+  struct SlotEntry {
+    uint16_t offset;
+    uint16_t length;
+  };
+
+  std::vector<uint8_t> data_;
+  uint16_t slot_count_ = 0;
+  size_t free_end_;  // tuple bytes occupy [free_end_, kPageSize)
+};
+
+/// Append-only heap file of rows.
+class RowTable {
+ public:
+  RowTable(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t rows() const { return rows_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Appends a tuple and returns its address.
+  Result<RowId> Insert(const Row& row);
+
+  /// Fetches a tuple by address.
+  Result<Row> Get(RowId rid) const;
+
+  /// Calls fn(rid, row) for every tuple in heap order.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    for (uint32_t p = 0; p < pages_.size(); ++p) {
+      const Page& page = *pages_[p];
+      for (uint16_t s = 0; s < page.slot_count(); ++s) {
+        auto [data, size] = page.Get(s);
+        Result<Row> row = DeserializeRow(data, size);
+        CODS_CHECK(row.ok()) << row.status().ToString();
+        fn(RowId{p, s}, row.ValueOrDie());
+      }
+    }
+  }
+
+  /// Total bytes across pages (storage footprint).
+  uint64_t SizeBytes() const { return pages_.size() * Page::kPageSize; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_ROWSTORE_ROW_TABLE_H_

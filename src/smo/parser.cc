@@ -1,0 +1,439 @@
+#include "smo/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cods {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // integer or decimal literal
+  kString,   // quoted string literal
+  kSymbol,   // punctuation and comparison operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::kIdent;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          tok.text += Advance();
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+') {
+        tok.kind = TokenKind::kNumber;
+        tok.text += Advance();
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          tok.text += Advance();
+        }
+      } else if (c == '\'' || c == '"') {
+        tok.kind = TokenKind::kString;
+        char quote = Advance();
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          tok.text += Advance();
+        }
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument(Where(tok) +
+                                         "unterminated string literal");
+        }
+        Advance();  // closing quote
+      } else if (c == '<' || c == '>' || c == '!') {
+        tok.kind = TokenKind::kSymbol;
+        tok.text += Advance();
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          tok.text += Advance();
+        }
+        if (tok.text == "!") {
+          return Status::InvalidArgument(Where(tok) + "stray '!'");
+        }
+      } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=') {
+        tok.kind = TokenKind::kSymbol;
+        tok.text += Advance();
+      } else {
+        Token bad;
+        bad.line = line_;
+        bad.column = column_;
+        return Status::InvalidArgument(Where(bad) +
+                                       std::string("unexpected character '") +
+                                       c + "'");
+      }
+      out.push_back(std::move(tok));
+    }
+    Token end;
+    end.line = line_;
+    end.column = column_;
+    out.push_back(end);
+    return out;
+  }
+
+  static std::string Where(const Token& tok) {
+    return "line " + std::to_string(tok.line + 1) + ", column " +
+           std::to_string(tok.column + 1) + ": ";
+  }
+
+ private:
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 0;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Smo>> ParseScript() {
+    std::vector<Smo> out;
+    while (!AtEnd()) {
+      if (AcceptSymbol(";")) continue;
+      CODS_ASSIGN_OR_RETURN(Smo smo, ParseStatement());
+      out.push_back(std::move(smo));
+    }
+    return out;
+  }
+
+  Result<Smo> ParseStatement() {
+    if (AcceptKeyword("CREATE")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      return ParseCreateTable();
+    }
+    if (AcceptKeyword("DROP")) {
+      if (AcceptKeyword("TABLE")) {
+        CODS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+        return Smo::DropTable(name);
+      }
+      CODS_RETURN_NOT_OK(ExpectKeyword("COLUMN"));
+      CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+      CODS_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      return Smo::DropColumn(table, col);
+    }
+    if (AcceptKeyword("RENAME")) {
+      if (AcceptKeyword("TABLE")) {
+        CODS_ASSIGN_OR_RETURN(std::string from, ExpectIdent("table name"));
+        CODS_RETURN_NOT_OK(ExpectKeyword("TO"));
+        CODS_ASSIGN_OR_RETURN(std::string to, ExpectIdent("table name"));
+        return Smo::RenameTable(from, to);
+      }
+      CODS_RETURN_NOT_OK(ExpectKeyword("COLUMN"));
+      CODS_ASSIGN_OR_RETURN(std::string from, ExpectIdent("column name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("TO"));
+      CODS_ASSIGN_OR_RETURN(std::string to, ExpectIdent("column name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("IN"));
+      CODS_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      return Smo::RenameColumn(table, from, to);
+    }
+    if (AcceptKeyword("COPY")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      CODS_ASSIGN_OR_RETURN(std::string from, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("TO"));
+      CODS_ASSIGN_OR_RETURN(std::string to, ExpectIdent("table name"));
+      return Smo::CopyTable(from, to);
+    }
+    if (AcceptKeyword("UNION")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLES"));
+      CODS_ASSIGN_OR_RETURN(std::string a, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectSymbol(","));
+      CODS_ASSIGN_OR_RETURN(std::string b, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("INTO"));
+      CODS_ASSIGN_OR_RETURN(std::string out, ExpectIdent("table name"));
+      return Smo::UnionTables(a, b, out);
+    }
+    if (AcceptKeyword("PARTITION")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      CODS_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("INTO"));
+      CODS_ASSIGN_OR_RETURN(std::string out1, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectSymbol(","));
+      CODS_ASSIGN_OR_RETURN(std::string out2, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+      CODS_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column name"));
+      CODS_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+      CODS_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      return Smo::PartitionTable(table, out1, out2, column, op, literal);
+    }
+    if (AcceptKeyword("DECOMPOSE")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+      CODS_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("INTO"));
+      CODS_ASSIGN_OR_RETURN(OutSpec s, ParseOutSpec());
+      CODS_RETURN_NOT_OK(ExpectSymbol(","));
+      CODS_ASSIGN_OR_RETURN(OutSpec t, ParseOutSpec());
+      return Smo::DecomposeTable(table, s.name, s.columns, s.key, t.name,
+                                 t.columns, t.key);
+    }
+    if (AcceptKeyword("MERGE")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("TABLES"));
+      CODS_ASSIGN_OR_RETURN(std::string s, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectSymbol(","));
+      CODS_ASSIGN_OR_RETURN(std::string t, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("INTO"));
+      CODS_ASSIGN_OR_RETURN(std::string out, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("ON"));
+      CODS_ASSIGN_OR_RETURN(std::vector<std::string> join, ParseNameList());
+      std::vector<std::string> key;
+      if (AcceptKeyword("KEY")) {
+        CODS_ASSIGN_OR_RETURN(key, ParseNameList());
+      }
+      return Smo::MergeTables(s, t, out, join, key);
+    }
+    if (AcceptKeyword("ADD")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("COLUMN"));
+      CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      CODS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("type"));
+      CODS_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(type_name));
+      CODS_RETURN_NOT_OK(ExpectKeyword("TO"));
+      CODS_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      Value def;
+      if (AcceptKeyword("DEFAULT")) {
+        CODS_ASSIGN_OR_RETURN(def, ParseLiteralAs(type));
+      } else {
+        // Type-appropriate zero value.
+        switch (type) {
+          case DataType::kInt64:
+            def = Value(int64_t{0});
+            break;
+          case DataType::kDouble:
+            def = Value(0.0);
+            break;
+          case DataType::kString:
+            def = Value(std::string());
+            break;
+        }
+      }
+      return Smo::AddColumn(table, ColumnSpec{col, type, false}, def);
+    }
+    return Error("expected a schema modification operator");
+  }
+
+ private:
+  struct OutSpec {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::string> key;
+  };
+
+  Result<Smo> ParseCreateTable() {
+    CODS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
+    CODS_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<ColumnSpec> specs;
+    std::vector<std::string> key;
+    while (true) {
+      if (AcceptKeyword("KEY")) {
+        CODS_ASSIGN_OR_RETURN(key, ParseNameList());
+      } else {
+        CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        CODS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("type"));
+        CODS_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(type_name));
+        bool sorted = AcceptKeyword("SORTED");
+        specs.push_back(ColumnSpec{col, type, sorted});
+      }
+      if (AcceptSymbol(",")) continue;
+      CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+      break;
+    }
+    CODS_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Make(std::move(specs), std::move(key)));
+    return Smo::CreateTable(name, std::move(schema));
+  }
+
+  Result<OutSpec> ParseOutSpec() {
+    OutSpec spec;
+    CODS_ASSIGN_OR_RETURN(spec.name, ExpectIdent("table name"));
+    CODS_ASSIGN_OR_RETURN(spec.columns, ParseNameList());
+    if (AcceptKeyword("KEY")) {
+      CODS_ASSIGN_OR_RETURN(spec.key, ParseNameList());
+    }
+    return spec;
+  }
+
+  Result<std::vector<std::string>> ParseNameList() {
+    CODS_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<std::string> names;
+    while (true) {
+      CODS_ASSIGN_OR_RETURN(std::string n, ExpectIdent("name"));
+      names.push_back(std::move(n));
+      if (AcceptSymbol(",")) continue;
+      CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+      break;
+    }
+    return names;
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    const Token& tok = Peek();
+    if (tok.kind != TokenKind::kSymbol) {
+      return Error("expected a comparison operator");
+    }
+    CompareOp op;
+    if (tok.text == "=") {
+      op = CompareOp::kEq;
+    } else if (tok.text == "!=") {
+      op = CompareOp::kNe;
+    } else if (tok.text == "<") {
+      op = CompareOp::kLt;
+    } else if (tok.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (tok.text == ">") {
+      op = CompareOp::kGt;
+    } else if (tok.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Error("unknown comparison operator '" + tok.text + "'");
+    }
+    ++pos_;
+    return op;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kString) {
+      ++pos_;
+      return Value(tok.text);
+    }
+    if (tok.kind == TokenKind::kNumber) {
+      ++pos_;
+      if (tok.text.find_first_of(".eE") == std::string::npos) {
+        return Value::Parse(tok.text, DataType::kInt64);
+      }
+      return Value::Parse(tok.text, DataType::kDouble);
+    }
+    return Error("expected a literal");
+  }
+
+  Result<Value> ParseLiteralAs(DataType type) {
+    const Token& tok = Peek();
+    if (tok.kind != TokenKind::kString && tok.kind != TokenKind::kNumber) {
+      return Error("expected a literal");
+    }
+    ++pos_;
+    return Value::Parse(tok.text, type);
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().kind == TokenKind::kIdent && EqualsIgnoreCase(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected keyword '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Error("expected '" + std::string(sym) + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected " + std::string(what));
+    }
+    std::string text = Peek().text;
+    ++pos_;
+    return text;
+  }
+
+  // Builds an error Status carrying source position; convertible to any
+  // Result<T> via the implicit Status constructor.
+  Status Error(const std::string& msg) const {
+    const Token& tok = Peek();
+    return Status::InvalidArgument(Lexer::Where(tok) + msg +
+                                   (tok.text.empty()
+                                        ? std::string(" (at end of input)")
+                                        : " (got '" + tok.text + "')"));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Smo>> ParseSmoScript(const std::string& text) {
+  Lexer lexer(text);
+  CODS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+Result<Smo> ParseSmoStatement(const std::string& text) {
+  CODS_ASSIGN_OR_RETURN(std::vector<Smo> script, ParseSmoScript(text));
+  if (script.size() != 1) {
+    return Status::InvalidArgument("expected exactly one statement, got " +
+                                   std::to_string(script.size()));
+  }
+  return std::move(script[0]);
+}
+
+}  // namespace cods

@@ -1,0 +1,39 @@
+// Parser for the SMO script language — the textual equivalent of the
+// demo UI's operator forms. One statement per operator of Table 1:
+//
+//   CREATE TABLE S (Employee STRING, Skill STRING, KEY(Employee));
+//   DROP TABLE S;
+//   RENAME TABLE S TO T;
+//   COPY TABLE S TO S2;
+//   UNION TABLES A, B INTO C;
+//   PARTITION TABLE R INTO A, B WHERE Salary >= 1000;
+//   DECOMPOSE TABLE R INTO S(Employee, Skill), T(Employee, Address)
+//     KEY(Employee);
+//   MERGE TABLES S, T INTO R ON (Employee) KEY(Employee, Skill);
+//   ADD COLUMN Address STRING TO R DEFAULT 'unknown';
+//   DROP COLUMN Address FROM R;
+//   RENAME COLUMN Addr TO Address IN R;
+//
+// Keywords are case-insensitive; identifiers are case-sensitive; string
+// literals use single or double quotes; statements end with ';'.
+
+#ifndef CODS_SMO_PARSER_H_
+#define CODS_SMO_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "evolution/smo.h"
+
+namespace cods {
+
+/// Parses a script into a sequence of SMOs. On error, the Status message
+/// includes the offending line and column.
+Result<std::vector<Smo>> ParseSmoScript(const std::string& text);
+
+/// Parses exactly one statement (trailing ';' optional).
+Result<Smo> ParseSmoStatement(const std::string& text);
+
+}  // namespace cods
+
+#endif  // CODS_SMO_PARSER_H_

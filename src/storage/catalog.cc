@@ -1,0 +1,64 @@
+#include "storage/catalog.h"
+
+namespace cods {
+
+Status Catalog::AddTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(std::shared_ptr<const Table> table) {
+  CODS_CHECK(table != nullptr);
+  tables_[table->name()] = std::move(table);
+}
+
+Result<std::shared_ptr<const Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::RenameTable(const std::string& from, const std::string& to) {
+  auto it = tables_.find(from);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + from + "'");
+  }
+  if (from == to) return Status::OK();
+  if (tables_.count(to) > 0) {
+    return Status::AlreadyExists("table '" + to + "' already exists");
+  }
+  std::shared_ptr<const Table> renamed = it->second->WithName(to);
+  tables_.erase(it);
+  tables_.emplace(to, std::move(renamed));
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cods

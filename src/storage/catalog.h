@@ -1,0 +1,60 @@
+// The catalog: the named set of tables the evolution engine operates on.
+// Schema-only SMOs (CREATE/DROP/RENAME TABLE) are pure catalog edits;
+// data-level SMOs swap table entries whose columns share storage with
+// their predecessors.
+
+#ifndef CODS_STORAGE_CATALOG_H_
+#define CODS_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// Name → table mapping with Status-returning mutations.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalogs own the authoritative table map; copying one would silently
+  // fork the database, so forbid it (move is fine).
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) noexcept = default;
+  Catalog& operator=(Catalog&&) noexcept = default;
+
+  /// Registers a table under table->name(). Fails if the name is taken.
+  Status AddTable(std::shared_ptr<const Table> table);
+
+  /// Replaces or inserts a table under table->name().
+  void PutTable(std::shared_ptr<const Table> table);
+
+  /// Looks up a table.
+  Result<std::shared_ptr<const Table>> GetTable(
+      const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Removes a table. Fails if missing.
+  Status DropTable(const std::string& name);
+
+  /// Renames a table (data untouched). Fails if `from` is missing or
+  /// `to` exists.
+  Status RenameTable(const std::string& from, const std::string& to);
+
+  /// Table names in sorted order.
+  std::vector<std::string> TableNames() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_CATALOG_H_

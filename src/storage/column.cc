@@ -1,0 +1,183 @@
+#include "storage/column.h"
+
+#include "bitmap/wah_ops.h"
+
+namespace cods {
+
+const char* ColumnEncodingToString(ColumnEncoding encoding) {
+  switch (encoding) {
+    case ColumnEncoding::kWahBitmap:
+      return "WAH_BITMAP";
+    case ColumnEncoding::kRle:
+      return "RLE";
+  }
+  return "?";
+}
+
+std::shared_ptr<Column> Column::FromVids(DataType type, Dictionary dict,
+                                         const std::vector<Vid>& vids) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->encoding_ = ColumnEncoding::kWahBitmap;
+  col->rows_ = vids.size();
+  col->bitmaps_.resize(dict.size());
+  col->dict_ = std::move(dict);
+  for (uint64_t row = 0; row < vids.size(); ++row) {
+    CODS_DCHECK(vids[row] < col->bitmaps_.size());
+    col->bitmaps_[vids[row]].AppendSetBit(row);
+  }
+  for (WahBitmap& bm : col->bitmaps_) {
+    bm.AppendRun(false, col->rows_ - bm.size());
+  }
+  return col;
+}
+
+std::shared_ptr<Column> Column::FromVidsRle(DataType type, Dictionary dict,
+                                            const std::vector<Vid>& vids) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->encoding_ = ColumnEncoding::kRle;
+  col->rows_ = vids.size();
+  col->dict_ = std::move(dict);
+  for (Vid v : vids) col->rle_.Append(v);
+  return col;
+}
+
+std::shared_ptr<Column> Column::FromRle(DataType type, Dictionary dict,
+                                        RleVector rle) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->encoding_ = ColumnEncoding::kRle;
+  col->rows_ = rle.size();
+  col->dict_ = std::move(dict);
+  col->rle_ = std::move(rle);
+  return col;
+}
+
+std::shared_ptr<Column> Column::FromBitmaps(DataType type, Dictionary dict,
+                                            std::vector<WahBitmap> bitmaps,
+                                            uint64_t rows) {
+  CODS_CHECK(bitmaps.size() == dict.size())
+      << "bitmap count " << bitmaps.size() << " != dictionary size "
+      << dict.size();
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->encoding_ = ColumnEncoding::kWahBitmap;
+  col->rows_ = rows;
+  col->dict_ = std::move(dict);
+  col->bitmaps_ = std::move(bitmaps);
+  return col;
+}
+
+const WahBitmap& Column::bitmap(Vid vid) const {
+  CODS_CHECK(encoding_ == ColumnEncoding::kWahBitmap);
+  CODS_DCHECK(vid < bitmaps_.size());
+  return bitmaps_[vid];
+}
+
+const std::vector<WahBitmap>& Column::bitmaps() const {
+  CODS_CHECK(encoding_ == ColumnEncoding::kWahBitmap);
+  return bitmaps_;
+}
+
+const RleVector& Column::rle() const {
+  CODS_CHECK(encoding_ == ColumnEncoding::kRle);
+  return rle_;
+}
+
+std::vector<Vid> Column::DecodeVids() const {
+  if (encoding_ == ColumnEncoding::kRle) {
+    return rle_.Decode();
+  }
+  std::vector<Vid> out(rows_, 0);
+  for (Vid vid = 0; vid < bitmaps_.size(); ++vid) {
+    WahSetBitIterator it(bitmaps_[vid]);
+    uint64_t pos;
+    while (it.Next(&pos)) out[pos] = vid;
+  }
+  return out;
+}
+
+Value Column::GetValue(uint64_t row) const {
+  CODS_CHECK(row < rows_);
+  if (encoding_ == ColumnEncoding::kRle) {
+    return dict_.value(rle_.Get(row));
+  }
+  for (Vid vid = 0; vid < bitmaps_.size(); ++vid) {
+    if (bitmaps_[vid].Get(row)) return dict_.value(vid);
+  }
+  CODS_CHECK(false) << "row " << row << " not covered by any bitmap";
+  return Value();
+}
+
+uint64_t Column::ValueCount(Vid vid) const {
+  if (encoding_ == ColumnEncoding::kRle) {
+    uint64_t count = 0;
+    for (const RleVector::Run& r : rle_.runs()) {
+      if (r.value == vid) count += r.length;
+    }
+    return count;
+  }
+  return bitmaps_[vid].CountOnes();
+}
+
+std::shared_ptr<Column> Column::WithEncoding(ColumnEncoding encoding) const {
+  if (encoding == encoding_) {
+    // Copy: encodings match, columns are immutable, so share structure.
+    auto col = std::shared_ptr<Column>(new Column(*this));
+    return col;
+  }
+  std::vector<Vid> vids = DecodeVids();
+  if (encoding == ColumnEncoding::kRle) {
+    return FromVidsRle(type_, dict_, vids);
+  }
+  return FromVids(type_, dict_, vids);
+}
+
+uint64_t Column::SizeBytes() const {
+  uint64_t bytes = dict_.SizeBytes();
+  if (encoding_ == ColumnEncoding::kRle) {
+    bytes += rle_.SizeBytes();
+  } else {
+    for (const WahBitmap& bm : bitmaps_) bytes += bm.SizeBytes();
+  }
+  return bytes;
+}
+
+Status Column::ValidateInvariants() const {
+  if (encoding_ == ColumnEncoding::kRle) {
+    if (rle_.size() != rows_) {
+      return Status::Corruption("RLE length != row count");
+    }
+    for (const RleVector::Run& r : rle_.runs()) {
+      if (r.value >= dict_.size()) {
+        return Status::Corruption("RLE vid outside dictionary");
+      }
+    }
+    return Status::OK();
+  }
+  if (bitmaps_.size() != dict_.size()) {
+    return Status::Corruption("bitmap count != dictionary size");
+  }
+  uint64_t total_ones = 0;
+  WahBitmap coverage;
+  coverage.AppendRun(false, rows_);
+  for (const WahBitmap& bm : bitmaps_) {
+    if (bm.size() != rows_) {
+      return Status::Corruption("bitmap length != row count");
+    }
+    total_ones += bm.CountOnes();
+    coverage = WahOr(coverage, bm);
+  }
+  if (total_ones != rows_) {
+    return Status::Corruption("bitmaps do not partition rows: " +
+                              std::to_string(total_ones) + " ones over " +
+                              std::to_string(rows_) + " rows");
+  }
+  if (coverage.CountOnes() != rows_) {
+    return Status::Corruption("bitmaps overlap or leave gaps");
+  }
+  return Status::OK();
+}
+
+}  // namespace cods

@@ -1,0 +1,106 @@
+// Bitmap-indexed column (CODS §2.2): a column with v distinct values over
+// r rows is stored as a dictionary plus v WAH-compressed bit vectors of
+// length r — vector k has bit j set iff row j holds value k. An optional
+// run-length encoding is used instead when the column is declared sorted.
+//
+// Columns are immutable once built and shared between tables via
+// shared_ptr: reusing an unchanged column during evolution (Property 1 of
+// §2.4) is a pointer copy, exactly the effect the paper exploits.
+
+#ifndef CODS_STORAGE_COLUMN_H_
+#define CODS_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <vector>
+
+#include "bitmap/rle.h"
+#include "bitmap/wah_bitmap.h"
+#include "common/result.h"
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace cods {
+
+/// Physical encoding of a column.
+enum class ColumnEncoding : uint8_t {
+  kWahBitmap = 0,  // dictionary + per-value WAH bitmaps (default)
+  kRle = 1,        // dictionary + run-length-encoded vid sequence
+};
+
+const char* ColumnEncodingToString(ColumnEncoding encoding);
+
+/// An immutable column of one table.
+class Column {
+ public:
+  /// Builds a WAH-bitmap column from a row-ordered vid sequence.
+  static std::shared_ptr<Column> FromVids(DataType type, Dictionary dict,
+                                          const std::vector<Vid>& vids);
+
+  /// Builds an RLE column from a row-ordered vid sequence.
+  static std::shared_ptr<Column> FromVidsRle(DataType type, Dictionary dict,
+                                             const std::vector<Vid>& vids);
+
+  /// Builds an RLE column from an already-encoded run vector
+  /// (persistence path).
+  static std::shared_ptr<Column> FromRle(DataType type, Dictionary dict,
+                                         RleVector rle);
+
+  /// Builds directly from prepared bitmaps (used by the evolution
+  /// operators, which emit compressed bitmaps natively). Every bitmap
+  /// must have length `rows`, and each row must be covered by exactly one
+  /// bitmap (checked lazily by ValidateInvariants).
+  static std::shared_ptr<Column> FromBitmaps(DataType type, Dictionary dict,
+                                             std::vector<WahBitmap> bitmaps,
+                                             uint64_t rows);
+
+  DataType type() const { return type_; }
+  ColumnEncoding encoding() const { return encoding_; }
+  uint64_t rows() const { return rows_; }
+  const Dictionary& dict() const { return dict_; }
+  size_t distinct_count() const { return dict_.size(); }
+
+  /// The WAH bitmap of value id `vid`. Only valid for kWahBitmap columns.
+  const WahBitmap& bitmap(Vid vid) const;
+  /// All bitmaps (kWahBitmap only), indexed by vid.
+  const std::vector<WahBitmap>& bitmaps() const;
+
+  /// The RLE payload. Only valid for kRle columns.
+  const RleVector& rle() const;
+
+  /// Decodes the column into a row-ordered vid vector.
+  /// Cost: O(rows + compressed words).
+  std::vector<Vid> DecodeVids() const;
+
+  /// Value at `row` (point lookup; O(compressed words) for bitmap
+  /// encoding — use DecodeVids for scans).
+  Value GetValue(uint64_t row) const;
+
+  /// Number of rows holding `vid` (popcount on the compressed bitmap).
+  uint64_t ValueCount(Vid vid) const;
+
+  /// Re-encodes to the requested encoding (returns this when already so).
+  std::shared_ptr<Column> WithEncoding(ColumnEncoding encoding) const;
+
+  /// Compressed footprint of the column data (bitmaps or RLE runs) plus
+  /// the dictionary.
+  uint64_t SizeBytes() const;
+
+  /// Verifies structural invariants: every bitmap has length rows(); the
+  /// bitmaps partition the row set (each row covered exactly once); the
+  /// dictionary and bitmap count agree. O(distinct * compressed words).
+  Status ValidateInvariants() const;
+
+ private:
+  Column() = default;
+
+  DataType type_ = DataType::kInt64;
+  ColumnEncoding encoding_ = ColumnEncoding::kWahBitmap;
+  Dictionary dict_;
+  std::vector<WahBitmap> bitmaps_;  // kWahBitmap: indexed by vid
+  RleVector rle_;                   // kRle
+  uint64_t rows_ = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_COLUMN_H_

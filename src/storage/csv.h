@@ -1,0 +1,49 @@
+// CSV load/save — the demo's "load data" path. Supports explicit schemas
+// and schema inference from a header line plus a sample of the data.
+
+#ifndef CODS_STORAGE_CSV_H_
+#define CODS_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Rows examined for type inference when no schema is given.
+  uint64_t inference_sample_rows = 100;
+};
+
+/// Parses CSV text into a table using an explicit schema. The header (if
+/// any) is checked against the schema's column names.
+Result<std::shared_ptr<const Table>> CsvToTable(
+    const std::string& csv_text, const std::string& table_name,
+    const Schema& schema, const CsvOptions& options = {});
+
+/// Parses CSV text, inferring column names from the header and types from
+/// a data sample (INT64 if every sampled field parses as an integer, else
+/// DOUBLE if numeric, else STRING).
+Result<std::shared_ptr<const Table>> CsvToTableInferred(
+    const std::string& csv_text, const std::string& table_name,
+    const CsvOptions& options = {});
+
+/// Loads a CSV file with an explicit schema.
+Result<std::shared_ptr<const Table>> LoadCsvFile(
+    const std::string& path, const std::string& table_name,
+    const Schema& schema, const CsvOptions& options = {});
+
+/// Serializes a table to CSV text (header + rows).
+std::string TableToCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_CSV_H_

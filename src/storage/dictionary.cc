@@ -1,0 +1,31 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+Vid Dictionary::GetOrInsert(const Value& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  CODS_CHECK(values_.size() < UINT32_MAX) << "dictionary overflow";
+  Vid vid = static_cast<Vid>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, vid);
+  return vid;
+}
+
+std::optional<Vid> Dictionary::Lookup(const Value& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t Dictionary::SizeBytes() const {
+  uint64_t bytes = values_.size() * (sizeof(Value) + sizeof(Vid) + 16);
+  for (const Value& v : values_) {
+    if (v.is_string()) bytes += v.str().capacity();
+  }
+  return bytes;
+}
+
+}  // namespace cods

@@ -1,0 +1,70 @@
+#include "storage/printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cods {
+
+std::string FormatTable(const Table& table, const PrintOptions& options) {
+  std::vector<Row> rows = table.Materialize(options.max_rows);
+  size_t width = table.num_columns();
+  std::vector<size_t> col_width(width);
+  std::vector<std::vector<std::string>> cells(rows.size());
+  for (size_t c = 0; c < width; ++c) {
+    col_width[c] = table.schema().column(c).name.size();
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    cells[r].resize(width);
+    for (size_t c = 0; c < width; ++c) {
+      cells[r][c] = rows[r][c].ToString();
+      col_width[c] = std::max(col_width[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream out;
+  auto rule = [&]() {
+    out << "+";
+    for (size_t c = 0; c < width; ++c) {
+      out << std::string(col_width[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    out << "|";
+    for (size_t c = 0; c < width; ++c) {
+      out << " " << vals[c] << std::string(col_width[c] - vals[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  out << table.name() << " " << table.schema().ToString() << "\n";
+  rule();
+  std::vector<std::string> header(width);
+  for (size_t c = 0; c < width; ++c) header[c] = table.schema().column(c).name;
+  line(header);
+  rule();
+  for (const auto& row : cells) line(row);
+  rule();
+  if (table.rows() > rows.size()) {
+    out << "... " << (table.rows() - rows.size()) << " more rows\n";
+  }
+  if (options.show_footer) {
+    out << "(" << table.rows() << " rows)\n";
+  }
+  return out.str();
+}
+
+std::string FormatTableStats(const Table& table) {
+  std::ostringstream out;
+  out << table.name() << " " << table.schema().ToString() << "\n";
+  out << "rows: " << table.rows() << ", compressed bytes: "
+      << table.SizeBytes() << "\n";
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const auto& col = table.column(c);
+    out << "  " << table.schema().column(c).name << ": "
+        << ColumnEncodingToString(col->encoding()) << ", distinct="
+        << col->distinct_count() << ", bytes=" << col->SizeBytes() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cods

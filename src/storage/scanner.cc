@@ -1,0 +1,39 @@
+#include "storage/scanner.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+TableScanner::TableScanner(const Table& table) {
+  rows_ = table.rows();
+  cols_.reserve(table.num_columns());
+  vids_.reserve(table.num_columns());
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    cols_.push_back(table.column(i));
+    vids_.push_back(table.column(i)->DecodeVids());
+  }
+}
+
+TableScanner::TableScanner(const Table& table,
+                           std::vector<size_t> column_indices) {
+  rows_ = table.rows();
+  cols_.reserve(column_indices.size());
+  vids_.reserve(column_indices.size());
+  for (size_t idx : column_indices) {
+    CODS_CHECK(idx < table.num_columns());
+    cols_.push_back(table.column(idx));
+    vids_.push_back(table.column(idx)->DecodeVids());
+  }
+}
+
+Row TableScanner::GetRow(uint64_t row) const {
+  CODS_DCHECK(row < rows_);
+  Row out;
+  out.reserve(cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    out.push_back(cols_[i]->dict().value(vids_[i][row]));
+  }
+  return out;
+}
+
+}  // namespace cods

@@ -1,0 +1,51 @@
+// Row-order scans over bitmap-encoded tables. A bitmap column has no
+// direct row→value layout; the scanner reconstructs it once per scan in
+// O(rows + compressed words) by unioning the per-value set-bit streams,
+// then serves tuples sequentially. This is the primitive behind the
+// paper's "sequential scan of S" in key–foreign-key mergence and behind
+// tuple materialization in the query-level baseline.
+
+#ifndef CODS_STORAGE_SCANNER_H_
+#define CODS_STORAGE_SCANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace cods {
+
+/// Sequential scanner over a subset of a table's columns.
+class TableScanner {
+ public:
+  /// Scans all columns of `table`.
+  explicit TableScanner(const Table& table);
+  /// Scans only the columns at `column_indices` (projection).
+  TableScanner(const Table& table, std::vector<size_t> column_indices);
+
+  /// Total rows.
+  uint64_t rows() const { return rows_; }
+  /// Number of scanned columns.
+  size_t width() const { return cols_.size(); }
+
+  /// Vid of scanned-column `i` at `row`.
+  Vid vid(uint64_t row, size_t i) const { return vids_[i][row]; }
+
+  /// Dictionary of scanned-column `i`.
+  const Dictionary& dict(size_t i) const { return cols_[i]->dict(); }
+
+  /// Materializes the tuple at `row` (scanned columns only).
+  Row GetRow(uint64_t row) const;
+
+  /// The decoded vid vector for scanned-column `i`.
+  const std::vector<Vid>& column_vids(size_t i) const { return vids_[i]; }
+
+ private:
+  std::vector<std::shared_ptr<const Column>> cols_;
+  std::vector<std::vector<Vid>> vids_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_SCANNER_H_

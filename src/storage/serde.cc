@@ -1,0 +1,387 @@
+#include "storage/serde.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace cods {
+
+namespace {
+constexpr uint8_t kTagInt64 = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+
+// Guard rails against absurd counts from corrupted length prefixes; a
+// length can never (meaningfully) exceed the remaining input, and these
+// caps keep allocation failures from preceding the bounds check.
+constexpr uint32_t kMaxReasonableCount = 1u << 30;
+}  // namespace
+
+void BinaryWriter::U8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void BinaryWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+Status BinaryReader::Need(size_t n) const {
+  if (pos_ + n > size_) {
+    return Status::Corruption("unexpected end of input at byte " +
+                              std::to_string(pos_) + " (need " +
+                              std::to_string(n) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::U8() {
+  CODS_RETURN_NOT_OK(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint32_t> BinaryReader::U32() {
+  CODS_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::U64() {
+  CODS_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryReader::I64() {
+  CODS_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::F64() {
+  CODS_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::Str() {
+  CODS_ASSIGN_OR_RETURN(uint32_t len, U32());
+  CODS_RETURN_NOT_OK(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// ---- Bitmaps ---------------------------------------------------------------
+
+void WriteBitmap(const WahBitmap& bitmap, BinaryWriter* out) {
+  out->U64(bitmap.size());
+  out->U64(bitmap.tail());
+  out->U8(static_cast<uint8_t>(bitmap.tail_bits()));
+  out->U32(static_cast<uint32_t>(bitmap.NumWords()));
+  for (uint64_t w : bitmap.words()) out->U64(w);
+}
+
+Result<WahBitmap> ReadBitmap(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(uint64_t num_bits, in->U64());
+  CODS_ASSIGN_OR_RETURN(uint64_t tail, in->U64());
+  CODS_ASSIGN_OR_RETURN(uint8_t tail_bits, in->U8());
+  CODS_ASSIGN_OR_RETURN(uint32_t word_count, in->U32());
+  if (word_count > kMaxReasonableCount) {
+    return Status::Corruption("implausible WAH word count");
+  }
+  std::vector<uint64_t> words;
+  words.reserve(word_count);
+  for (uint32_t i = 0; i < word_count; ++i) {
+    CODS_ASSIGN_OR_RETURN(uint64_t w, in->U64());
+    words.push_back(w);
+  }
+  return WahBitmap::FromRawParts(std::move(words), tail, tail_bits,
+                                 num_bits);
+}
+
+// ---- Values and dictionaries ------------------------------------------------
+
+void WriteValue(const Value& value, BinaryWriter* out) {
+  if (value.is_int64()) {
+    out->U8(kTagInt64);
+    out->I64(value.int64());
+  } else if (value.is_double()) {
+    out->U8(kTagDouble);
+    out->F64(value.dbl());
+  } else if (value.is_string()) {
+    out->U8(kTagString);
+    out->Str(value.str());
+  } else {
+    // Nulls never reach storage (TableBuilder rejects them); encoding a
+    // null would be an internal logic error.
+    CODS_CHECK(false) << "cannot serialize a null value";
+  }
+}
+
+Result<Value> ReadValue(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(uint8_t tag, in->U8());
+  switch (tag) {
+    case kTagInt64: {
+      CODS_ASSIGN_OR_RETURN(int64_t v, in->I64());
+      return Value(v);
+    }
+    case kTagDouble: {
+      CODS_ASSIGN_OR_RETURN(double v, in->F64());
+      return Value(v);
+    }
+    case kTagString: {
+      CODS_ASSIGN_OR_RETURN(std::string v, in->Str());
+      return Value(std::move(v));
+    }
+    default:
+      return Status::Corruption("unknown value tag " + std::to_string(tag));
+  }
+}
+
+void WriteDictionary(const Dictionary& dict, BinaryWriter* out) {
+  out->U32(static_cast<uint32_t>(dict.size()));
+  for (const Value& v : dict.values()) WriteValue(v, out);
+}
+
+Result<Dictionary> ReadDictionary(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(uint32_t count, in->U32());
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("implausible dictionary size");
+  }
+  Dictionary dict;
+  for (uint32_t i = 0; i < count; ++i) {
+    CODS_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+    Vid vid = dict.GetOrInsert(v);
+    if (vid != i) {
+      return Status::Corruption("duplicate value in serialized dictionary");
+    }
+  }
+  return dict;
+}
+
+// ---- Columns -----------------------------------------------------------------
+
+void WriteColumn(const Column& column, BinaryWriter* out) {
+  out->U8(static_cast<uint8_t>(column.type()));
+  out->U8(static_cast<uint8_t>(column.encoding()));
+  out->U64(column.rows());
+  WriteDictionary(column.dict(), out);
+  if (column.encoding() == ColumnEncoding::kWahBitmap) {
+    out->U32(static_cast<uint32_t>(column.bitmaps().size()));
+    for (const WahBitmap& bm : column.bitmaps()) WriteBitmap(bm, out);
+  } else {
+    const RleVector& rle = column.rle();
+    out->U32(static_cast<uint32_t>(rle.NumRuns()));
+    for (const RleVector::Run& run : rle.runs()) {
+      out->U32(run.value);
+      out->U64(run.length);
+    }
+  }
+}
+
+Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(uint8_t type_byte, in->U8());
+  if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+    return Status::Corruption("unknown data type " +
+                              std::to_string(type_byte));
+  }
+  DataType type = static_cast<DataType>(type_byte);
+  CODS_ASSIGN_OR_RETURN(uint8_t enc_byte, in->U8());
+  if (enc_byte > static_cast<uint8_t>(ColumnEncoding::kRle)) {
+    return Status::Corruption("unknown column encoding " +
+                              std::to_string(enc_byte));
+  }
+  ColumnEncoding encoding = static_cast<ColumnEncoding>(enc_byte);
+  CODS_ASSIGN_OR_RETURN(uint64_t rows, in->U64());
+  CODS_ASSIGN_OR_RETURN(Dictionary dict, ReadDictionary(in));
+  if (encoding == ColumnEncoding::kWahBitmap) {
+    CODS_ASSIGN_OR_RETURN(uint32_t count, in->U32());
+    if (count != dict.size()) {
+      return Status::Corruption("bitmap count does not match dictionary");
+    }
+    std::vector<WahBitmap> bitmaps;
+    bitmaps.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      CODS_ASSIGN_OR_RETURN(WahBitmap bm, ReadBitmap(in));
+      if (bm.size() != rows) {
+        return Status::Corruption("bitmap length does not match row count");
+      }
+      bitmaps.push_back(std::move(bm));
+    }
+    return std::shared_ptr<const Column>(
+        Column::FromBitmaps(type, std::move(dict), std::move(bitmaps),
+                            rows));
+  }
+  CODS_ASSIGN_OR_RETURN(uint32_t run_count, in->U32());
+  if (run_count > kMaxReasonableCount) {
+    return Status::Corruption("implausible RLE run count");
+  }
+  std::vector<RleVector::Run> runs;
+  runs.reserve(run_count);
+  for (uint32_t i = 0; i < run_count; ++i) {
+    CODS_ASSIGN_OR_RETURN(uint32_t vid, in->U32());
+    CODS_ASSIGN_OR_RETURN(uint64_t length, in->U64());
+    if (vid >= dict.size()) {
+      return Status::Corruption("RLE vid outside dictionary");
+    }
+    if (length == 0) return Status::Corruption("zero-length RLE run");
+    runs.push_back(RleVector::Run{vid, length});
+  }
+  RleVector rle = RleVector::FromRuns(runs);
+  if (rle.size() != rows) {
+    return Status::Corruption("RLE length does not match row count");
+  }
+  return std::shared_ptr<const Column>(
+      Column::FromRle(type, std::move(dict), std::move(rle)));
+}
+
+// ---- Schemas and tables -------------------------------------------------------
+
+void WriteSchema(const Schema& schema, BinaryWriter* out) {
+  out->U32(static_cast<uint32_t>(schema.key().size()));
+  for (const std::string& k : schema.key()) out->Str(k);
+  out->U32(static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnSpec& spec : schema.columns()) {
+    out->Str(spec.name);
+    out->U8(static_cast<uint8_t>(spec.type));
+    out->U8(spec.sorted ? 1 : 0);
+  }
+}
+
+Result<Schema> ReadSchema(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(uint32_t key_count, in->U32());
+  if (key_count > kMaxReasonableCount) {
+    return Status::Corruption("implausible key count");
+  }
+  std::vector<std::string> key;
+  for (uint32_t i = 0; i < key_count; ++i) {
+    CODS_ASSIGN_OR_RETURN(std::string k, in->Str());
+    key.push_back(std::move(k));
+  }
+  CODS_ASSIGN_OR_RETURN(uint32_t col_count, in->U32());
+  if (col_count > kMaxReasonableCount) {
+    return Status::Corruption("implausible column count");
+  }
+  std::vector<ColumnSpec> specs;
+  for (uint32_t i = 0; i < col_count; ++i) {
+    ColumnSpec spec;
+    CODS_ASSIGN_OR_RETURN(spec.name, in->Str());
+    CODS_ASSIGN_OR_RETURN(uint8_t type_byte, in->U8());
+    if (type_byte > static_cast<uint8_t>(DataType::kString)) {
+      return Status::Corruption("unknown column type in schema");
+    }
+    spec.type = static_cast<DataType>(type_byte);
+    CODS_ASSIGN_OR_RETURN(uint8_t sorted, in->U8());
+    if (sorted > 1) return Status::Corruption("bad sorted flag");
+    spec.sorted = sorted == 1;
+    specs.push_back(std::move(spec));
+  }
+  // Schema::Make re-validates name uniqueness and key references.
+  return Schema::Make(std::move(specs), std::move(key));
+}
+
+void WriteTable(const Table& table, BinaryWriter* out) {
+  out->Str(table.name());
+  out->U64(table.rows());
+  WriteSchema(table.schema(), out);
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    WriteColumn(*table.column(i), out);
+  }
+}
+
+Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in) {
+  CODS_ASSIGN_OR_RETURN(std::string name, in->Str());
+  CODS_ASSIGN_OR_RETURN(uint64_t rows, in->U64());
+  CODS_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  std::vector<std::shared_ptr<const Column>> columns;
+  columns.reserve(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    CODS_ASSIGN_OR_RETURN(auto col, ReadColumn(in));
+    columns.push_back(std::move(col));
+  }
+  CODS_ASSIGN_OR_RETURN(
+      auto table,
+      Table::Make(std::move(name), std::move(schema), std::move(columns),
+                  rows));
+  // Structural re-verification: the file may be syntactically valid but
+  // semantically corrupt (e.g. overlapping bitmaps).
+  CODS_RETURN_NOT_OK(table->ValidateInvariants().WithContext(
+      "loading table '" + table->name() + "'"));
+  return table;
+}
+
+// ---- Whole database -------------------------------------------------------------
+
+std::vector<uint8_t> SerializeCatalog(const Catalog& catalog) {
+  BinaryWriter out;
+  out.U32(kCodsFileMagic);
+  out.U32(kCodsFileVersion);
+  std::vector<std::string> names = catalog.TableNames();
+  out.U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    WriteTable(*catalog.GetTable(name).ValueOrDie(), &out);
+  }
+  return out.TakeBuffer();
+}
+
+Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image) {
+  BinaryReader in(image);
+  CODS_ASSIGN_OR_RETURN(uint32_t magic, in.U32());
+  if (magic != kCodsFileMagic) {
+    return Status::Corruption("not a CODS database image (bad magic)");
+  }
+  CODS_ASSIGN_OR_RETURN(uint32_t version, in.U32());
+  if (version != kCodsFileVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  CODS_ASSIGN_OR_RETURN(uint32_t table_count, in.U32());
+  if (table_count > kMaxReasonableCount) {
+    return Status::Corruption("implausible table count");
+  }
+  Catalog catalog;
+  for (uint32_t i = 0; i < table_count; ++i) {
+    CODS_ASSIGN_OR_RETURN(auto table, ReadTable(&in));
+    CODS_RETURN_NOT_OK(catalog.AddTable(std::move(table)));
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes after the last table");
+  }
+  return catalog;
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& path) {
+  std::vector<uint8_t> image = SerializeCatalog(catalog);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Catalog> LoadCatalog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::vector<uint8_t> image((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return DeserializeCatalog(image);
+}
+
+}  // namespace cods

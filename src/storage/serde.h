@@ -1,0 +1,118 @@
+// Binary persistence for the column store: catalogs, tables, columns,
+// dictionaries, and WAH bitmaps serialize to a single-file database
+// image. The format is little-endian, length-prefixed, and versioned;
+// every read is bounds-checked and structural invariants are re-verified
+// on load, so truncated or bit-flipped files surface as
+// Status::Corruption instead of undefined behavior.
+//
+// Layout (all integers little-endian):
+//   file   := magic:u32 version:u32 table_count:u32 table*
+//   table  := name:str rows:u64 schema column*
+//   schema := key_count:u32 key_name* column_count:u32 colspec*
+//   colspec:= name:str type:u8 sorted:u8
+//   column := type:u8 encoding:u8 rows:u64 dict payload
+//   dict   := count:u32 value*
+//   value  := tag:u8 (i64 | f64 | str)
+//   payload(WAH) := bitmap_count:u32 bitmap*
+//   bitmap := num_bits:u64 tail:u64 tail_bits:u8 word_count:u32 word*
+//   payload(RLE) := run_count:u32 (vid:u32 len:u64)*
+
+#ifndef CODS_STORAGE_SERDE_H_
+#define CODS_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace cods {
+
+/// Format identification.
+inline constexpr uint32_t kCodsFileMagic = 0x434F4453;  // "CODS"
+inline constexpr uint32_t kCodsFileVersion = 1;
+
+/// Append-only binary encoder.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// Length-prefixed string.
+  void Str(const std::string& s);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked binary decoder.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Str();
+
+  /// Bytes consumed so far.
+  size_t position() const { return pos_; }
+  /// True when the whole buffer has been consumed.
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---- Component-level serialization (exposed for tests and tools). ---------
+
+void WriteBitmap(const WahBitmap& bitmap, BinaryWriter* out);
+Result<WahBitmap> ReadBitmap(BinaryReader* in);
+
+void WriteValue(const Value& value, BinaryWriter* out);
+Result<Value> ReadValue(BinaryReader* in);
+
+void WriteDictionary(const Dictionary& dict, BinaryWriter* out);
+Result<Dictionary> ReadDictionary(BinaryReader* in);
+
+void WriteColumn(const Column& column, BinaryWriter* out);
+Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in);
+
+void WriteSchema(const Schema& schema, BinaryWriter* out);
+Result<Schema> ReadSchema(BinaryReader* in);
+
+void WriteTable(const Table& table, BinaryWriter* out);
+Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in);
+
+// ---- Whole-database round trips. -------------------------------------------
+
+/// Serializes a catalog into a database image.
+std::vector<uint8_t> SerializeCatalog(const Catalog& catalog);
+
+/// Parses a database image. Each loaded table's invariants are verified.
+Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image);
+
+/// Writes a catalog to a database file.
+Status SaveCatalog(const Catalog& catalog, const std::string& path);
+
+/// Reads a catalog from a database file.
+Result<Catalog> LoadCatalog(const std::string& path);
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_SERDE_H_

@@ -1,0 +1,114 @@
+#include "storage/value.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cods {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromString(const std::string& name) {
+  std::string up = ToUpper(Trim(name));
+  if (up == "INT64" || up == "INT" || up == "INTEGER" || up == "BIGINT") {
+    return DataType::kInt64;
+  }
+  if (up == "DOUBLE" || up == "FLOAT" || up == "REAL") {
+    return DataType::kDouble;
+  }
+  if (up == "STRING" || up == "TEXT" || up == "VARCHAR" || up == "CHAR") {
+    return DataType::kString;
+  }
+  return Status::InvalidArgument("unknown data type '" + name + "'");
+}
+
+Result<Value> Value::Parse(const std::string& text, DataType type) {
+  std::string t(Trim(text));
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        return Status::TypeError("'" + t + "' is not an INT64");
+      }
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(t.c_str(), &end);
+      if (end != t.c_str() + t.size() || t.empty()) {
+        return Status::TypeError("'" + t + "' is not a DOUBLE");
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(std::string(text));
+  }
+  return Status::TypeError("unsupported type");
+}
+
+Result<DataType> Value::type() const {
+  if (is_int64()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  return Status::TypeError("null value has no type");
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    std::ostringstream out;
+    out << dbl();
+    return out.str();
+  }
+  return str();
+}
+
+bool Value::operator<(const Value& other) const {
+  // Order alternatives by index (null < int64 < double < string), except
+  // that int64 and double compare numerically against each other.
+  if (is_int64() && other.is_double()) {
+    return static_cast<double>(int64()) < other.dbl();
+  }
+  if (is_double() && other.is_int64()) {
+    return dbl() < static_cast<double>(other.int64());
+  }
+  if (repr_.index() != other.repr_.index()) {
+    return repr_.index() < other.repr_.index();
+  }
+  if (is_null()) return false;
+  if (is_int64()) return int64() < other.int64();
+  if (is_double()) return dbl() < other.dbl();
+  return str() < other.str();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_int64()) return std::hash<int64_t>()(int64());
+  if (is_double()) return std::hash<double>()(dbl());
+  return std::hash<std::string>()(str());
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x2545f4914f6cdd1dull;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace cods

@@ -1,0 +1,89 @@
+// Typed values and rows. Columns are dictionary-encoded, so Value mostly
+// appears at the edges (loading, materialization, dictionaries); the
+// evolution algorithms themselves work on value ids and bitmaps.
+
+#ifndef CODS_STORAGE_VALUE_H_
+#define CODS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cods {
+
+/// Column data types supported by the engine.
+enum class DataType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// Stable name for a data type ("INT64", "DOUBLE", "STRING").
+const char* DataTypeToString(DataType type);
+
+/// Parses a type name (case-insensitive, also accepts "INT", "TEXT",
+/// "FLOAT", "REAL", "VARCHAR").
+Result<DataType> DataTypeFromString(const std::string& name);
+
+/// A single typed value. Null is represented by the monostate
+/// alternative and compares less than every non-null value.
+class Value {
+ public:
+  /// Null value.
+  Value() = default;
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  /// Parses `text` as a value of `type`.
+  static Result<Value> Parse(const std::string& text, DataType type);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  /// Accessors; the alternative must be held.
+  int64_t int64() const { return std::get<int64_t>(repr_); }
+  double dbl() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+
+  /// The DataType of a non-null value; null has no type.
+  Result<DataType> type() const;
+
+  /// Text rendering ("NULL", "42", "3.5", "abc").
+  std::string ToString() const;
+
+  /// Total order: null < int64/double (by numeric value) < string.
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  /// Stable hash usable in unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A materialized tuple.
+using Row = std::vector<Value>;
+
+/// Hash / equality over whole rows (used for DISTINCT and join keys).
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return a == b; }
+};
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_VALUE_H_

@@ -1,0 +1,66 @@
+// Synthetic workload generator for the Figure 3 experiments: a table
+// R(K, V, P) shaped like the paper's R(Employee, Skill, Address) —
+// `num_rows` tuples over `num_distinct` distinct key values, where the
+// dependent attribute P is functionally determined by K (so the
+// decomposition R → S(K, V), T(K, P) is lossless), and V is a payload
+// attribute kept unchanged by the evolution.
+
+#ifndef CODS_WORKLOAD_GENERATOR_H_
+#define CODS_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace cods {
+
+/// Parameters of the synthetic evolution workload.
+struct WorkloadSpec {
+  uint64_t num_rows = 1'000'000;   // paper: 10 million
+  uint64_t num_distinct = 10'000;  // paper sweep: 100 .. 1M
+  /// Distinct values of the payload attribute V.
+  uint64_t payload_distinct = 1'000;
+  /// Distinct values of the dependent attribute P (addresses); each key
+  /// maps to one of these.
+  uint64_t dependent_distinct = 1'000;
+  /// Key frequency skew: 0 = uniform, else Zipf exponent.
+  double zipf_s = 0.0;
+  /// Use INT64 attributes (fast paths); false = STRING attributes.
+  bool integer_values = true;
+  uint64_t seed = 42;
+};
+
+/// Column names used by the generated tables.
+inline constexpr char kKeyColumn[] = "K";
+inline constexpr char kPayloadColumn[] = "V";
+inline constexpr char kDependentColumn[] = "P";
+
+/// Generates R(K, V, P) with the FD K → P. The declared key of R is
+/// empty (it is a bag of facts, like the paper's R).
+Result<std::shared_ptr<const Table>> GenerateEvolutionTable(
+    const WorkloadSpec& spec, const std::string& name = "R");
+
+/// Generates the pair (S, T) that decomposing R would produce: S(K, V)
+/// with R's multiplicity and T(K, P) with one row per distinct key and
+/// declared key K. Used to set up mergence benchmarks directly.
+struct GeneratedPair {
+  std::shared_ptr<const Table> s;
+  std::shared_ptr<const Table> t;
+};
+Result<GeneratedPair> GenerateMergePair(const WorkloadSpec& spec,
+                                        const std::string& s_name = "S",
+                                        const std::string& t_name = "T");
+
+/// Generates a general-mergence workload: S(J, A) and T(J, B) where J is
+/// a key of neither side; each distinct join value appears `s_fanout`
+/// times in S and `t_fanout` times in T.
+Result<GeneratedPair> GenerateGeneralMergePair(
+    uint64_t num_join_values, uint64_t s_fanout, uint64_t t_fanout,
+    uint64_t seed = 42, const std::string& s_name = "S",
+    const std::string& t_name = "T");
+
+}  // namespace cods
+
+#endif  // CODS_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,161 @@
+// Tests for the B+ tree index, including randomized property tests
+// against std::multimap.
+
+#include "rowstore/btree_index.h"
+
+#include <map>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+Row IntKey(int64_t v) { return Row{Value(v)}; }
+
+TEST(RowLess, LexicographicWithPrefixes) {
+  EXPECT_TRUE(RowLess({Value(int64_t{1})}, {Value(int64_t{2})}));
+  EXPECT_TRUE(RowLess({Value(int64_t{1})},
+                      {Value(int64_t{1}), Value(int64_t{0})}));
+  EXPECT_FALSE(RowLess({Value(int64_t{2})}, {Value(int64_t{1})}));
+  EXPECT_FALSE(RowLess({Value("a")}, {Value("a")}));
+}
+
+TEST(BTree, EmptyTree) {
+  BTreeIndex tree({0});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.Lookup(IntKey(5)).empty());
+  EXPECT_TRUE(tree.ScanAll().empty());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, InsertAndLookup) {
+  BTreeIndex tree({0});
+  for (int64_t i = 0; i < 100; ++i) {
+    tree.Insert(IntKey(i), RowId{0, static_cast<uint16_t>(i)});
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.Validate().ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    std::vector<RowId> hits = tree.Lookup(IntKey(i));
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0].slot, static_cast<uint16_t>(i));
+  }
+  EXPECT_TRUE(tree.Lookup(IntKey(100)).empty());
+}
+
+TEST(BTree, SplitsGrowHeight) {
+  BTreeIndex tree({0});
+  for (int64_t i = 0; i < 10000; ++i) {
+    tree.Insert(IntKey(i), RowId{0, 0});
+  }
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, DuplicateKeysAllFound) {
+  BTreeIndex tree({0});
+  // 200 duplicates of one key interleaved with other keys — duplicates
+  // will straddle leaf splits.
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(IntKey(42), RowId{1, static_cast<uint16_t>(i)});
+    tree.Insert(IntKey(i), RowId{2, static_cast<uint16_t>(i)});
+  }
+  std::vector<RowId> hits = tree.Lookup(IntKey(42));
+  // 200 dupes + the i==42 insert.
+  EXPECT_EQ(hits.size(), 201u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, ScanRangeInclusive) {
+  BTreeIndex tree({0});
+  for (int64_t i = 0; i < 100; i += 2) {
+    tree.Insert(IntKey(i), RowId{0, 0});
+  }
+  auto hits = tree.ScanRange(IntKey(10), IntKey(20));
+  ASSERT_EQ(hits.size(), 6u);  // 10,12,...,20
+  EXPECT_EQ(hits.front().first, IntKey(10));
+  EXPECT_EQ(hits.back().first, IntKey(20));
+}
+
+TEST(BTree, ScanAllSorted) {
+  BTreeIndex tree({0});
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    tree.Insert(IntKey(rng.Uniform(0, 1000)), RowId{0, 0});
+  }
+  auto all = tree.ScanAll();
+  EXPECT_EQ(all.size(), 5000u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(RowLess(all[i].first, all[i - 1].first));
+  }
+}
+
+TEST(BTree, CompositeKeys) {
+  BTreeIndex tree({0, 1});
+  tree.Insert({Value(int64_t{1}), Value("a")}, RowId{0, 1});
+  tree.Insert({Value(int64_t{1}), Value("b")}, RowId{0, 2});
+  tree.Insert({Value(int64_t{2}), Value("a")}, RowId{0, 3});
+  EXPECT_EQ(tree.Lookup({Value(int64_t{1}), Value("b")}).size(), 1u);
+  EXPECT_EQ(tree.Lookup({Value(int64_t{1}), Value("c")}).size(), 0u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+// ---- Randomized property tests against std::multimap. ----------------------
+
+struct BTreeParam {
+  int inserts;
+  int64_t key_range;  // small range → heavy duplication
+};
+
+class BTreeProperty : public ::testing::TestWithParam<BTreeParam> {};
+
+TEST_P(BTreeProperty, AgreesWithMultimap) {
+  const BTreeParam p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.inserts * 31 + p.key_range));
+  BTreeIndex tree({0});
+  std::multimap<int64_t, uint32_t> oracle;
+  for (int i = 0; i < p.inserts; ++i) {
+    int64_t key = rng.Uniform(0, p.key_range - 1);
+    tree.Insert(IntKey(key), RowId{static_cast<uint32_t>(i), 0});
+    oracle.emplace(key, static_cast<uint32_t>(i));
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), oracle.size());
+
+  // Point lookups agree (as multisets of row ids).
+  for (int64_t key = -1; key <= p.key_range; ++key) {
+    std::vector<RowId> hits = tree.Lookup(IntKey(key));
+    auto [lo, hi] = oracle.equal_range(key);
+    std::multiset<uint32_t> expected, got;
+    for (auto it = lo; it != hi; ++it) expected.insert(it->second);
+    for (RowId rid : hits) got.insert(rid.page);
+    EXPECT_EQ(got, expected) << "key " << key;
+  }
+
+  // Range scans agree in size and ordering.
+  int64_t lo_key = p.key_range / 4;
+  int64_t hi_key = p.key_range / 2;
+  auto range = tree.ScanRange(IntKey(lo_key), IntKey(hi_key));
+  size_t expected_count = 0;
+  for (auto it = oracle.lower_bound(lo_key);
+       it != oracle.upper_bound(hi_key); ++it) {
+    ++expected_count;
+  }
+  EXPECT_EQ(range.size(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BTreeProperty,
+    ::testing::Values(BTreeParam{10, 5}, BTreeParam{100, 10},
+                      BTreeParam{1000, 7}, BTreeParam{1000, 1000},
+                      BTreeParam{5000, 3}, BTreeParam{20000, 500},
+                      BTreeParam{20000, 1000000}),
+    [](const ::testing::TestParamInfo<BTreeParam>& info) {
+      return "i" + std::to_string(info.param.inserts) + "_k" +
+             std::to_string(info.param.key_range);
+    });
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,159 @@
+// Tests for native bitmap-index selection on the column store, verified
+// against naive row-at-a-time filtering.
+
+#include "query/column_select.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace cods {
+namespace {
+
+using ::cods::testing::Figure1TableR;
+using ::cods::testing::MakeTable;
+
+TEST(ColumnSelect, EqualityPredicate) {
+  auto r = Figure1TableR();
+  auto sel = EvalPredicate(
+                 *r, ColumnPredicate::Compare("Employee", CompareOp::kEq,
+                                              Value("Jones")))
+                 .ValueOrDie();
+  EXPECT_EQ(sel.size(), 7u);
+  EXPECT_EQ(sel.SetPositions(), (std::vector<uint64_t>{0, 1, 4}));
+}
+
+TEST(ColumnSelect, RangePredicateOnNumbers) {
+  Schema schema({{"x", DataType::kInt64, false}});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({Value(i)});
+  auto t = MakeTable("T", schema, rows);
+  auto count = CountWhere(*t, {ColumnPredicate::Compare(
+                                  "x", CompareOp::kGe, Value(int64_t{90}))})
+                   .ValueOrDie();
+  EXPECT_EQ(count, 10u);
+  count = CountWhere(*t, {ColumnPredicate::Compare("x", CompareOp::kNe,
+                                                   Value(int64_t{5}))})
+              .ValueOrDie();
+  EXPECT_EQ(count, 99u);
+}
+
+TEST(ColumnSelect, InPredicate) {
+  auto r = Figure1TableR();
+  auto count =
+      CountWhere(*r, {ColumnPredicate::In(
+                         "Employee", {Value("Ellis"), Value("Roberts")})})
+          .ValueOrDie();
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ColumnSelect, ConjunctionAndShortCircuit) {
+  auto r = Figure1TableR();
+  std::vector<ColumnPredicate> preds = {
+      ColumnPredicate::Compare("Address", CompareOp::kEq,
+                               Value("425 Grant Ave")),
+      ColumnPredicate::Compare("Skill", CompareOp::kEq,
+                               Value("Light Cleaning")),
+  };
+  EXPECT_EQ(CountWhere(*r, preds).ValueOrDie(), 1u);  // Harrison
+  preds.push_back(ColumnPredicate::Compare("Employee", CompareOp::kEq,
+                                           Value("Nobody")));
+  EXPECT_EQ(CountWhere(*r, preds).ValueOrDie(), 0u);
+}
+
+TEST(ColumnSelect, DisjunctionUnionsSelections) {
+  auto r = Figure1TableR();
+  auto sel =
+      EvalDisjunction(*r, {ColumnPredicate::Compare("Employee",
+                                                    CompareOp::kEq,
+                                                    Value("Roberts")),
+                           ColumnPredicate::Compare("Employee",
+                                                    CompareOp::kEq,
+                                                    Value("Harrison"))})
+          .ValueOrDie();
+  EXPECT_EQ(sel.CountOnes(), 2u);
+}
+
+TEST(ColumnSelect, EmptyPredicateLists) {
+  auto r = Figure1TableR();
+  EXPECT_EQ(EvalConjunction(*r, {}).ValueOrDie().CountOnes(), 7u);
+  EXPECT_EQ(EvalDisjunction(*r, {}).ValueOrDie().CountOnes(), 0u);
+}
+
+TEST(ColumnSelect, SelectWhereBuildsValidTable) {
+  auto r = Figure1TableR();
+  auto jones = SelectWhere(*r,
+                           {ColumnPredicate::Compare(
+                               "Employee", CompareOp::kEq, Value("Jones"))},
+                           "Jones")
+                   .ValueOrDie();
+  EXPECT_EQ(jones->rows(), 3u);
+  EXPECT_TRUE(jones->ValidateInvariants().ok());
+  for (const Row& row : jones->Materialize()) {
+    EXPECT_EQ(row[0], Value("Jones"));
+  }
+}
+
+TEST(ColumnSelect, FetchWhereReturnsTuples) {
+  auto r = Figure1TableR();
+  auto rows = FetchWhere(*r, {ColumnPredicate::Compare(
+                                 "Skill", CompareOp::kEq,
+                                 Value("Alchemy"))})
+                  .ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value("Ellis"));
+}
+
+TEST(ColumnSelect, MissingColumnErrors) {
+  auto r = Figure1TableR();
+  EXPECT_FALSE(EvalPredicate(*r, ColumnPredicate::Compare(
+                                     "Nope", CompareOp::kEq, Value("x")))
+                   .ok());
+}
+
+// ---- Property: bitmap selection equals naive filtering on random data.
+
+struct SelectParam {
+  uint64_t rows;
+  uint64_t distinct;
+  int64_t threshold;
+};
+
+class ColumnSelectProperty : public ::testing::TestWithParam<SelectParam> {};
+
+TEST_P(ColumnSelectProperty, AgreesWithNaiveScan) {
+  const SelectParam p = GetParam();
+  WorkloadSpec spec;
+  spec.num_rows = p.rows;
+  spec.num_distinct = p.distinct;
+  auto r = GenerateEvolutionTable(spec).ValueOrDie();
+
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLt, CompareOp::kGe,
+                       CompareOp::kNe}) {
+    std::vector<ColumnPredicate> preds = {
+        ColumnPredicate::Compare(kKeyColumn, op, Value(p.threshold))};
+    uint64_t fast = CountWhere(*r, preds).ValueOrDie();
+    uint64_t naive = 0;
+    for (const Row& row : r->Materialize()) {
+      if (EvalCompare(row[0], op, Value(p.threshold))) ++naive;
+    }
+    EXPECT_EQ(fast, naive) << CompareOpToString(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ColumnSelectProperty,
+    ::testing::Values(SelectParam{100, 10, 5}, SelectParam{1000, 50, 25},
+                      SelectParam{5000, 500, 100},
+                      SelectParam{5000, 500, -1},
+                      SelectParam{5000, 500, 10000}),
+    [](const ::testing::TestParamInfo<SelectParam>& info) {
+      std::string t = info.param.threshold < 0
+                          ? "neg"
+                          : std::to_string(info.param.threshold);
+      return "r" + std::to_string(info.param.rows) + "_d" +
+             std::to_string(info.param.distinct) + "_t" + t;
+    });
+
+}  // namespace
+}  // namespace cods

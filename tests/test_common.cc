@@ -1,0 +1,178 @@
+// Tests for the common runtime: Status/Result, string utilities, and the
+// PRNG / Zipf sampler.
+
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(Status, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::KeyError("no table named 'X'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsKeyError());
+  EXPECT_EQ(st.message(), "no table named 'X'");
+  EXPECT_EQ(st.ToString(), "Key error: no table named 'X'");
+}
+
+TEST(Status, CopyPreservesState) {
+  Status st = Status::IOError("disk gone");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsIOError());
+  EXPECT_EQ(copy.message(), "disk gone");
+  Status assigned;
+  assigned = st;
+  EXPECT_TRUE(assigned.IsIOError());
+}
+
+TEST(Status, WithContextPrefixes) {
+  Status st = Status::TypeError("bad value").WithContext("column 'a'");
+  EXPECT_EQ(st.message(), "column 'a': bad value");
+  EXPECT_TRUE(st.IsTypeError());
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  CODS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).ValueOrDie(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("DECOMPOSE", "decompose"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_EQ(ToUpper("aBc1"), "ABC1");
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtil, NumberSniffing) {
+  EXPECT_TRUE(LooksLikeInt("42"));
+  EXPECT_TRUE(LooksLikeInt("-42"));
+  EXPECT_FALSE(LooksLikeInt("4.2"));
+  EXPECT_FALSE(LooksLikeInt("x"));
+  EXPECT_FALSE(LooksLikeInt(""));
+  EXPECT_TRUE(LooksLikeDouble("4.2"));
+  EXPECT_TRUE(LooksLikeDouble("-1e9"));
+  EXPECT_FALSE(LooksLikeDouble("42"));  // ints are not doubles here
+  EXPECT_FALSE(LooksLikeDouble("abc"));
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(3);
+  std::vector<uint64_t> p = rng.Permutation(100);
+  std::set<uint64_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(Zipf, CoversDomainAndSkews) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(rng)];
+  // Rank 0 must be sampled far more often than rank 99.
+  EXPECT_GT(counts[0], counts[99] * 5);
+  for (uint64_t v : {uint64_t{0}, uint64_t{99}}) {
+    EXPECT_GT(counts[v], 0) << v;
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  double before = watch.ElapsedMillis();
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedMillis(), before + 1000.0);
+}
+
+}  // namespace
+}  // namespace cods

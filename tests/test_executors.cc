@@ -1,0 +1,175 @@
+// Tests for the query operators (row store and column query-level) and
+// the query-level evolution baselines. These baselines double as the
+// correctness oracle for the CODS data-level operators, so they must be
+// right.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "query/query_evolution.h"
+#include "test_util.h"
+
+namespace cods {
+namespace {
+
+using ::cods::testing::ExpectSameContent;
+using ::cods::testing::Figure1TableR;
+using ::cods::testing::SortedRows;
+
+std::unique_ptr<RowTable> Fig1RowTable() {
+  auto r = Figure1TableR();
+  return MaterializeToRowStore(*r).ValueOrDie();
+}
+
+TEST(RowExecutor, MaterializeRoundTrip) {
+  auto r = Figure1TableR();
+  auto heap = MaterializeToRowStore(*r).ValueOrDie();
+  EXPECT_EQ(heap->rows(), r->rows());
+  auto back = RowTableToColumnTable(*heap, "R").ValueOrDie();
+  ExpectSameContent(*r, *back);
+}
+
+TEST(RowExecutor, Project) {
+  auto heap = Fig1RowTable();
+  auto s = ProjectRows(*heap, {"Employee", "Skill"}, {}, "S").ValueOrDie();
+  EXPECT_EQ(s->rows(), 7u);
+  EXPECT_EQ(s->schema().num_columns(), 2u);
+  EXPECT_FALSE(ProjectRows(*heap, {"Nope"}, {}, "S").ok());
+}
+
+TEST(RowExecutor, DistinctHashAndSortAgree) {
+  auto heap = Fig1RowTable();
+  auto h = ProjectRowsDistinctHash(*heap, {"Employee", "Address"},
+                                   {"Employee"}, "T")
+               .ValueOrDie();
+  auto s = ProjectRowsDistinctSort(*heap, {"Employee", "Address"},
+                                   {"Employee"}, "T")
+               .ValueOrDie();
+  EXPECT_EQ(h->rows(), 4u);  // 4 employees
+  EXPECT_EQ(s->rows(), 4u);
+  auto ct_h = RowTableToColumnTable(*h, "T").ValueOrDie();
+  auto ct_s = RowTableToColumnTable(*s, "T").ValueOrDie();
+  EXPECT_EQ(SortedRows(*ct_h), SortedRows(*ct_s));
+}
+
+TEST(RowExecutor, Filter) {
+  auto heap = Fig1RowTable();
+  auto jones = FilterRows(
+                   *heap,
+                   [](const Row& row) { return row[0] == Value("Jones"); },
+                   "J")
+                   .ValueOrDie();
+  EXPECT_EQ(jones->rows(), 3u);
+}
+
+TEST(RowExecutor, HashJoinMatchesIndexJoin) {
+  auto heap = Fig1RowTable();
+  auto s = ProjectRows(*heap, {"Employee", "Skill"}, {}, "S").ValueOrDie();
+  auto t = ProjectRowsDistinctHash(*heap, {"Employee", "Address"},
+                                   {"Employee"}, "T")
+               .ValueOrDie();
+  auto hash_r =
+      HashJoinRows(*s, *t, {"Employee"}, {}, "R1").ValueOrDie();
+  auto inl_r =
+      IndexNestedLoopJoinRows(*s, *t, {"Employee"}, {}, "R2").ValueOrDie();
+  EXPECT_EQ(hash_r->rows(), 7u);
+  EXPECT_EQ(inl_r->rows(), 7u);
+  auto c1 = RowTableToColumnTable(*hash_r, "R").ValueOrDie();
+  auto c2 = RowTableToColumnTable(*inl_r, "R").ValueOrDie();
+  EXPECT_EQ(SortedRows(*c1), SortedRows(*c2));
+}
+
+TEST(ColumnExecutor, RowVecPipeline) {
+  auto r = Figure1TableR();
+  std::vector<Row> rows = ScanToRows(*r);
+  EXPECT_EQ(rows.size(), 7u);
+  std::vector<Row> projected = ProjectRowVec(rows, {0, 2});
+  EXPECT_EQ(projected[0], (Row{Value("Jones"), Value("425 Grant Ave")}));
+  std::vector<Row> distinct = DistinctRowVec(projected);
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ColumnExecutor, HashJoinRowVec) {
+  std::vector<Row> left = {{Value(int64_t{1}), Value("a")},
+                           {Value(int64_t{2}), Value("b")},
+                           {Value(int64_t{1}), Value("c")}};
+  std::vector<Row> right = {{Value(int64_t{1}), Value("X")},
+                            {Value(int64_t{3}), Value("Y")}};
+  std::vector<Row> out = HashJoinRowVec(left, right, {0}, {0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Row{Value(int64_t{1}), Value("a"), Value("X")}));
+  EXPECT_EQ(out[1], (Row{Value(int64_t{1}), Value("c"), Value("X")}));
+}
+
+// ---- Baseline evolution drivers. -------------------------------------------
+
+DecomposeSpec Fig1Spec() {
+  DecomposeSpec spec;
+  spec.s_columns = {"Employee", "Skill"};
+  spec.t_columns = {"Employee", "Address"};
+  spec.s_key = {};
+  spec.t_key = {"Employee"};
+  return spec;
+}
+
+TEST(QueryEvolution, RowStoreDecomposeProducesFig1Tables) {
+  auto heap = Fig1RowTable();
+  for (BaselineKind kind :
+       {BaselineKind::kRowStore, BaselineKind::kRowStoreIndexed,
+        BaselineKind::kRowStoreLite}) {
+    auto result =
+        RowStoreDecompose(*heap, Fig1Spec(), kind, "S", "T").ValueOrDie();
+    EXPECT_EQ(result.s->rows(), 7u) << BaselineKindToString(kind);
+    EXPECT_EQ(result.t->rows(), 4u) << BaselineKindToString(kind);
+    EXPECT_GE(result.timing.total(), 0.0);
+    if (kind == BaselineKind::kRowStoreIndexed) {
+      EXPECT_GT(result.timing.index_s, 0.0);
+    }
+  }
+}
+
+TEST(QueryEvolution, RowStoreMergeRestoresR) {
+  auto heap = Fig1RowTable();
+  auto dec = RowStoreDecompose(*heap, Fig1Spec(), BaselineKind::kRowStore,
+                               "S", "T")
+                 .ValueOrDie();
+  auto merged = RowStoreMerge(*dec.s, *dec.t, {"Employee"}, {},
+                              BaselineKind::kRowStore, "R2")
+                    .ValueOrDie();
+  EXPECT_EQ(merged.r->rows(), 7u);
+  auto back = RowTableToColumnTable(*merged.r, "R2").ValueOrDie();
+  ExpectSameContent(*Figure1TableR(), *back);
+}
+
+TEST(QueryEvolution, ColumnQueryLevelDecomposeAndMerge) {
+  auto r = Figure1TableR();
+  auto dec = ColumnQueryLevelDecompose(*r, Fig1Spec(), "S", "T").ValueOrDie();
+  EXPECT_EQ(dec.s->rows(), 7u);
+  EXPECT_EQ(dec.t->rows(), 4u);
+  EXPECT_GT(dec.timing.total(), 0.0);
+
+  auto merged =
+      ColumnQueryLevelMerge(*dec.s, *dec.t, {"Employee"}, {}, "R2")
+          .ValueOrDie();
+  ExpectSameContent(*r, *merged.r);
+}
+
+TEST(QueryEvolution, RowStoreKindRequiredForRowDrivers) {
+  auto heap = Fig1RowTable();
+  EXPECT_FALSE(RowStoreDecompose(*heap, Fig1Spec(),
+                                 BaselineKind::kColumnQueryLevel, "S", "T")
+                   .ok());
+  EXPECT_FALSE(RowStoreMerge(*heap, *heap, {"Employee"}, {},
+                             BaselineKind::kColumnQueryLevel, "X")
+                   .ok());
+}
+
+TEST(QueryEvolution, BaselineNamesAreStable) {
+  EXPECT_STREQ(BaselineKindToString(BaselineKind::kRowStore),
+               "C (row store)");
+  EXPECT_STREQ(BaselineKindToString(BaselineKind::kColumnQueryLevel),
+               "M (column store, query level)");
+}
+
+}  // namespace
+}  // namespace cods

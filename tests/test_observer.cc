@@ -1,0 +1,67 @@
+// Tests for the evolution status observers.
+
+#include "evolution/observer.h"
+
+#include "common/logging.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(RecordingObserver, CapturesStepsInOrder) {
+  RecordingObserver observer;
+  observer.OnStepBegin("OP", "step1", "detail1");
+  observer.OnStepEnd("OP", "step1", 0.5);
+  observer.OnStepBegin("OP", "step2", "");
+  observer.OnStepEnd("OP", "step2", 0.25);
+  ASSERT_EQ(observer.steps().size(), 2u);
+  EXPECT_EQ(observer.steps()[0].step, "step1");
+  EXPECT_EQ(observer.steps()[0].detail, "detail1");
+  EXPECT_DOUBLE_EQ(observer.steps()[0].seconds, 0.5);
+  EXPECT_DOUBLE_EQ(observer.TotalSeconds(), 0.75);
+  EXPECT_TRUE(observer.HasStep("step2"));
+  EXPECT_FALSE(observer.HasStep("missing"));
+}
+
+TEST(RecordingObserver, EndAttachesToMostRecentMatchingBegin) {
+  RecordingObserver observer;
+  // Nested same-named steps: the end must bind to the latest begin.
+  observer.OnStepBegin("A", "filter", "first");
+  observer.OnStepBegin("A", "filter", "second");
+  observer.OnStepEnd("A", "filter", 1.0);
+  EXPECT_DOUBLE_EQ(observer.steps()[1].seconds, 1.0);
+  EXPECT_DOUBLE_EQ(observer.steps()[0].seconds, 0.0);
+  // An end with no matching begin is ignored.
+  observer.OnStepEnd("B", "nope", 9.0);
+  EXPECT_DOUBLE_EQ(observer.TotalSeconds(), 1.0);
+}
+
+TEST(ScopedStep, ReportsBeginAndTimedEnd) {
+  RecordingObserver observer;
+  {
+    ScopedStep step(&observer, "OP", "work", "doing things");
+    ASSERT_EQ(observer.steps().size(), 1u);
+    EXPECT_DOUBLE_EQ(observer.steps()[0].seconds, 0.0);  // not ended yet
+  }
+  ASSERT_EQ(observer.steps().size(), 1u);
+  EXPECT_GE(observer.steps()[0].seconds, 0.0);
+  EXPECT_EQ(observer.steps()[0].detail, "doing things");
+}
+
+TEST(ScopedStep, NullObserverIsNoOp) {
+  // Must not crash.
+  ScopedStep step(nullptr, "OP", "work");
+}
+
+TEST(LoggingObserver, WritesWithoutCrashing) {
+  // Route through the log at a level that is filtered out, then visible.
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  LoggingObserver observer;
+  observer.OnStepBegin("OP", "step", "detail");
+  observer.OnStepEnd("OP", "step", 0.1);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,217 @@
+// Tests for the SMO script parser: every statement form, literals,
+// comments, and error positions.
+
+#include "smo/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(Parser, CreateTable) {
+  Smo smo = ParseSmoStatement(
+                "CREATE TABLE R (Employee STRING, Age INT64, "
+                "Score DOUBLE SORTED, KEY(Employee));")
+                .ValueOrDie();
+  EXPECT_EQ(smo.kind, SmoKind::kCreateTable);
+  EXPECT_EQ(smo.out1, "R");
+  EXPECT_EQ(smo.schema.num_columns(), 3u);
+  EXPECT_EQ(smo.schema.column(1).type, DataType::kInt64);
+  EXPECT_TRUE(smo.schema.column(2).sorted);
+  EXPECT_TRUE(smo.schema.IsKey({"Employee"}));
+}
+
+TEST(Parser, DropAndRenameTable) {
+  Smo drop = ParseSmoStatement("DROP TABLE R;").ValueOrDie();
+  EXPECT_EQ(drop.kind, SmoKind::kDropTable);
+  EXPECT_EQ(drop.table, "R");
+
+  Smo rename = ParseSmoStatement("RENAME TABLE R TO R2;").ValueOrDie();
+  EXPECT_EQ(rename.kind, SmoKind::kRenameTable);
+  EXPECT_EQ(rename.table, "R");
+  EXPECT_EQ(rename.new_name, "R2");
+}
+
+TEST(Parser, CopyAndUnion) {
+  Smo copy = ParseSmoStatement("COPY TABLE A TO B;").ValueOrDie();
+  EXPECT_EQ(copy.kind, SmoKind::kCopyTable);
+  EXPECT_EQ(copy.out1, "B");
+
+  Smo u = ParseSmoStatement("UNION TABLES A, B INTO C;").ValueOrDie();
+  EXPECT_EQ(u.kind, SmoKind::kUnionTables);
+  EXPECT_EQ(u.table, "A");
+  EXPECT_EQ(u.table2, "B");
+  EXPECT_EQ(u.out1, "C");
+}
+
+TEST(Parser, PartitionWithEveryOperator) {
+  struct Case {
+    const char* text;
+    CompareOp op;
+  };
+  for (const Case& c : {Case{"=", CompareOp::kEq}, Case{"!=", CompareOp::kNe},
+                        Case{"<", CompareOp::kLt}, Case{"<=", CompareOp::kLe},
+                        Case{">", CompareOp::kGt},
+                        Case{">=", CompareOp::kGe}}) {
+    std::string stmt = std::string("PARTITION TABLE R INTO A, B WHERE x ") +
+                       c.text + " 10;";
+    Smo smo = ParseSmoStatement(stmt).ValueOrDie();
+    EXPECT_EQ(smo.kind, SmoKind::kPartitionTable);
+    EXPECT_EQ(smo.compare_op, c.op) << c.text;
+    EXPECT_EQ(smo.literal, Value(int64_t{10}));
+  }
+}
+
+TEST(Parser, PartitionStringAndDoubleLiterals) {
+  Smo s = ParseSmoStatement(
+              "PARTITION TABLE R INTO A, B WHERE City = 'New York';")
+              .ValueOrDie();
+  EXPECT_EQ(s.literal, Value("New York"));
+  Smo d = ParseSmoStatement(
+              "PARTITION TABLE R INTO A, B WHERE Score >= 3.5;")
+              .ValueOrDie();
+  EXPECT_EQ(d.literal, Value(3.5));
+  Smo n = ParseSmoStatement(
+              "PARTITION TABLE R INTO A, B WHERE Delta > -4;")
+              .ValueOrDie();
+  EXPECT_EQ(n.literal, Value(int64_t{-4}));
+}
+
+TEST(Parser, Decompose) {
+  Smo smo =
+      ParseSmoStatement(
+          "DECOMPOSE TABLE R INTO S(Employee, Skill), "
+          "T(Employee, Address) KEY(Employee);")
+          .ValueOrDie();
+  EXPECT_EQ(smo.kind, SmoKind::kDecomposeTable);
+  EXPECT_EQ(smo.table, "R");
+  EXPECT_EQ(smo.out1, "S");
+  EXPECT_EQ(smo.columns1,
+            (std::vector<std::string>{"Employee", "Skill"}));
+  EXPECT_TRUE(smo.key1.empty());
+  EXPECT_EQ(smo.out2, "T");
+  EXPECT_EQ(smo.columns2,
+            (std::vector<std::string>{"Employee", "Address"}));
+  EXPECT_EQ(smo.key2, (std::vector<std::string>{"Employee"}));
+}
+
+TEST(Parser, DecomposeWithBothKeys) {
+  Smo smo = ParseSmoStatement(
+                "DECOMPOSE TABLE R INTO S(a, b) KEY(a, b), T(a, c) KEY(a);")
+                .ValueOrDie();
+  EXPECT_EQ(smo.key1, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(smo.key2, (std::vector<std::string>{"a"}));
+}
+
+TEST(Parser, Merge) {
+  Smo smo = ParseSmoStatement(
+                "MERGE TABLES S, T INTO R ON (Employee) "
+                "KEY(Employee, Skill);")
+                .ValueOrDie();
+  EXPECT_EQ(smo.kind, SmoKind::kMergeTables);
+  EXPECT_EQ(smo.table, "S");
+  EXPECT_EQ(smo.table2, "T");
+  EXPECT_EQ(smo.out1, "R");
+  EXPECT_EQ(smo.columns1, (std::vector<std::string>{"Employee"}));
+  EXPECT_EQ(smo.key1, (std::vector<std::string>{"Employee", "Skill"}));
+}
+
+TEST(Parser, ColumnOperators) {
+  Smo add = ParseSmoStatement(
+                "ADD COLUMN Address STRING TO R DEFAULT 'unknown';")
+                .ValueOrDie();
+  EXPECT_EQ(add.kind, SmoKind::kAddColumn);
+  EXPECT_EQ(add.column_spec.type, DataType::kString);
+  EXPECT_EQ(add.default_value, Value("unknown"));
+
+  Smo add_default = ParseSmoStatement("ADD COLUMN n INT64 TO R;")
+                        .ValueOrDie();
+  EXPECT_EQ(add_default.default_value, Value(int64_t{0}));
+
+  Smo drop = ParseSmoStatement("DROP COLUMN Address FROM R;").ValueOrDie();
+  EXPECT_EQ(drop.kind, SmoKind::kDropColumn);
+  EXPECT_EQ(drop.column, "Address");
+
+  Smo rename =
+      ParseSmoStatement("RENAME COLUMN Addr TO Address IN R;").ValueOrDie();
+  EXPECT_EQ(rename.kind, SmoKind::kRenameColumn);
+  EXPECT_EQ(rename.column, "Addr");
+  EXPECT_EQ(rename.new_name, "Address");
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseSmoStatement("drop table R;").ok());
+  EXPECT_TRUE(ParseSmoStatement("Drop Table R").ok());  // ';' optional
+}
+
+TEST(Parser, ScriptWithCommentsAndBlankLines) {
+  auto script = ParseSmoScript(
+                    "-- evolve the employee database\n"
+                    "COPY TABLE R TO Backup;\n"
+                    "\n"
+                    "DECOMPOSE TABLE R INTO S(Employee, Skill),\n"
+                    "  T(Employee, Address) KEY(Employee); -- split\n"
+                    "RENAME TABLE Backup TO R_v1;\n")
+                    .ValueOrDie();
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_EQ(script[0].kind, SmoKind::kCopyTable);
+  EXPECT_EQ(script[1].kind, SmoKind::kDecomposeTable);
+  EXPECT_EQ(script[2].kind, SmoKind::kRenameTable);
+}
+
+TEST(Parser, EmptyScriptIsEmpty) {
+  EXPECT_TRUE(ParseSmoScript("").ValueOrDie().empty());
+  EXPECT_TRUE(ParseSmoScript(" ;; -- nothing\n;").ValueOrDie().empty());
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  Status st = ParseSmoScript("DROP TABLE;").status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 1"), std::string::npos);
+  EXPECT_NE(st.message().find("expected table name"), std::string::npos);
+
+  st = ParseSmoScript("\n\nFROBNICATE TABLE x;").status();
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+}
+
+TEST(Parser, MalformedStatementsRejected) {
+  EXPECT_FALSE(ParseSmoScript("CREATE TABLE T (a BLOB);").ok());
+  EXPECT_FALSE(ParseSmoScript("MERGE TABLES S, T INTO R;").ok());  // no ON
+  EXPECT_FALSE(ParseSmoScript("DECOMPOSE TABLE R INTO S(a);").ok());
+  EXPECT_FALSE(ParseSmoScript("PARTITION TABLE R INTO A, B WHERE x ~ 3;")
+                   .ok());
+  EXPECT_FALSE(ParseSmoScript("UNION TABLES A B INTO C;").ok());
+  EXPECT_FALSE(ParseSmoScript("ADD COLUMN x INT64 TO R DEFAULT 'str';")
+                   .ok());  // type mismatch
+  EXPECT_FALSE(ParseSmoScript("DROP TABLE 'quoted';").ok());
+  EXPECT_FALSE(ParseSmoScript("CREATE TABLE T (a INT64").ok());  // EOF
+}
+
+TEST(Parser, UnterminatedStringRejected) {
+  Status st =
+      ParseSmoScript("PARTITION TABLE R INTO A, B WHERE x = 'oops;").status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, StatementRequiresExactlyOne) {
+  EXPECT_FALSE(ParseSmoStatement("DROP TABLE A; DROP TABLE B;").ok());
+  EXPECT_FALSE(ParseSmoStatement("").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  // ToString output of parsed SMOs re-parses to the same operator.
+  for (const char* stmt :
+       {"DROP TABLE R", "RENAME TABLE A TO B", "COPY TABLE A TO B",
+        "UNION TABLES A, B INTO C",
+        "MERGE TABLES S, T INTO R ON (k) KEY(k)",
+        "DROP COLUMN c FROM R", "RENAME COLUMN a TO b IN R"}) {
+    Smo first = ParseSmoStatement(stmt).ValueOrDie();
+    Smo second = ParseSmoStatement(first.ToString()).ValueOrDie();
+    EXPECT_EQ(first.ToString(), second.ToString()) << stmt;
+    EXPECT_EQ(first.kind, second.kind);
+  }
+}
+
+}  // namespace
+}  // namespace cods

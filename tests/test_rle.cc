@@ -1,0 +1,76 @@
+// Tests for the run-length codec used by sorted columns.
+
+#include "bitmap/rle.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(Rle, EmptyVector) {
+  RleVector rle;
+  EXPECT_EQ(rle.size(), 0u);
+  EXPECT_EQ(rle.NumRuns(), 0u);
+  EXPECT_TRUE(rle.Decode().empty());
+}
+
+TEST(Rle, AppendMergesEqualNeighbors) {
+  RleVector rle;
+  rle.Append(7);
+  rle.Append(7);
+  rle.Append(8);
+  rle.Append(7);
+  EXPECT_EQ(rle.size(), 4u);
+  EXPECT_EQ(rle.NumRuns(), 3u);
+  EXPECT_EQ(rle.Decode(), (std::vector<uint32_t>{7, 7, 8, 7}));
+}
+
+TEST(Rle, AppendRunAndGet) {
+  RleVector rle;
+  rle.AppendRun(1, 100);
+  rle.AppendRun(2, 50);
+  rle.AppendRun(1, 1);
+  EXPECT_EQ(rle.size(), 151u);
+  EXPECT_EQ(rle.Get(0), 1u);
+  EXPECT_EQ(rle.Get(99), 1u);
+  EXPECT_EQ(rle.Get(100), 2u);
+  EXPECT_EQ(rle.Get(149), 2u);
+  EXPECT_EQ(rle.Get(150), 1u);
+}
+
+TEST(Rle, ZeroLengthRunIgnored) {
+  RleVector rle;
+  rle.AppendRun(5, 0);
+  EXPECT_EQ(rle.size(), 0u);
+  EXPECT_EQ(rle.NumRuns(), 0u);
+}
+
+TEST(Rle, EncodeDecodeRoundTrip) {
+  Rng rng(17);
+  std::vector<uint32_t> values;
+  for (int run = 0; run < 200; ++run) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(0, 5));
+    uint64_t len = static_cast<uint64_t>(rng.Uniform(1, 20));
+    values.insert(values.end(), len, v);
+  }
+  RleVector rle = RleVector::Encode(values);
+  EXPECT_EQ(rle.Decode(), values);
+  EXPECT_EQ(rle.size(), values.size());
+  for (int i = 0; i < 100; ++i) {
+    uint64_t pos = static_cast<uint64_t>(
+        rng.Uniform(0, static_cast<int64_t>(values.size()) - 1));
+    EXPECT_EQ(rle.Get(pos), values[pos]);
+  }
+}
+
+TEST(Rle, SortedDataCompressesWell) {
+  std::vector<uint32_t> sorted;
+  for (uint32_t v = 0; v < 10; ++v) sorted.insert(sorted.end(), 1000, v);
+  RleVector rle = RleVector::Encode(sorted);
+  EXPECT_EQ(rle.NumRuns(), 10u);
+  EXPECT_LT(rle.SizeBytes(), sorted.size() * sizeof(uint32_t) / 100);
+}
+
+}  // namespace
+}  // namespace cods

@@ -1,0 +1,102 @@
+// Tests for the synthetic workload generator.
+
+#include "workload/generator.h"
+
+#include "evolution/fd.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(Workload, ExactRowAndDistinctCounts) {
+  WorkloadSpec spec;
+  spec.num_rows = 5000;
+  spec.num_distinct = 123;
+  auto r = GenerateEvolutionTable(spec).ValueOrDie();
+  EXPECT_EQ(r->rows(), 5000u);
+  auto key_col = r->ColumnByName(kKeyColumn).ValueOrDie();
+  EXPECT_EQ(key_col->distinct_count(), 123u);
+  EXPECT_TRUE(r->ValidateInvariants().ok());
+}
+
+TEST(Workload, FdHoldsByConstruction) {
+  WorkloadSpec spec;
+  spec.num_rows = 2000;
+  spec.num_distinct = 50;
+  auto r = GenerateEvolutionTable(spec).ValueOrDie();
+  EXPECT_TRUE(FunctionalDependencyHolds(*r, {kKeyColumn}, {kDependentColumn})
+                  .ValueOrDie());
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.num_rows = 500;
+  spec.num_distinct = 20;
+  auto a = GenerateEvolutionTable(spec).ValueOrDie();
+  auto b = GenerateEvolutionTable(spec).ValueOrDie();
+  EXPECT_EQ(a->Materialize(), b->Materialize());
+  spec.seed = 43;
+  auto c = GenerateEvolutionTable(spec).ValueOrDie();
+  EXPECT_NE(a->Materialize(), c->Materialize());
+}
+
+TEST(Workload, StringVariant) {
+  WorkloadSpec spec;
+  spec.num_rows = 300;
+  spec.num_distinct = 10;
+  spec.integer_values = false;
+  auto r = GenerateEvolutionTable(spec).ValueOrDie();
+  EXPECT_EQ(r->schema().column(0).type, DataType::kString);
+  EXPECT_TRUE(r->GetValue(0, 0).is_string());
+}
+
+TEST(Workload, ZipfSkewsKeyFrequencies) {
+  WorkloadSpec spec;
+  spec.num_rows = 20000;
+  spec.num_distinct = 100;
+  spec.zipf_s = 1.2;
+  auto r = GenerateEvolutionTable(spec).ValueOrDie();
+  auto key_col = r->ColumnByName(kKeyColumn).ValueOrDie();
+  // Key 0 (hottest rank) must occur much more often than key 99.
+  EXPECT_GT(key_col->ValueCount(0), key_col->ValueCount(99) * 3);
+}
+
+TEST(Workload, RejectsBadSpecs) {
+  WorkloadSpec spec;
+  spec.num_rows = 10;
+  spec.num_distinct = 20;
+  EXPECT_FALSE(GenerateEvolutionTable(spec).ok());
+  spec.num_distinct = 0;
+  EXPECT_FALSE(GenerateEvolutionTable(spec).ok());
+}
+
+TEST(Workload, MergePairIsConsistentWithR) {
+  WorkloadSpec spec;
+  spec.num_rows = 3000;
+  spec.num_distinct = 77;
+  auto pair = GenerateMergePair(spec).ValueOrDie();
+  EXPECT_EQ(pair.s->rows(), 3000u);
+  EXPECT_EQ(pair.t->rows(), 77u);
+  EXPECT_TRUE(pair.t->schema().IsKey({kKeyColumn}));
+  // T's keys are unique.
+  EXPECT_TRUE(IsCandidateKey(*pair.t, {kKeyColumn}).ValueOrDie());
+  // Every S key appears in T (FK integrity).
+  auto s_keys = pair.s->ColumnByName(kKeyColumn).ValueOrDie();
+  auto t_keys = pair.t->ColumnByName(kKeyColumn).ValueOrDie();
+  for (const Value& v : s_keys->dict().values()) {
+    EXPECT_TRUE(t_keys->dict().Lookup(v).has_value()) << v.ToString();
+  }
+}
+
+TEST(Workload, GeneralPairFanouts) {
+  auto pair = GenerateGeneralMergePair(12, 4, 5, 1).ValueOrDie();
+  EXPECT_EQ(pair.s->rows(), 48u);
+  EXPECT_EQ(pair.t->rows(), 60u);
+  auto j = pair.s->ColumnByName("J").ValueOrDie();
+  EXPECT_EQ(j->distinct_count(), 12u);
+  EXPECT_EQ(j->ValueCount(0), 4u);
+  EXPECT_FALSE(GenerateGeneralMergePair(0, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace cods
