@@ -98,3 +98,5 @@ BENCHMARK(BM_Decompose_M_ColumnQueryLevel)->Apply(ApplySweep);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("fig3a_decompose")

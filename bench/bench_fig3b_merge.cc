@@ -88,3 +88,5 @@ BENCHMARK(BM_Merge_M_ColumnQueryLevel)->Apply(ApplySweep);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("fig3b_merge")

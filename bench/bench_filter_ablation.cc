@@ -91,3 +91,5 @@ BENCHMARK(BM_Filter_DecodeRecompress)->Apply(Sweep);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("filter_ablation")

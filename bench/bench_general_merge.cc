@@ -83,3 +83,5 @@ BENCHMARK(BM_GeneralMerge_Fanout)
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("general_merge")

@@ -75,3 +75,5 @@ BENCHMARK(BM_Scale_ColumnQueryLevel)->Apply(Sweep);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("scale_rows")

@@ -122,3 +122,5 @@ CODS_SMO_BENCH(BM_Smo_RenameColumn);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("smo_ops")

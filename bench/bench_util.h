@@ -1,6 +1,7 @@
 // Shared benchmark scaffolding: workload scaling via CODS_BENCH_ROWS,
 // cached table generation (tables are reused across series and
-// iterations), and the Figure 3 distinct-value sweep.
+// iterations), the Figure 3 distinct-value sweep, and the CODS_BENCH_MAIN
+// entry point that emits machine-readable JSON next to the human output.
 //
 // The paper's testbed uses 10M-row tables; the default here is 100K so
 // `for b in build/bench/*; do $b; done` completes in minutes. Set
@@ -9,16 +10,49 @@
 #ifndef CODS_BENCH_BENCH_UTIL_H_
 #define CODS_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "query/row_executor.h"
 #include "workload/generator.h"
 
 namespace cods::bench {
+
+/// Entry point shared by all bench binaries (via CODS_BENCH_MAIN). Runs
+/// the registered benchmarks with the human console reporter and, unless
+/// the caller passed their own --benchmark_out, also writes the full
+/// results as JSON to BENCH_<name>.json in the working directory so perf
+/// trajectories can be tracked across PRs without scraping stdout.
+inline int BenchMain(int argc, char** argv, const char* name) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact-prefix "--benchmark_out=": "--benchmark_out_format" alone
+    // must not suppress the default JSON file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  ::benchmark::Initialize(&args_count, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
 
 /// Benchmark table size: CODS_BENCH_ROWS env var, default 100'000.
 inline uint64_t BenchRows() {
@@ -106,5 +140,12 @@ inline const RowPair& CachedRowPair(uint64_t distinct) {
 }
 
 }  // namespace cods::bench
+
+/// Defines main() for a bench binary. `name` becomes the JSON output
+/// file: CODS_BENCH_MAIN("wah") writes BENCH_wah.json.
+#define CODS_BENCH_MAIN(name)                               \
+  int main(int argc, char** argv) {                         \
+    return ::cods::bench::BenchMain(argc, argv, name);      \
+  }
 
 #endif  // CODS_BENCH_BENCH_UTIL_H_

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "bitmap/plain_bitmap.h"
 #include "bitmap/wah_ops.h"
 #include "common/random.h"
@@ -104,6 +105,111 @@ void BM_WahRecompress(benchmark::State& state) {
   }
 }
 
+// ---- k-way union/intersection: single-pass kernel vs pairwise fold ---------
+//
+// Models the per-predicate OR over qualifying value bitmaps (EvalPredicate)
+// and the multi-predicate AND (EvalConjunction): k operands of kBits bits
+// each, ~1/k density so the union stays ~63% full like a real dictionary
+// column's qualifying subset.
+
+constexpr uint64_t kKWayBits = 1 << 20;  // 1M bits per operand
+
+std::vector<WahBitmap> MakeOperands(int64_t k) {
+  std::vector<WahBitmap> ops;
+  ops.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    Rng rng(900 + static_cast<uint64_t>(i));
+    WahBitmap bm;
+    uint64_t pos = 0;
+    double density = 1.0 / static_cast<double>(k);
+    while (pos < kKWayBits) {
+      uint64_t gap = static_cast<uint64_t>(
+          rng.Uniform(0, static_cast<int64_t>(2.0 / density)));
+      pos += gap;
+      if (pos >= kKWayBits) break;
+      bm.AppendSetBit(pos);
+      ++pos;
+    }
+    bm.AppendRun(false, kKWayBits - bm.size());
+    ops.push_back(std::move(bm));
+  }
+  return ops;
+}
+
+std::vector<const WahBitmap*> Ptrs(const std::vector<WahBitmap>& ops) {
+  std::vector<const WahBitmap*> ptrs;
+  for (const WahBitmap& bm : ops) ptrs.push_back(&bm);
+  return ptrs;
+}
+
+void BM_WahOrMany(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    WahBitmap u = WahOrMany(ptrs, kKWayBits);
+    benchmark::DoNotOptimize(u);
+  }
+}
+
+void BM_WahOrPairwiseFold(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeOperands(state.range(0));
+  for (auto _ : state) {
+    WahBitmap acc;
+    acc.AppendRun(false, kKWayBits);
+    for (const WahBitmap& bm : ops) acc = WahOr(acc, bm);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_WahOrManyCount(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WahOrManyCount(ptrs, kKWayBits));
+  }
+}
+
+// AND operands: complements of sparse bitmaps, so the intersection keeps
+// most bits (the EvalConjunction regime where every predicate passes
+// most rows).
+std::vector<WahBitmap> MakeDenseOperands(int64_t k) {
+  std::vector<WahBitmap> sparse = MakeOperands(k);
+  std::vector<WahBitmap> dense;
+  dense.reserve(sparse.size());
+  for (const WahBitmap& bm : sparse) dense.push_back(WahNot(bm));
+  return dense;
+}
+
+void BM_WahAndMany(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeDenseOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    WahBitmap m = WahAndMany(ptrs, kKWayBits);
+    benchmark::DoNotOptimize(m);
+  }
+}
+
+void BM_WahAndPairwiseFold(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeDenseOperands(state.range(0));
+  for (auto _ : state) {
+    WahBitmap acc;
+    acc.AppendRun(true, kKWayBits);
+    for (const WahBitmap& bm : ops) acc = WahAnd(acc, bm);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void KSweep(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {2, 8, 32, 64}) b->Arg(k);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_WahOrMany)->Apply(KSweep);
+BENCHMARK(BM_WahOrPairwiseFold)->Apply(KSweep);
+BENCHMARK(BM_WahOrManyCount)->Apply(KSweep);
+BENCHMARK(BM_WahAndMany)->Apply(KSweep);
+BENCHMARK(BM_WahAndPairwiseFold)->Apply(KSweep);
+
 void Sweep(benchmark::internal::Benchmark* b) {
   // Densities: 50%, ~6%, ~0.8%, ~0.05%.
   for (int64_t a : {0, 3, 6, 10}) b->Arg(a);
@@ -120,3 +226,5 @@ BENCHMARK(BM_WahRecompress)->Apply(Sweep);
 
 }  // namespace
 }  // namespace cods
+
+CODS_BENCH_MAIN("wah")

@@ -135,7 +135,59 @@ void WahBitmap::AppendGroup(uint64_t payload) {
   num_bits_ += kWahGroupBits;
 }
 
+void WahBitmap::AppendBits(uint64_t payload, uint64_t nbits) {
+  CODS_DCHECK(nbits <= kWahGroupBits);
+  if (nbits == 0) return;
+  payload &= LowBits(nbits);
+  uint64_t space = kWahGroupBits - tail_bits_;
+  if (nbits < space) {
+    tail_ |= payload << tail_bits_;
+    tail_bits_ += nbits;
+    num_bits_ += nbits;
+    return;
+  }
+  // Complete the current group, flush it, and carry the remainder.
+  tail_ |= (payload << tail_bits_) & wah::kPayloadMask;
+  tail_bits_ = kWahGroupBits;
+  num_bits_ += space;
+  FlushTailGroup();
+  uint64_t rest = nbits - space;
+  if (rest > 0) {
+    tail_ = payload >> space;
+    tail_bits_ = rest;
+    num_bits_ += rest;
+  }
+}
+
 void WahBitmap::Concat(const WahBitmap& other) {
+  if (other.num_bits_ == 0) return;
+  if (&other == this) {
+    // Self-concat would mutate the source mid-decode; copy first.
+    WahBitmap copy = other;
+    Concat(copy);
+    return;
+  }
+  if (tail_bits_ == 0) {
+    // Group-aligned: splice other's code words directly, merging the fill
+    // at the boundary. AppendGroup re-canonicalizes homogeneous literals
+    // from non-canonical producers (FromRawParts).
+    Reserve(words_.size() + other.words_.size());
+    for (uint64_t w : other.words_) {
+      if (wah::IsFill(w)) {
+        uint64_t groups = wah::FillGroups(w);
+        AppendFillGroups(wah::FillValue(w), groups);
+        num_bits_ += groups * kWahGroupBits;
+      } else {
+        AppendGroup(w);
+      }
+    }
+    tail_ = other.tail_;
+    tail_bits_ = other.tail_bits_;
+    num_bits_ += other.tail_bits_;
+    return;
+  }
+  // Unaligned: stream other's runs, shifting literal groups in whole.
+  Reserve(words_.size() + other.words_.size());
   uint64_t bits_left = other.num_bits_;
   WahDecoder dec(other);
   while (bits_left > 0) {
@@ -148,20 +200,8 @@ void WahBitmap::Concat(const WahBitmap& other) {
       dec.Consume(groups);
       bits_left -= bits;
     } else {
-      uint64_t payload = dec.group_payload();
       uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
-      // Append the literal group as sub-runs of equal bits.
-      uint64_t consumed = 0;
-      while (consumed < bits) {
-        bool bit = (payload >> consumed) & 1;
-        uint64_t x = bit ? ~payload : payload;
-        x >>= consumed;
-        uint64_t run = x == 0 ? 64 - consumed
-                              : static_cast<uint64_t>(std::countr_zero(x));
-        if (run > bits - consumed) run = bits - consumed;
-        AppendRun(bit, run);
-        consumed += run;
-      }
+      AppendBits(dec.group_payload(), bits);
       dec.Consume(1);
       bits_left -= bits;
     }
@@ -195,6 +235,27 @@ uint64_t WahBitmap::CountOnes() const {
   }
   ones += static_cast<uint64_t>(std::popcount(tail_));
   return ones;
+}
+
+bool WahBitmap::IsAllZeros() const {
+  if (tail_ != 0) return false;
+  for (uint64_t w : words_) {
+    if (wah::IsFill(w) ? wah::FillValue(w) : wah::Literal(w) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WahBitmap::IsAllOnes() const {
+  if (tail_ != LowBits(tail_bits_)) return false;
+  for (uint64_t w : words_) {
+    if (wah::IsFill(w) ? !wah::FillValue(w)
+                       : wah::Literal(w) != wah::kPayloadMask) {
+      return false;
+    }
+  }
+  return true;
 }
 
 uint64_t WahBitmap::FirstSetBit() const {

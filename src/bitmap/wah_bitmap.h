@@ -92,8 +92,36 @@ class WahBitmap {
   /// Requires the current size to be a multiple of 63 (i.e. group aligned).
   void AppendGroup(uint64_t payload);
 
-  /// Appends the full content of `other` after this bitmap's bits.
+  /// Appends the low `nbits` (<= 63) bits of `payload`, at any alignment.
+  /// The group-straddling shift is done word-at-a-time, so appending a
+  /// whole group costs O(1) regardless of its bit pattern.
+  void AppendBits(uint64_t payload, uint64_t nbits);
+
+  /// Appends the full content of `other` after this bitmap's bits. When
+  /// this bitmap is group-aligned (size() % 63 == 0) the code words of
+  /// `other` are spliced in directly — O(#words of other), no per-bit
+  /// re-canonicalization; otherwise each group is shifted in via
+  /// AppendBits (still O(1) per group).
   void Concat(const WahBitmap& other);
+
+  /// Capacity hint for append-heavy builders: reserves room for `words`
+  /// compressed code words.
+  void Reserve(uint64_t words) { words_.reserve(words); }
+
+  // ---- Mutating logical ops (implemented in bitmap/wah_ops.cc) ---------
+  //
+  // Fold-accumulator convenience for callers that cannot batch their
+  // operands into a WahOrMany/WahAndMany call. O(1) when either side is
+  // a homogeneous fill (an untouched or saturated/annihilated
+  // accumulator, a homogeneous operand); otherwise one pairwise merge
+  // into a fresh bitmap that replaces *this — not allocation-free (see
+  // ROADMAP "Open items").
+
+  /// this |= other. Requires equal sizes.
+  void OrWith(const WahBitmap& other);
+
+  /// this &= other. Requires equal sizes.
+  void AndWith(const WahBitmap& other);
 
   // ---- Inspection ------------------------------------------------------
 
@@ -111,6 +139,14 @@ class WahBitmap {
   /// Position of the first set bit, or size() if none. Used by the
   /// decomposition "distinction" step.
   uint64_t FirstSetBit() const;
+
+  /// True iff no bit is set. Early-exits on the first non-zero word, so
+  /// on canonical bitmaps (at most one all-zero fill word) this is O(1) —
+  /// use it instead of `CountOnes() == 0` for emptiness short-circuits.
+  bool IsAllZeros() const;
+
+  /// True iff every bit is set. O(1) on canonical bitmaps.
+  bool IsAllOnes() const;
 
   /// Compressed size in bytes (code words + active tail group).
   uint64_t SizeBytes() const { return (words_.size() + 1) * sizeof(uint64_t); }

@@ -121,24 +121,133 @@ WahBitmap BinaryOp(const WahBitmap& a, const WahBitmap& b, OpKind op) {
       [&](bool value, uint64_t groups) {
         out.AppendRun(value, groups * kWahGroupBits);
       },
-      [&](uint64_t payload, uint64_t bits) {
-        if (bits == kWahGroupBits) {
-          out.AppendGroup(payload);
-        } else {
-          // Final partial group: mask garbage above the logical size.
-          payload &= (uint64_t{1} << bits) - 1;
-          for (uint64_t consumed = 0; consumed < bits;) {
-            bool bit = (payload >> consumed) & 1;
-            uint64_t x = (bit ? ~payload : payload) >> consumed;
-            uint64_t run =
-                x == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(x));
-            if (run > bits - consumed) run = bits - consumed;
-            out.AppendRun(bit, run);
-            consumed += run;
-          }
-        }
-      });
+      [&](uint64_t payload, uint64_t bits) { out.AppendBits(payload, bits); });
   return out;
+}
+
+// Shared driver for the k-way operations; `op` must be kAnd or kOr.
+// Walks one decoder per operand in lockstep and emits (fill value, group
+// count) runs or combined literal payloads, exactly like RunBinaryOp but
+// for arbitrary k. Callers handle k == 0 and k == 1 themselves.
+template <typename FillSink, typename LiteralSink>
+void RunManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
+               uint64_t size, FillSink&& emit_fill,
+               LiteralSink&& emit_literal) {
+  const bool is_or = op == OpKind::kOr;
+  // The fill value that determines the output regardless of the other
+  // operands (OR: ones; AND: zeros). Identity fills are its complement.
+  const bool annihilator = is_or;
+  std::vector<WahDecoder> decs;
+  decs.reserve(operands.size());
+  for (const WahBitmap* bm : operands) decs.emplace_back(*bm);
+  uint64_t bits_left = size;
+  while (bits_left > 0) {
+    uint64_t annihilate = 0;  // widest annihilating fill in sight
+    uint64_t min_fill = ~uint64_t{0};
+    bool all_fills = true;
+    for (const WahDecoder& d : decs) {
+      CODS_DCHECK(!d.exhausted());
+      if (d.is_fill()) {
+        if (d.fill_value() == annihilator &&
+            d.remaining_groups() > annihilate) {
+          annihilate = d.remaining_groups();
+        }
+        if (d.remaining_groups() < min_fill) min_fill = d.remaining_groups();
+      } else {
+        all_fills = false;
+      }
+    }
+    if (annihilate > 0) {
+      // Galloping skip: every other operand crosses `annihilate` groups
+      // in whole-run steps without touching payload bits.
+      emit_fill(annihilator, annihilate);
+      for (WahDecoder& d : decs) ConsumeAcross(d, annihilate);
+      bits_left -= annihilate * kWahGroupBits;
+      continue;
+    }
+    if (all_fills) {
+      // No annihilator in sight, so every fill carries the identity
+      // value; the shortest one bounds the homogeneous span.
+      emit_fill(!annihilator, min_fill);
+      for (WahDecoder& d : decs) d.Consume(min_fill);
+      bits_left -= min_fill * kWahGroupBits;
+      continue;
+    }
+    uint64_t acc = is_or ? 0 : wah::kPayloadMask;
+    if (is_or) {
+      for (WahDecoder& d : decs) {
+        acc |= d.group_payload();
+        d.Consume(1);
+      }
+    } else {
+      for (WahDecoder& d : decs) {
+        acc &= d.group_payload();
+        d.Consume(1);
+      }
+    }
+    uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
+    emit_literal(acc & wah::kPayloadMask, bits);
+    bits_left -= bits;
+  }
+}
+
+// Size validation shared by the general merge and the k<=1 fast paths
+// (the fold this replaces CHECK-ed every operand, so these do too).
+void CheckOperandSizes(const std::vector<const WahBitmap*>& operands,
+                       uint64_t size) {
+  for (const WahBitmap* bm : operands) {
+    CODS_CHECK(bm->size() == size)
+        << "WAH k-way op operand of size " << bm->size() << ", want "
+        << size;
+  }
+}
+
+std::vector<const WahBitmap*> PointersTo(const std::vector<WahBitmap>& bms) {
+  std::vector<const WahBitmap*> out;
+  out.reserve(bms.size());
+  for (const WahBitmap& bm : bms) out.push_back(&bm);
+  return out;
+}
+
+WahBitmap ManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
+                 uint64_t size) {
+  CheckOperandSizes(operands, size);
+  WahBitmap out;
+  if (operands.empty()) {
+    out.AppendRun(op == OpKind::kAnd, size);
+    return out;
+  }
+  if (operands.size() == 1) return *operands[0];
+  uint64_t max_words = 0;
+  for (const WahBitmap* bm : operands) {
+    if (bm->NumWords() > max_words) max_words = bm->NumWords();
+  }
+  out.Reserve(max_words);
+  RunManyOp(
+      operands, op, size,
+      [&](bool value, uint64_t groups) {
+        out.AppendRun(value, groups * kWahGroupBits);
+      },
+      [&](uint64_t payload, uint64_t bits) { out.AppendBits(payload, bits); });
+  return out;
+}
+
+uint64_t ManyOpCount(const std::vector<const WahBitmap*>& operands, OpKind op,
+                     uint64_t size) {
+  CheckOperandSizes(operands, size);
+  if (operands.empty()) return op == OpKind::kAnd ? size : 0;
+  if (operands.size() == 1) return operands[0]->CountOnes();
+  uint64_t ones = 0;
+  RunManyOp(
+      operands, op, size,
+      [&](bool value, uint64_t groups) {
+        if (value) ones += groups * kWahGroupBits;
+      },
+      [&](uint64_t payload, uint64_t bits) {
+        if (bits < kWahGroupBits) payload &= (uint64_t{1} << bits) - 1;
+        ones += static_cast<uint64_t>(std::popcount(payload));
+      });
+  return ones;
 }
 
 }  // namespace
@@ -172,23 +281,7 @@ WahBitmap WahNot(const WahBitmap& a) {
       bits_left -= groups * kWahGroupBits;
     } else {
       uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
-      uint64_t payload = ~dec.group_payload() & ((bits == kWahGroupBits)
-                                                     ? wah::kPayloadMask
-                                                     : (uint64_t{1} << bits) -
-                                                           1);
-      if (bits == kWahGroupBits) {
-        out.AppendGroup(payload);
-      } else {
-        for (uint64_t consumed = 0; consumed < bits;) {
-          bool bit = (payload >> consumed) & 1;
-          uint64_t x = (bit ? ~payload : payload) >> consumed;
-          uint64_t run =
-              x == 0 ? 64 : static_cast<uint64_t>(std::countr_zero(x));
-          if (run > bits - consumed) run = bits - consumed;
-          out.AppendRun(bit, run);
-          consumed += run;
-        }
-      }
+      out.AppendBits(~dec.group_payload(), bits);
       dec.Consume(1);
       bits_left -= bits;
     }
@@ -208,6 +301,68 @@ uint64_t WahAndCount(const WahBitmap& a, const WahBitmap& b) {
         ones += static_cast<uint64_t>(std::popcount(payload));
       });
   return ones;
+}
+
+WahBitmap WahOrMany(const std::vector<const WahBitmap*>& operands,
+                    uint64_t size) {
+  return ManyOp(operands, OpKind::kOr, size);
+}
+
+WahBitmap WahAndMany(const std::vector<const WahBitmap*>& operands,
+                     uint64_t size) {
+  return ManyOp(operands, OpKind::kAnd, size);
+}
+
+uint64_t WahOrManyCount(const std::vector<const WahBitmap*>& operands,
+                        uint64_t size) {
+  return ManyOpCount(operands, OpKind::kOr, size);
+}
+
+uint64_t WahAndManyCount(const std::vector<const WahBitmap*>& operands,
+                         uint64_t size) {
+  return ManyOpCount(operands, OpKind::kAnd, size);
+}
+
+WahBitmap WahOrMany(const std::vector<WahBitmap>& operands, uint64_t size) {
+  return ManyOp(PointersTo(operands), OpKind::kOr, size);
+}
+
+WahBitmap WahAndMany(const std::vector<WahBitmap>& operands, uint64_t size) {
+  return ManyOp(PointersTo(operands), OpKind::kAnd, size);
+}
+
+uint64_t WahOrManyCount(const std::vector<WahBitmap>& operands,
+                        uint64_t size) {
+  return ManyOpCount(PointersTo(operands), OpKind::kOr, size);
+}
+
+uint64_t WahAndManyCount(const std::vector<WahBitmap>& operands,
+                         uint64_t size) {
+  return ManyOpCount(PointersTo(operands), OpKind::kAnd, size);
+}
+
+void WahBitmap::OrWith(const WahBitmap& other) {
+  CODS_CHECK(size() == other.size())
+      << "WAH OrWith on different sizes: " << size() << " vs "
+      << other.size();
+  if (other.IsAllZeros() || IsAllOnes()) return;
+  if (IsAllZeros() || other.IsAllOnes()) {
+    *this = other;
+    return;
+  }
+  *this = WahOr(*this, other);
+}
+
+void WahBitmap::AndWith(const WahBitmap& other) {
+  CODS_CHECK(size() == other.size())
+      << "WAH AndWith on different sizes: " << size() << " vs "
+      << other.size();
+  if (other.IsAllOnes() || IsAllZeros()) return;
+  if (IsAllOnes() || other.IsAllZeros()) {
+    *this = other;
+    return;
+  }
+  *this = WahAnd(*this, other);
 }
 
 bool WahIntersects(const WahBitmap& a, const WahBitmap& b) {

@@ -200,10 +200,18 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
       tvids.push_back(t.column(idx)->DecodeVids());
       builders.emplace_back(t.column(idx)->distinct_count());
     }
-    for (uint64_t j = 0; j < s.rows(); ++j) {
-      uint64_t trow = t_row_of_s_row[j];
-      for (size_t p = 0; p < t_payload.size(); ++p) {
-        builders[p][tvids[p][trow]].AppendSetBit(j);
+    // One pass per payload column: maximal runs of S rows that map to
+    // the same output value append as a single one-run instead of
+    // row-at-a-time set bits — S clustered by its FK degenerates to a
+    // handful of fill appends per value.
+    for (size_t p = 0; p < t_payload.size(); ++p) {
+      const std::vector<Vid>& vids = tvids[p];
+      for (uint64_t j = 0; j < s.rows();) {
+        Vid v = vids[t_row_of_s_row[j]];
+        uint64_t end = j + 1;
+        while (end < s.rows() && vids[t_row_of_s_row[end]] == v) ++end;
+        AppendOnesAt(&builders[p][v], j, end - j);
+        j = end;
       }
     }
     for (size_t p = 0; p < t_payload.size(); ++p) {

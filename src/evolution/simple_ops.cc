@@ -98,7 +98,8 @@ Result<std::shared_ptr<const Table>> UnionTablesOp(
         bitmaps[v].AppendRun(false, a.rows());
       }
     }
-    // Suffix: b's bitmaps appended on the compressed form.
+    // Suffix: b's bitmaps appended on the compressed form (when a.rows()
+    // is group-aligned, Concat splices code words directly).
     std::vector<bool> extended(dict.size(), false);
     for (Vid v = 0; v < cb.distinct_count(); ++v) {
       bitmaps[b_to_out[v]].Concat(cb.bitmap(v));
@@ -128,19 +129,20 @@ Result<PartitionResult> PartitionTableOp(const Table& src,
   }
   const std::string opname = "PARTITION " + src.name();
   CODS_ASSIGN_OR_RETURN(auto pred_col, src.ColumnByName(column));
-  // Selection bitmap: OR of the bitmaps of qualifying dictionary values,
-  // evaluated on compressed words.
+  // Selection bitmap: single-pass k-way union of the bitmaps of
+  // qualifying dictionary values, evaluated on compressed words.
   WahBitmap selection;
-  selection.AppendRun(false, src.rows());
   {
     ScopedStep step(observer, opname, "select",
                     column + " " + std::string(CompareOpToString(op)) + " " +
                         literal.ToString());
+    std::vector<const WahBitmap*> qualifying;
     for (Vid v = 0; v < pred_col->distinct_count(); ++v) {
       if (EvalCompare(pred_col->dict().value(v), op, literal)) {
-        selection = WahOr(selection, pred_col->bitmap(v));
+        qualifying.push_back(&pred_col->bitmap(v));
       }
     }
+    selection = WahOrMany(qualifying, src.rows());
   }
   std::vector<uint64_t> pos1 = selection.SetPositions();
   std::vector<uint64_t> pos2 = WahNot(selection).SetPositions();

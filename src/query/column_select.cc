@@ -22,43 +22,82 @@ Result<WahBitmap> EvalPredicate(const Table& table,
     }
     return EvalCompare(v, predicate.op, predicate.literal);
   };
-  WahBitmap selection;
-  selection.AppendRun(false, table.rows());
+  // Single-pass k-way union of the qualifying value bitmaps — one output
+  // append stream instead of a pairwise left-fold's k intermediates.
+  std::vector<const WahBitmap*> qualifying;
   for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
     if (qualifies(col->dict().value(vid))) {
-      selection = WahOr(selection, col->bitmap(vid));
+      qualifying.push_back(&col->bitmap(vid));
     }
   }
-  return selection;
+  return WahOrMany(qualifying, table.rows());
 }
 
-Result<WahBitmap> EvalConjunction(const Table& table,
-                                  const std::vector<ColumnPredicate>& preds) {
-  WahBitmap selection;
-  selection.AppendRun(true, table.rows());
+namespace {
+
+// Evaluates every predicate to its selection bitmap. Returns an empty
+// vector (and sets *empty) as soon as one predicate selects nothing —
+// the conjunction is empty and the remaining predicates never run.
+Result<std::vector<WahBitmap>> EvalAllPredicates(
+    const Table& table, const std::vector<ColumnPredicate>& preds,
+    bool* any_empty) {
+  *any_empty = false;
+  std::vector<WahBitmap> evaluated;
+  evaluated.reserve(preds.size());
   for (const ColumnPredicate& pred : preds) {
     CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
-    selection = WahAnd(selection, one);
-    if (selection.CountOnes() == 0) break;  // short-circuit
+    if (one.IsAllZeros()) {  // O(1) emptiness, not a CountOnes() decode
+      *any_empty = true;
+      return std::vector<WahBitmap>{};
+    }
+    evaluated.push_back(std::move(one));
   }
-  return selection;
+  return evaluated;
+}
+
+}  // namespace
+
+// Note the short-circuit granularity: the fold this replaces could also
+// stop when two individually non-empty predicates intersected to
+// nothing, at the price of a full CountOnes() decode per step. Here only
+// per-predicate emptiness stops evaluation early; pairwise-disjoint
+// operands are instead handled by zero-fill annihilation inside the
+// single k-way AND.
+Result<WahBitmap> EvalConjunction(const Table& table,
+                                  const std::vector<ColumnPredicate>& preds) {
+  bool any_empty = false;
+  CODS_ASSIGN_OR_RETURN(std::vector<WahBitmap> evaluated,
+                        EvalAllPredicates(table, preds, &any_empty));
+  if (any_empty) {
+    WahBitmap none;
+    none.AppendRun(false, table.rows());
+    return none;
+  }
+  return WahAndMany(evaluated, table.rows());
 }
 
 Result<WahBitmap> EvalDisjunction(const Table& table,
                                   const std::vector<ColumnPredicate>& preds) {
-  WahBitmap selection;
-  selection.AppendRun(false, table.rows());
+  // Every predicate is evaluated (so invalid predicates error even when
+  // an earlier one already saturated); a saturated operand costs the
+  // k-way union nothing thanks to one-fill annihilation.
+  std::vector<WahBitmap> evaluated;
+  evaluated.reserve(preds.size());
   for (const ColumnPredicate& pred : preds) {
     CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
-    selection = WahOr(selection, one);
+    evaluated.push_back(std::move(one));
   }
-  return selection;
+  return WahOrMany(evaluated, table.rows());
 }
 
 Result<uint64_t> CountWhere(const Table& table,
                             const std::vector<ColumnPredicate>& preds) {
-  CODS_ASSIGN_OR_RETURN(WahBitmap selection, EvalConjunction(table, preds));
-  return selection.CountOnes();
+  bool any_empty = false;
+  CODS_ASSIGN_OR_RETURN(std::vector<WahBitmap> evaluated,
+                        EvalAllPredicates(table, preds, &any_empty));
+  if (any_empty) return 0;
+  // Count-only kernel: the selection bitmap is never materialized.
+  return WahAndManyCount(evaluated, table.rows());
 }
 
 Result<std::shared_ptr<const Table>> SelectWhere(
@@ -118,16 +157,28 @@ Result<std::vector<std::pair<Value, double>>> GroupBySum(
     return Status::InvalidArgument(
         "GroupBySum requires WAH-encoded columns");
   }
+  // Hoist per-measure emptiness out of the O(v_group · v_measure) loop
+  // and skip empty group bitmaps entirely; the inner combine stays on the
+  // count-only kernel (nothing is materialized).
+  std::vector<const WahBitmap*> live_measures;
+  std::vector<double> measure_values;
+  for (Vid m = 0; m < measure->distinct_count(); ++m) {
+    if (measure->bitmap(m).IsAllZeros()) continue;
+    live_measures.push_back(&measure->bitmap(m));
+    const Value& v = measure->dict().value(m);
+    measure_values.push_back(v.is_int64() ? static_cast<double>(v.int64())
+                                          : v.dbl());
+  }
   std::vector<std::pair<Value, double>> out;
   out.reserve(group->distinct_count());
   for (Vid g = 0; g < group->distinct_count(); ++g) {
     double sum = 0;
-    for (Vid m = 0; m < measure->distinct_count(); ++m) {
-      uint64_t count = WahAndCount(group->bitmap(g), measure->bitmap(m));
-      if (count == 0) continue;
-      const Value& v = measure->dict().value(m);
-      double x = v.is_int64() ? static_cast<double>(v.int64()) : v.dbl();
-      sum += x * static_cast<double>(count);
+    if (!group->bitmap(g).IsAllZeros()) {
+      for (size_t m = 0; m < live_measures.size(); ++m) {
+        uint64_t count = WahAndCount(group->bitmap(g), *live_measures[m]);
+        if (count == 0) continue;
+        sum += measure_values[m] * static_cast<double>(count);
+      }
     }
     out.emplace_back(group->dict().value(g), sum);
   }

@@ -160,21 +160,20 @@ Status Column::ValidateInvariants() const {
     return Status::Corruption("bitmap count != dictionary size");
   }
   uint64_t total_ones = 0;
-  WahBitmap coverage;
-  coverage.AppendRun(false, rows_);
   for (const WahBitmap& bm : bitmaps_) {
     if (bm.size() != rows_) {
       return Status::Corruption("bitmap length != row count");
     }
     total_ones += bm.CountOnes();
-    coverage = WahOr(coverage, bm);
   }
   if (total_ones != rows_) {
     return Status::Corruption("bitmaps do not partition rows: " +
                               std::to_string(total_ones) + " ones over " +
                               std::to_string(rows_) + " rows");
   }
-  if (coverage.CountOnes() != rows_) {
+  // Coverage = |union of all value bitmaps|, computed by the count-only
+  // k-way kernel in one pass — the union bitmap is never materialized.
+  if (WahOrManyCount(bitmaps_, rows_) != rows_) {
     return Status::Corruption("bitmaps overlap or leave gaps");
   }
   return Status::OK();

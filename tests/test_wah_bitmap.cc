@@ -147,6 +147,98 @@ TEST(WahBitmap, ConcatWithEmptySides) {
   EXPECT_EQ(right, a);
 }
 
+TEST(WahBitmap, ConcatGroupAlignedSplicesWords) {
+  // Left side ends exactly on a group boundary: the word-splice fast
+  // path must produce the same canonical form as bit-by-bit appending.
+  WahBitmap left;
+  left.AppendRun(false, 63 * 4);
+  left.AppendSetBit(63 * 4);       // literal group with one bit...
+  left.AppendRun(false, 63 - 1);   // ...completed to the boundary
+  ASSERT_EQ(left.size() % 63, 0u);
+  WahBitmap right;
+  right.AppendRun(true, 63 * 2);
+  right.AppendSetBit(63 * 2 + 5);
+  right.AppendRun(false, 40);      // partial tail carried over
+  WahBitmap joined = left;
+  joined.Concat(right);
+
+  WahBitmap oracle;
+  std::vector<bool> bits = left.ToBools();
+  std::vector<bool> rbits = right.ToBools();
+  bits.insert(bits.end(), rbits.begin(), rbits.end());
+  EXPECT_EQ(joined, WahBitmap::FromBools(bits));
+  EXPECT_EQ(joined.words(), WahBitmap::FromBools(bits).words());
+}
+
+TEST(WahBitmap, ConcatMergesBoundaryFills) {
+  WahBitmap left, right;
+  left.AppendRun(false, 63 * 3);
+  right.AppendRun(false, 63 * 5);
+  WahBitmap joined = left;
+  joined.Concat(right);
+  EXPECT_EQ(joined.NumWords(), 1u);  // single merged zero fill
+  EXPECT_EQ(joined.size(), 63u * 8);
+}
+
+TEST(WahBitmap, ConcatSelfDoubles) {
+  WahBitmap a = WahBitmap::FromPositions({2, 64, 100}, 130);
+  WahBitmap expected = a;
+  expected.Concat(WahBitmap(a));
+  a.Concat(a);
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(a.SetPositions(),
+            (std::vector<uint64_t>{2, 64, 100, 132, 194, 230}));
+}
+
+TEST(WahBitmap, AppendBitsMatchesBitByBit) {
+  for (uint64_t lead : {0ull, 1ull, 62ull, 63ull, 100ull}) {
+    WahBitmap via_bits, via_words;
+    via_bits.AppendRun(true, lead);
+    via_words.AppendRun(true, lead);
+    const uint64_t payload = 0x5a5a5a5a5a5a5a5aull & wah::kPayloadMask;
+    for (uint64_t nbits : {1ull, 17ull, 63ull}) {
+      via_words.AppendBits(payload, nbits);
+      for (uint64_t i = 0; i < nbits; ++i) {
+        via_bits.AppendBit((payload >> i) & 1);
+      }
+    }
+    EXPECT_EQ(via_words, via_bits) << "lead=" << lead;
+  }
+}
+
+TEST(WahBitmap, IsAllZerosAndAllOnes) {
+  WahBitmap empty;
+  EXPECT_TRUE(empty.IsAllZeros());
+  EXPECT_TRUE(empty.IsAllOnes());  // vacuously
+
+  WahBitmap zeros;
+  zeros.AppendRun(false, 63 * 100 + 3);
+  EXPECT_TRUE(zeros.IsAllZeros());
+  EXPECT_FALSE(zeros.IsAllOnes());
+
+  WahBitmap ones;
+  ones.AppendRun(true, 63 * 100 + 3);
+  EXPECT_FALSE(ones.IsAllZeros());
+  EXPECT_TRUE(ones.IsAllOnes());
+
+  WahBitmap one_bit = WahBitmap::FromPositions({63 * 99}, 63 * 100);
+  EXPECT_FALSE(one_bit.IsAllZeros());
+  EXPECT_FALSE(one_bit.IsAllOnes());
+
+  // Set bit only in the partial tail.
+  WahBitmap tail_bit = WahBitmap::FromPositions({63 * 2 + 1}, 63 * 2 + 10);
+  EXPECT_FALSE(tail_bit.IsAllZeros());
+}
+
+TEST(WahBitmap, ReserveDoesNotChangeContent) {
+  WahBitmap a = WahBitmap::FromPositions({1, 200, 4000}, 5000);
+  WahBitmap b = a;
+  b.Reserve(1024);
+  EXPECT_EQ(a, b);
+  b.AppendRun(true, 10);
+  EXPECT_EQ(b.size(), 5010u);
+}
+
 TEST(WahBitmap, FirstSetBitOnAllZeros) {
   WahBitmap bm;
   bm.AppendRun(false, 500);
