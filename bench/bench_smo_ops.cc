@@ -21,11 +21,18 @@ std::unique_ptr<Catalog> FreshCatalog() {
   return catalog;
 }
 
-void RunSmo(benchmark::State& state, const Smo& smo) {
+// Runs one SMO per iteration on an engine configured for `threads`
+// workers (0: process default). The heavy data-movement benchmarks
+// sweep threads via their benchmark Arg so the speedup curve lands in
+// BENCH_smo_ops.json; schema-only ops run at the default.
+void RunSmo(benchmark::State& state, const Smo& smo, int threads = 0) {
+  bench::RunMeta meta(state, ExecContext(threads).num_threads());
+  EngineOptions options;
+  options.num_threads = threads;
   for (auto _ : state) {
     state.PauseTiming();
     auto catalog = FreshCatalog();
-    EvolutionEngine engine(catalog.get());
+    EvolutionEngine engine(catalog.get(), nullptr, options);
     state.ResumeTiming();
     Status st = engine.Apply(smo);
     CODS_CHECK(st.ok()) << st.ToString();
@@ -52,12 +59,16 @@ void BM_Smo_CopyTable(benchmark::State& state) {
 }
 
 void BM_Smo_UnionTables(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  bench::RunMeta meta(state, ExecContext(threads).num_threads());
+  EngineOptions options;
+  options.num_threads = threads;
   for (auto _ : state) {
     state.PauseTiming();
     auto catalog = FreshCatalog();
     CODS_CHECK_OK(catalog->AddTable(
         bench::CachedR(kDistinct)->WithName("R2")));
-    EvolutionEngine engine(catalog.get());
+    EvolutionEngine engine(catalog.get(), nullptr, options);
     state.ResumeTiming();
     Status st = engine.Apply(Smo::UnionTables("R", "R2", "U"));
     CODS_CHECK(st.ok()) << st.ToString();
@@ -67,24 +78,30 @@ void BM_Smo_UnionTables(benchmark::State& state) {
 void BM_Smo_PartitionTable(benchmark::State& state) {
   RunSmo(state,
          Smo::PartitionTable("R", "A", "B", kKeyColumn, CompareOp::kLt,
-                             Value(static_cast<int64_t>(kDistinct / 2))));
+                             Value(static_cast<int64_t>(kDistinct / 2))),
+         static_cast<int>(state.range(0)));
 }
 
 void BM_Smo_DecomposeTable(benchmark::State& state) {
-  RunSmo(state, Smo::DecomposeTable("R", "S",
-                                    {kKeyColumn, kPayloadColumn}, {}, "T",
-                                    {kKeyColumn, kDependentColumn},
-                                    {kKeyColumn}));
+  RunSmo(state,
+         Smo::DecomposeTable("R", "S", {kKeyColumn, kPayloadColumn}, {},
+                             "T", {kKeyColumn, kDependentColumn},
+                             {kKeyColumn}),
+         static_cast<int>(state.range(0)));
 }
 
 void BM_Smo_MergeTables(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  bench::RunMeta meta(state, ExecContext(threads).num_threads());
+  EngineOptions options;
+  options.num_threads = threads;
   const GeneratedPair& pair = bench::CachedPair(kDistinct);
   for (auto _ : state) {
     state.PauseTiming();
     Catalog catalog;
     CODS_CHECK_OK(catalog.AddTable(pair.s));
     CODS_CHECK_OK(catalog.AddTable(pair.t));
-    EvolutionEngine engine(&catalog);
+    EvolutionEngine engine(&catalog, nullptr, options);
     state.ResumeTiming();
     Status st =
         engine.Apply(Smo::MergeTables("S", "T", "R", {kKeyColumn}, {}));
@@ -108,14 +125,26 @@ void BM_Smo_RenameColumn(benchmark::State& state) {
 #define CODS_SMO_BENCH(fn) \
   BENCHMARK(fn)->Unit(benchmark::kMicrosecond)->MinTime(0.1)
 
+// Data-movement ops sweep the worker count so the speedup curve lands
+// in BENCH_smo_ops.json (threads counter on every series).
+#define CODS_SMO_BENCH_THREADS(fn)                          \
+  BENCHMARK(fn)                                             \
+      ->Unit(benchmark::kMicrosecond)                       \
+      ->MinTime(0.1)                                        \
+      ->ArgName("threads")                                  \
+      ->Arg(1)                                              \
+      ->Arg(2)                                              \
+      ->Arg(4)                                              \
+      ->Arg(8)
+
 CODS_SMO_BENCH(BM_Smo_CreateTable);
 CODS_SMO_BENCH(BM_Smo_DropTable);
 CODS_SMO_BENCH(BM_Smo_RenameTable);
 CODS_SMO_BENCH(BM_Smo_CopyTable);
-CODS_SMO_BENCH(BM_Smo_UnionTables);
-CODS_SMO_BENCH(BM_Smo_PartitionTable);
-CODS_SMO_BENCH(BM_Smo_DecomposeTable);
-CODS_SMO_BENCH(BM_Smo_MergeTables);
+CODS_SMO_BENCH_THREADS(BM_Smo_UnionTables);
+CODS_SMO_BENCH_THREADS(BM_Smo_PartitionTable);
+CODS_SMO_BENCH_THREADS(BM_Smo_DecomposeTable);
+CODS_SMO_BENCH_THREADS(BM_Smo_MergeTables);
 CODS_SMO_BENCH(BM_Smo_AddColumn);
 CODS_SMO_BENCH(BM_Smo_DropColumn);
 CODS_SMO_BENCH(BM_Smo_RenameColumn);

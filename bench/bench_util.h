@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "exec/exec.h"
 #include "query/row_executor.h"
 #include "workload/generator.h"
 
@@ -29,30 +31,80 @@ namespace cods::bench {
 /// the registered benchmarks with the human console reporter and, unless
 /// the caller passed their own --benchmark_out, also writes the full
 /// results as JSON to BENCH_<name>.json in the working directory so perf
-/// trajectories can be tracked across PRs without scraping stdout.
+/// trajectories can be tracked across PRs without scraping stdout
+/// (scripts/check_bench_regression.py consumes these files).
+///
+/// Recognizes `--threads=N` (consumed before google-benchmark sees the
+/// argument list): sets the process default thread count for every
+/// parallel path that does not sweep thread counts itself.
 inline int BenchMain(int argc, char** argv, const char* name) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
+  int default_threads = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      default_threads = std::atoi(argv[i] + 10);
+      continue;  // ours, not google-benchmark's
+    }
     // Exact-prefix "--benchmark_out=": "--benchmark_out_format" alone
     // must not suppress the default JSON file.
     if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    args.push_back(argv[i]);
   }
+  if (default_threads > 0) SetDefaultThreads(default_threads);
   std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  // Context keys land in the JSON header, so the regression gate can
+  // refuse to compare runs taken at different thread settings.
+  ::benchmark::AddCustomContext(
+      "cods_threads",
+      std::to_string(ExecContext(default_threads).num_threads()));
   int args_count = static_cast<int>(args.size());
   ::benchmark::Initialize(&args_count, args.data());
   if (::benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  auto wall_start = std::chrono::steady_clock::now();
   ::benchmark::RunSpecifiedBenchmarks();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  std::fprintf(stderr, "BENCH_%s wall-clock: %.2fs\n", name, wall_s);
   ::benchmark::Shutdown();
   return 0;
 }
+
+/// Attaches the per-run execution metadata counters every bench series
+/// should carry: the thread count the series ran at and the wall-clock
+/// time of the whole measured loop in milliseconds (google-benchmark's
+/// real_time is per-iteration; wall_ms lets the regression gate sanity-
+/// check total run cost too).
+class RunMeta {
+ public:
+  explicit RunMeta(benchmark::State& state, int threads)
+      : state_(state),
+        threads_(threads),
+        start_(std::chrono::steady_clock::now()) {}
+  ~RunMeta() {
+    state_.counters["threads"] = static_cast<double>(threads_);
+    state_.counters["wall_ms"] =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+  }
+  RunMeta(const RunMeta&) = delete;
+  RunMeta& operator=(const RunMeta&) = delete;
+
+ private:
+  benchmark::State& state_;
+  int threads_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Benchmark table size: CODS_BENCH_ROWS env var, default 100'000.
 inline uint64_t BenchRows() {

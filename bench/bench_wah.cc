@@ -199,8 +199,61 @@ void BM_WahAndPairwiseFold(benchmark::State& state) {
   }
 }
 
+// Clustered operands: each operand holds a few dense clusters with long
+// zero fills between them — the value-bitmap shape of clustered or
+// sorted columns. This is the regime the k-way kernel's heap/active-list
+// merge targets: per output group it touches only the operands whose
+// current run ends there, so the cost is nearly flat in k while the
+// pairwise fold stays O(k · words).
+std::vector<WahBitmap> MakeClusteredOperands(int64_t k) {
+  std::vector<WahBitmap> ops;
+  ops.reserve(static_cast<size_t>(k));
+  uint64_t cluster = kKWayBits / static_cast<uint64_t>(k) / 4;
+  for (int64_t i = 0; i < k; ++i) {
+    Rng rng(77 + static_cast<uint64_t>(i));
+    WahBitmap bm;
+    for (int c = 0; c < 4; ++c) {
+      uint64_t start = static_cast<uint64_t>(
+          rng.Uniform(0, static_cast<int64_t>(kKWayBits - cluster)));
+      if (start < bm.size()) start = bm.size();
+      if (start + cluster > kKWayBits) break;
+      bm.AppendRun(false, start - bm.size());
+      for (uint64_t p = 0; p < cluster; ++p) {
+        bm.AppendBit(rng.Uniform(0, 2) == 0);
+      }
+    }
+    bm.AppendRun(false, kKWayBits - bm.size());
+    ops.push_back(std::move(bm));
+  }
+  return ops;
+}
+
+void BM_WahOrManyClustered(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeClusteredOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    WahBitmap u = WahOrMany(ptrs, kKWayBits);
+    benchmark::DoNotOptimize(u);
+  }
+}
+
+void BM_WahOrFoldClustered(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeClusteredOperands(state.range(0));
+  for (auto _ : state) {
+    WahBitmap acc;
+    acc.AppendRun(false, kKWayBits);
+    for (const WahBitmap& bm : ops) acc = WahOr(acc, bm);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
 void KSweep(benchmark::internal::Benchmark* b) {
   for (int64_t k : {2, 8, 32, 64}) b->Arg(k);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+void WideKSweep(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {32, 64, 128, 256}) b->Arg(k);
   b->Unit(benchmark::kMicrosecond);
 }
 
@@ -209,6 +262,8 @@ BENCHMARK(BM_WahOrPairwiseFold)->Apply(KSweep);
 BENCHMARK(BM_WahOrManyCount)->Apply(KSweep);
 BENCHMARK(BM_WahAndMany)->Apply(KSweep);
 BENCHMARK(BM_WahAndPairwiseFold)->Apply(KSweep);
+BENCHMARK(BM_WahOrManyClustered)->Apply(WideKSweep);
+BENCHMARK(BM_WahOrFoldClustered)->Apply(WideKSweep);
 
 void Sweep(benchmark::internal::Benchmark* b) {
   // Densities: 50%, ~6%, ~0.8%, ~0.05%.

@@ -270,7 +270,26 @@ class Shell {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads N / --threads=N: worker count for the parallel execution
+  // layer (default: CODS_THREADS env var, else hardware concurrency).
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    int threads = 0;
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: cods_shell [--threads N]\n";
+      return 2;
+    }
+    if (threads <= 0) {
+      std::cerr << "--threads wants a positive integer\n";
+      return 2;
+    }
+    SetDefaultThreads(threads);
+  }
   bool interactive = isatty(0);
   std::cout << "CODS shell — column-oriented database schema evolution\n"
             << "type .help for commands\n";

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Cross-PR benchmark regression gate.
+
+Compares the BENCH_<name>.json files emitted by the bench binaries
+(bench/bench_util.h writes them next to the working directory) against
+committed baselines and fails when a tracked metric regressed by more
+than the threshold.
+
+Usage:
+  check_bench_regression.py --baseline-dir bench/baselines \
+      --current-dir . [--threshold 0.15] [--metric real_time] [--update]
+
+Behavior:
+  * Only benchmarks present in BOTH files are compared (new series are
+    allowed to appear; removed ones are reported as a warning).
+  * Aggregate series (``_mean``/``_median``/``_stddev``/``_cv``) are
+    compared only via ``_median`` when present; raw series are used
+    otherwise.
+  * Runs taken at a different ``cods_threads`` context than the baseline
+    are skipped with a warning (timings are not comparable).
+  * ``--update`` rewrites the baselines from the current files instead of
+    comparing (use after an intentional perf change, and commit them).
+  * Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+AGGREGATE_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def series(doc, metric):
+    """name -> metric value, preferring _median aggregates when present."""
+    out = {}
+    medians = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            if name.endswith("_median"):
+                medians[name[: -len("_median")]] = float(b[metric])
+            continue
+        if name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        if metric in b:
+            out[name] = float(b[metric])
+    out.update(medians)  # aggregates win over raw iterations
+    return out
+
+
+def context_threads(doc):
+    return doc.get("context", {}).get("cods_threads")
+
+
+def compare(baseline_path, current_path, threshold, metric):
+    base = load(baseline_path)
+    cur = load(current_path)
+    bt, ct = context_threads(base), context_threads(cur)
+    if bt is not None and ct is not None and bt != ct:
+        print(
+            f"SKIP {os.path.basename(current_path)}: cods_threads "
+            f"{ct} != baseline {bt}"
+        )
+        return None
+    base_series = series(base, metric)
+    cur_series = series(cur, metric)
+    regressions = []
+    missing = sorted(set(base_series) - set(cur_series))
+    if missing:
+        print(
+            f"WARN {os.path.basename(current_path)}: series removed: "
+            + ", ".join(missing[:5])
+            + ("..." if len(missing) > 5 else "")
+        )
+    for name in sorted(set(base_series) & set(cur_series)):
+        b, c = base_series[name], cur_series[name]
+        if b <= 0:
+            continue
+        ratio = c / b
+        status = "OK"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append((name, b, c, ratio))
+        print(f"{status:10s} {name:60s} {b:12.1f} -> {c:12.1f} ({ratio:5.2f}x)")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--current-dir", required=True)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--metric", default="real_time")
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    current = sorted(
+        f
+        for f in os.listdir(args.current_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not current:
+        print(f"no BENCH_*.json files in {args.current_dir}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for f in current:
+            src = os.path.join(args.current_dir, f)
+            dst = os.path.join(args.baseline_dir, f)
+            with open(src) as i, open(dst, "w") as o:
+                o.write(i.read())
+            print(f"updated {dst}")
+        return 0
+
+    all_regressions = []
+    compared = 0
+    skipped = 0
+    for f in current:
+        baseline = os.path.join(args.baseline_dir, f)
+        if not os.path.exists(baseline):
+            print(f"WARN no baseline for {f}; skipping (commit one with --update)")
+            continue
+        result = compare(
+            baseline, os.path.join(args.current_dir, f), args.threshold,
+            args.metric,
+        )
+        if result is None:  # thread-context mismatch
+            skipped += 1
+            continue
+        compared += 1
+        all_regressions += result
+
+    if compared == 0:
+        if skipped > 0:
+            # Every baseline was skipped for a context mismatch: the gate
+            # would silently gate nothing. Fail loudly instead.
+            print(
+                f"ERROR: all {skipped} baseline(s) skipped on cods_threads "
+                "mismatch; pin CODS_THREADS to the baseline context",
+                file=sys.stderr,
+            )
+            return 2
+        print("no baselines matched; nothing compared")
+        return 0
+    if all_regressions:
+        print(
+            f"\n{len(all_regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} on {args.metric}:"
+        )
+        for name, b, c, ratio in all_regressions:
+            print(f"  {name}: {b:.1f} -> {c:.1f} ({ratio:.2f}x)")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

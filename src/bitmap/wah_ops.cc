@@ -1,6 +1,9 @@
 #include "bitmap/wah_ops.h"
 
+#include <algorithm>
 #include <bit>
+#include <queue>
+#include <utility>
 
 namespace cods {
 
@@ -126,9 +129,25 @@ WahBitmap BinaryOp(const WahBitmap& a, const WahBitmap& b, OpKind op) {
 }
 
 // Shared driver for the k-way operations; `op` must be kAnd or kOr.
-// Walks one decoder per operand in lockstep and emits (fill value, group
-// count) runs or combined literal payloads, exactly like RunBinaryOp but
-// for arbitrary k. Callers handle k == 0 and k == 1 themselves.
+// Emits (fill value, group count) runs or combined literal payloads,
+// exactly like RunBinaryOp but for arbitrary k.
+//
+// Event-driven merge: instead of touching all k decoders per 63-bit
+// group (O(k) even when k-1 operands sit in megabit identity fills),
+// each operand lives in exactly one of two places:
+//
+//   * `active` — its current run is a literal group, so it must be
+//     combined into every output group until the run ends;
+//   * the min-heap — it is parked inside a fill, keyed by the absolute
+//     group index where that fill ends. Identity fills contribute
+//     nothing until they end; annihilating fills trigger a galloping
+//     skip to their end the moment they are classified.
+//
+// The literal step therefore costs O(|active|), and an operand's decoder
+// is only advanced when the cursor actually reaches the end of its
+// current run (O(log k) heap work per run). This is what keeps the
+// k-way kernel ahead of the pairwise fold for very wide unions (k ≳ 64)
+// with literal-heavy operands. Callers handle k == 0 and k == 1.
 template <typename FillSink, typename LiteralSink>
 void RunManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
                uint64_t size, FillSink&& emit_fill,
@@ -137,57 +156,147 @@ void RunManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
   // The fill value that determines the output regardless of the other
   // operands (OR: ones; AND: zeros). Identity fills are its complement.
   const bool annihilator = is_or;
-  std::vector<WahDecoder> decs;
-  decs.reserve(operands.size());
-  for (const WahBitmap* bm : operands) decs.emplace_back(*bm);
+  const uint32_t k = static_cast<uint32_t>(operands.size());
+  // Minimum fill length (in groups) worth parking in the heap; below it
+  // the per-group identity combine is cheaper than push + pop + advance.
+  constexpr uint64_t kParkThreshold = 8;
+
+  struct OpState {
+    WahDecoder dec;
+    uint64_t pos;  // groups consumed so far (current run starts here)
+    explicit OpState(const WahBitmap& bm) : dec(bm), pos(0) {}
+  };
+  std::vector<OpState> ops;
+  ops.reserve(k);
+  for (const WahBitmap* bm : operands) ops.emplace_back(*bm);
+
+  // Consumes groups until `st` is positioned at group `target` (which
+  // may land in the middle of a fill).
+  auto advance_to = [](OpState& st, uint64_t target) {
+    while (st.pos < target) {
+      CODS_DCHECK(!st.dec.exhausted());
+      uint64_t avail = st.dec.remaining_groups();
+      uint64_t want = target - st.pos;
+      uint64_t take = avail < want ? avail : want;
+      st.dec.Consume(take);
+      st.pos += take;
+    }
+  };
+
+  // Min-heap of (fill end, operand) for parked operands.
+  using HeapEntry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      parked;
+  std::vector<uint32_t> active, reexamine;
+  active.reserve(k);
+  reexamine.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) reexamine.push_back(i);
+
+  uint64_t g = 0;  // cursor, in absolute groups
   uint64_t bits_left = size;
   while (bits_left > 0) {
-    uint64_t annihilate = 0;  // widest annihilating fill in sight
-    uint64_t min_fill = ~uint64_t{0};
-    bool all_fills = true;
-    for (const WahDecoder& d : decs) {
-      CODS_DCHECK(!d.exhausted());
-      if (d.is_fill()) {
-        if (d.fill_value() == annihilator &&
-            d.remaining_groups() > annihilate) {
-          annihilate = d.remaining_groups();
+    // Classify operands whose current run starts (or resumes) at the
+    // cursor. Annihilating fills record the farthest skip target. Short
+    // fills are NOT worth the heap round trip: they stay in the active
+    // list, where group_payload() expands them to the fill pattern and
+    // the combine handles them like literals.
+    uint64_t ann_end = 0;
+    for (uint32_t i : reexamine) {
+      OpState& st = ops[i];
+      CODS_DCHECK(st.pos == g);
+      CODS_DCHECK(!st.dec.exhausted());
+      if (st.dec.is_fill() && st.dec.remaining_groups() >= kParkThreshold) {
+        uint64_t end = st.pos + st.dec.remaining_groups();
+        if (st.dec.fill_value() == annihilator && end > ann_end) {
+          ann_end = end;
         }
-        if (d.remaining_groups() < min_fill) min_fill = d.remaining_groups();
+        parked.push({end, i});
       } else {
-        all_fills = false;
+        active.push_back(i);
       }
     }
-    if (annihilate > 0) {
-      // Galloping skip: every other operand crosses `annihilate` groups
-      // in whole-run steps without touching payload bits.
-      emit_fill(annihilator, annihilate);
-      for (WahDecoder& d : decs) ConsumeAcross(d, annihilate);
-      bits_left -= annihilate * kWahGroupBits;
+    reexamine.clear();
+
+    if (ann_end > g) {
+      // Galloping skip: the output is the annihilator value up to
+      // ann_end regardless of every other operand; only operands whose
+      // current run ends inside the span advance their decoders (in
+      // whole-run steps), everyone else stays parked.
+      emit_fill(annihilator, ann_end - g);
+      bits_left -= (ann_end - g) * kWahGroupBits;
+      for (uint32_t i : active) {
+        advance_to(ops[i], ann_end);
+        reexamine.push_back(i);
+      }
+      active.clear();
+      g = ann_end;
+      while (!parked.empty() && parked.top().first <= g) {
+        uint32_t i = parked.top().second;
+        parked.pop();
+        advance_to(ops[i], g);
+        reexamine.push_back(i);
+      }
       continue;
     }
-    if (all_fills) {
-      // No annihilator in sight, so every fill carries the identity
-      // value; the shortest one bounds the homogeneous span.
-      emit_fill(!annihilator, min_fill);
-      for (WahDecoder& d : decs) d.Consume(min_fill);
-      bits_left -= min_fill * kWahGroupBits;
+
+    if (active.empty()) {
+      // Everyone is inside an identity fill; the earliest fill end
+      // bounds the homogeneous span.
+      CODS_DCHECK(!parked.empty());
+      uint64_t next_end = parked.top().first;
+      emit_fill(!annihilator, next_end - g);
+      bits_left -= (next_end - g) * kWahGroupBits;
+      g = next_end;
+      while (!parked.empty() && parked.top().first <= g) {
+        uint32_t i = parked.top().second;
+        parked.pop();
+        advance_to(ops[i], g);
+        reexamine.push_back(i);
+      }
       continue;
     }
+
+    // Literal step: only the active operands carry payload bits; parked
+    // identity fills contribute the reduction identity.
     uint64_t acc = is_or ? 0 : wah::kPayloadMask;
     if (is_or) {
-      for (WahDecoder& d : decs) {
-        acc |= d.group_payload();
-        d.Consume(1);
-      }
+      for (uint32_t i : active) acc |= ops[i].dec.group_payload();
     } else {
-      for (WahDecoder& d : decs) {
-        acc &= d.group_payload();
-        d.Consume(1);
-      }
+      for (uint32_t i : active) acc &= ops[i].dec.group_payload();
     }
     uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
     emit_literal(acc & wah::kPayloadMask, bits);
     bits_left -= bits;
+    g += 1;
+    // Advance the active operands one group. The common case (operand
+    // stays active) leaves `active` untouched; it is compacted only when
+    // somebody actually parks or exhausts.
+    bool changed = false;
+    for (uint32_t& slot : active) {
+      OpState& st = ops[slot];
+      st.dec.Consume(1);
+      st.pos += 1;
+      if (st.dec.exhausted()) {  // only at bits_left == 0
+        slot = UINT32_MAX;
+        changed = true;
+      } else if (st.dec.is_fill() &&
+                 st.dec.remaining_groups() >= kParkThreshold) {
+        reexamine.push_back(slot);
+        slot = UINT32_MAX;
+        changed = true;
+      }
+    }
+    if (changed) {
+      active.erase(std::remove(active.begin(), active.end(), UINT32_MAX),
+                   active.end());
+    }
+    while (!parked.empty() && parked.top().first <= g) {
+      uint32_t i = parked.top().second;
+      parked.pop();
+      advance_to(ops[i], g);
+      reexamine.push_back(i);
+    }
   }
 }
 

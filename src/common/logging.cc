@@ -3,11 +3,31 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace cods {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink> g_log_sink{nullptr};
+
+// Serializes emission so concurrent worker threads never interleave
+// lines (and custom sinks need no locking of their own).
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+void StderrSink(LogLevel /*level*/, const char* line) {
+  std::fputs(line, stderr);
+}
+
+void Emit(LogLevel level, const std::string& line) {
+  LogSink sink = g_log_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &StderrSink;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink(level, line.c_str());
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +52,10 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  g_log_sink.store(sink, std::memory_order_release);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,7 +67,7 @@ LogMessage::~LogMessage() {
   if (static_cast<int>(level_) >=
       g_log_level.load(std::memory_order_relaxed)) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    Emit(level_, stream_.str());
   }
 }
 
@@ -55,6 +79,8 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 
 FatalLogMessage::~FatalLogMessage() {
   stream_ << "\n";
+  // Bypasses the sink mutex: a CHECK may fire while the current thread
+  // already holds it (inside a sink), and we are aborting anyway.
   std::fputs(stream_.str().c_str(), stderr);
   std::abort();
 }

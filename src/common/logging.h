@@ -15,6 +15,16 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Where finished log lines go. The default sink writes to stderr.
+/// Sinks receive one whole line (newline included) per call.
+using LogSink = void (*)(LogLevel level, const char* line);
+
+/// Swaps the process-wide sink (nullptr restores the stderr default).
+/// Thread-safe: the sink pointer is atomic and line emission from
+/// concurrent threads is serialized by a mutex, so worker threads of the
+/// exec layer can log freely and lines never interleave.
+void SetLogSink(LogSink sink);
+
 namespace internal {
 
 /// Collects one log line via operator<< and emits it on destruction.

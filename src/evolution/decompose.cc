@@ -5,11 +5,15 @@
 
 #include "bitmap/wah_filter.h"
 #include "evolution/fd.h"
+#include "exec/exec.h"
+#include "exec/parallel_build.h"
 
 namespace cods {
 
 Result<std::vector<uint64_t>> DistinctionPositions(
-    const Table& table, const std::vector<std::string>& key_columns) {
+    const Table& table, const std::vector<std::string>& key_columns,
+    const ExecContext* ctx) {
+  ExecContext exec = ResolveContext(ctx);
   if (key_columns.empty()) {
     return Status::InvalidArgument("distinction needs at least one column");
   }
@@ -31,11 +35,19 @@ Result<std::vector<uint64_t>> DistinctionPositions(
     } else {
       // Single-attribute key: the bitmap index *is* the distinct-value
       // index. One representative per value = first set bit per bitmap;
-      // never decompresses.
+      // never decompresses. The per-vid probes are independent, so they
+      // run in parallel into a pre-sized slot array that is compacted in
+      // vid order (the sort below erases any ordering effect anyway).
+      std::vector<uint64_t> first(col->distinct_count());
+      Status st = ParallelFor(
+          exec, 0, col->distinct_count(), 64, [&](uint64_t vid) {
+            first[vid] = col->bitmap(static_cast<Vid>(vid)).FirstSetBit();
+            return Status::OK();
+          });
+      CODS_CHECK(st.ok()) << st.ToString();
       positions.reserve(col->distinct_count());
-      for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
-        uint64_t first = col->bitmap(vid).FirstSetBit();
-        if (first < table.rows()) positions.push_back(first);
+      for (uint64_t f : first) {
+        if (f < table.rows()) positions.push_back(f);
       }
     }
   } else {
@@ -197,7 +209,8 @@ Result<DecomposeResult> CodsDecompose(
                           return out;
                         }() +
                         ")");
-    CODS_ASSIGN_OR_RETURN(positions, DistinctionPositions(r, common));
+    CODS_ASSIGN_OR_RETURN(positions,
+                          DistinctionPositions(r, common, options.exec));
   }
   result.distinct_keys = positions.size();
 
@@ -238,14 +251,13 @@ Result<DecomposeResult> CodsDecompose(
                                        std::move(out)));
         continue;
       }
-      std::vector<WahBitmap> filtered;
-      filtered.reserve(src.distinct_count());
-      for (Vid vid = 0; vid < src.distinct_count(); ++vid) {
-        filtered.push_back(filter.Filter(src.bitmap(vid)));
-      }
-      cols.push_back(Column::FromBitmaps(src.type(), src.dict(),
-                                         std::move(filtered),
-                                         positions.size()));
+      // Per-value filtering is independent: one shared read-only rank
+      // index, one output slot per vid (inside FilterColumnBitmaps).
+      ExecContext exec = ResolveContext(options.exec);
+      CODS_ASSIGN_OR_RETURN(
+          auto filtered_col,
+          FilterColumnBitmaps(exec, src, filter, "DECOMPOSE"));
+      cols.push_back(std::move(filtered_col));
     }
     CODS_ASSIGN_OR_RETURN(Schema g_schema,
                           Schema::Make(std::move(specs), g_key));

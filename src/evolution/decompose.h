@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "evolution/observer.h"
+#include "exec/exec.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -32,6 +33,9 @@ struct DecomposeOptions {
   /// dependency on the data (O(rows)) instead of trusting the key
   /// declaration.
   bool validate_fd = false;
+  /// Execution context for the parallel phases (distinction and bitmap
+  /// filtering). nullptr: the process default.
+  const ExecContext* exec = nullptr;
 };
 
 /// Result of a decomposition: S reuses R's columns, T is generated.
@@ -65,7 +69,8 @@ Result<DecomposeResult> CodsDecompose(
 /// the sorted positions of one representative row of `table` per
 /// distinct value combination of `key_columns`.
 Result<std::vector<uint64_t>> DistinctionPositions(
-    const Table& table, const std::vector<std::string>& key_columns);
+    const Table& table, const std::vector<std::string>& key_columns,
+    const ExecContext* ctx = nullptr);
 
 }  // namespace cods
 

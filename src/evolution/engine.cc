@@ -5,14 +5,17 @@ namespace cods {
 EvolutionEngine::EvolutionEngine(Catalog* catalog,
                                  EvolutionObserver* observer,
                                  EngineOptions options)
-    : catalog_(catalog), observer_(observer), options_(options) {
+    : catalog_(catalog),
+      observer_(observer),
+      options_(options),
+      exec_ctx_(options.num_threads) {
   CODS_CHECK(catalog_ != nullptr);
 }
 
 Status EvolutionEngine::MaybeValidate(const Table& table) {
   if (!options_.validate_outputs) return Status::OK();
-  return table.ValidateInvariants().WithContext("output table '" +
-                                                table.name() + "'");
+  return table.ValidateInvariants(&exec_ctx_)
+      .WithContext("output table '" + table.name() + "'");
 }
 
 Status EvolutionEngine::Apply(const Smo& smo) {
@@ -67,6 +70,7 @@ Status EvolutionEngine::ApplyDecompose(const Smo& smo) {
   }
   DecomposeOptions opts;
   opts.validate_fd = options_.validate_preconditions;
+  opts.exec = &exec_ctx_;
   CODS_ASSIGN_OR_RETURN(
       DecomposeResult result,
       CodsDecompose(*r, smo.out1, smo.columns1, smo.key1, smo.out2,
@@ -88,6 +92,7 @@ Status EvolutionEngine::ApplyMerge(const Smo& smo) {
   }
   MergeOptions opts;
   opts.validate_key = options_.validate_preconditions;
+  opts.exec = &exec_ctx_;
   CODS_ASSIGN_OR_RETURN(MergeResult result,
                         CodsMerge(*s, *t, smo.columns1, smo.key1, smo.out1,
                                   observer_, opts));
@@ -105,7 +110,8 @@ Status EvolutionEngine::ApplyUnion(const Smo& smo) {
       catalog_->HasTable(smo.out1)) {
     return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
   }
-  CODS_ASSIGN_OR_RETURN(auto out, UnionTablesOp(*a, *b, smo.out1, observer_));
+  CODS_ASSIGN_OR_RETURN(
+      auto out, UnionTablesOp(*a, *b, smo.out1, observer_, &exec_ctx_));
   CODS_RETURN_NOT_OK(MaybeValidate(*out));
   CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
   CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table2));
@@ -124,7 +130,7 @@ Status EvolutionEngine::ApplyPartition(const Smo& smo) {
   CODS_ASSIGN_OR_RETURN(
       PartitionResult result,
       PartitionTableOp(*src, smo.out1, smo.out2, smo.column, smo.compare_op,
-                       smo.literal, observer_));
+                       smo.literal, observer_, &exec_ctx_));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.matching));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.rest));
   CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));

@@ -12,6 +12,7 @@
 #include "evolution/observer.h"
 #include "evolution/simple_ops.h"
 #include "evolution/smo.h"
+#include "exec/exec.h"
 #include "storage/catalog.h"
 
 namespace cods {
@@ -25,6 +26,11 @@ struct EngineOptions {
   bool validate_outputs = false;
   /// COPY TABLE physically duplicates storage instead of sharing it.
   bool deep_copy = false;
+  /// Worker threads for the data-movement phases of DECOMPOSE / MERGE /
+  /// UNION / PARTITION and output validation. 0: process default
+  /// (CODS_THREADS env var, else hardware concurrency); 1: strictly
+  /// serial. Results are bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 /// Applies SMOs to a catalog.
@@ -63,6 +69,7 @@ class EvolutionEngine {
   Catalog* catalog_;
   EvolutionObserver* observer_;
   EngineOptions options_;
+  ExecContext exec_ctx_;
 };
 
 }  // namespace cods

@@ -6,12 +6,12 @@
 
 #include "evolution/fd.h"
 #include "evolution/simple_ops.h"
+#include "exec/exec.h"
+#include "exec/parallel_build.h"
 
 namespace cods {
 
 namespace {
-
-constexpr Vid kNoVid = std::numeric_limits<Vid>::max();
 
 // Maps every vid of `from` to the vid of the equal value in `to`, or
 // kNoVid when the value is absent there. Dictionary-level join: O(v).
@@ -83,15 +83,16 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
     const Table& s, const Table& t,
     const std::vector<std::string>& join_columns,
     const std::vector<std::string>& out_key, const std::string& out_name,
-    EvolutionObserver* observer) {
+    EvolutionObserver* observer, const ExecContext* ctx) {
   if (auto s2 = ReencodeRleToWah(s)) {
     return CodsMergeKeyFk(*s2, t, join_columns, out_key, out_name,
-                          observer);
+                          observer, ctx);
   }
   if (auto t2 = ReencodeRleToWah(t)) {
     return CodsMergeKeyFk(s, *t2, join_columns, out_key, out_name,
-                          observer);
+                          observer, ctx);
   }
+  ExecContext exec = ResolveContext(ctx);
   const std::string op = "MERGE " + s.name() + "⋈" + t.name();
   CODS_ASSIGN_OR_RETURN(std::vector<size_t> sj,
                         ResolveIndices(s.schema(), join_columns));
@@ -117,20 +118,31 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
       const Column& tu = *t.column(tj[0]);
       std::vector<Vid> trans = TranslateDict(su.dict(), tu.dict());
       std::vector<uint64_t> t_row_of_tvid(tu.distinct_count());
-      for (Vid v = 0; v < tu.distinct_count(); ++v) {
-        t_row_of_tvid[v] = tu.bitmap(v).FirstSetBit();
-      }
-      std::vector<Vid> svids = su.DecodeVids();
-      for (uint64_t j = 0; j < s.rows(); ++j) {
-        Vid tvid = trans[svids[j]];
-        if (tvid == kNoVid) {
-          return Status::ConstraintViolation(
-              "foreign key violation: value " +
-              su.dict().value(svids[j]).ToString() + " of " + s.name() +
-              " has no match in " + t.name());
-        }
-        t_row_of_s_row[j] = t_row_of_tvid[tvid];
-      }
+      Status probe_st = ParallelFor(
+          exec, 0, tu.distinct_count(), 64, [&](uint64_t v) {
+            t_row_of_tvid[v] = tu.bitmap(static_cast<Vid>(v)).FirstSetBit();
+            return Status::OK();
+          });
+      CODS_CHECK(probe_st.ok()) << probe_st.ToString();
+      std::vector<Vid> svids = su.DecodeVids(&exec);
+      // Row-chunked resolution; each chunk reports its first violation,
+      // and chunk-order aggregation makes the returned error the first
+      // violating row, exactly as in the serial scan.
+      CODS_RETURN_NOT_OK(ParallelForChunked(
+          exec, 0, s.rows(), 4096,
+          [&](uint64_t lo, uint64_t hi) -> Status {
+            for (uint64_t j = lo; j < hi; ++j) {
+              Vid tvid = trans[svids[j]];
+              if (tvid == kNoVid) {
+                return Status::ConstraintViolation(
+                    "foreign key violation: value " +
+                    su.dict().value(svids[j]).ToString() + " of " +
+                    s.name() + " has no match in " + t.name());
+              }
+              t_row_of_s_row[j] = t_row_of_tvid[tvid];
+            }
+            return Status::OK();
+          }));
     } else {
       // Composite key: hash T's key tuples to rows, then translate S's
       // tuples into T's vid space and probe.
@@ -194,31 +206,29 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
                     "generating " + std::to_string(t_payload.size()) +
                         " columns over " + std::to_string(s.rows()) +
                         " rows");
-    std::vector<std::vector<Vid>> tvids;
-    std::vector<std::vector<WahBitmap>> builders;
-    for (size_t idx : t_payload) {
-      tvids.push_back(t.column(idx)->DecodeVids());
-      builders.emplace_back(t.column(idx)->distinct_count());
-    }
-    // One pass per payload column: maximal runs of S rows that map to
-    // the same output value append as a single one-run instead of
-    // row-at-a-time set bits — S clustered by its FK degenerates to a
-    // handful of fill appends per value.
-    for (size_t p = 0; p < t_payload.size(); ++p) {
-      const std::vector<Vid>& vids = tvids[p];
-      for (uint64_t j = 0; j < s.rows();) {
-        Vid v = vids[t_row_of_s_row[j]];
-        uint64_t end = j + 1;
-        while (end < s.rows() && vids[t_row_of_s_row[end]] == v) ++end;
-        AppendOnesAt(&builders[p][v], j, end - j);
-        j = end;
-      }
-    }
+    // One pass per payload column: materialize the output row → vid map
+    // (a gather through t_row_of_s_row, row-chunk parallel), then build
+    // the value bitmaps with the chunked parallel builder — maximal runs
+    // of S rows mapping to the same value still append as single fills,
+    // so S clustered by its FK degenerates to a handful of fill appends
+    // per value, at every thread count.
+    std::vector<Vid> out_vid_of_row(s.rows());
     for (size_t p = 0; p < t_payload.size(); ++p) {
       const Column& src = *t.column(t_payload[p]);
+      std::vector<Vid> vids = src.DecodeVids(&exec);
+      Status st = ParallelForChunked(
+          exec, 0, s.rows(), 4096, [&](uint64_t lo, uint64_t hi) {
+            for (uint64_t j = lo; j < hi; ++j) {
+              out_vid_of_row[j] = vids[t_row_of_s_row[j]];
+            }
+            return Status::OK();
+          });
+      CODS_CHECK(st.ok()) << st.ToString();
+      std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
+          exec, out_vid_of_row.data(), s.rows(), src.distinct_count());
       specs.push_back(t.schema().column(t_payload[p]));
-      out_cols.push_back(FinishColumn(src.type(), src.dict(),
-                                      std::move(builders[p]), s.rows()));
+      out_cols.push_back(Column::FromBitmaps(src.type(), src.dict(),
+                                             std::move(bitmaps), s.rows()));
     }
   }
   CODS_ASSIGN_OR_RETURN(Schema out_schema,
@@ -233,15 +243,16 @@ Result<std::shared_ptr<const Table>> CodsMergeGeneral(
     const Table& s, const Table& t,
     const std::vector<std::string>& join_columns,
     const std::vector<std::string>& out_key, const std::string& out_name,
-    EvolutionObserver* observer) {
+    EvolutionObserver* observer, const ExecContext* ctx) {
   if (auto s2 = ReencodeRleToWah(s)) {
     return CodsMergeGeneral(*s2, t, join_columns, out_key, out_name,
-                            observer);
+                            observer, ctx);
   }
   if (auto t2 = ReencodeRleToWah(t)) {
     return CodsMergeGeneral(s, *t2, join_columns, out_key, out_name,
-                            observer);
+                            observer, ctx);
   }
+  ExecContext exec = ResolveContext(ctx);
   const std::string op = "MERGE(general) " + s.name() + "⋈" + t.name();
   CODS_ASSIGN_OR_RETURN(std::vector<size_t> sj,
                         ResolveIndices(s.schema(), join_columns));
@@ -391,50 +402,72 @@ Result<std::shared_ptr<const Table>> CodsMergeGeneral(
     ScopedStep step(observer, op, "pass2",
                     "emitting " + std::to_string(out_rows) +
                         " rows clustered by join value");
+    // Non-join columns are built by materializing the output row → vid
+    // map (tuple-chunk parallel: tuple k owns the disjoint output range
+    // [off[k], off[k+1])) and handing it to the chunked parallel bitmap
+    // builder. One map array is reused across columns to bound memory at
+    // O(out_rows) regardless of arity.
+    std::vector<Vid> out_vid_of_row;
+    auto build_mapped =
+        [&](const Column& src,
+            const std::function<void(uint64_t)>& fill_tuple) {
+          if (out_vid_of_row.size() < out_rows) {
+            out_vid_of_row.resize(out_rows);
+          }
+          Status st = ParallelFor(exec, 0, num_tuples, 64, [&](uint64_t k) {
+            fill_tuple(k);
+            return Status::OK();
+          });
+          CODS_CHECK(st.ok()) << st.ToString();
+          std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
+              exec, out_vid_of_row.data(), out_rows, src.distinct_count());
+          out_cols.push_back(Column::FromBitmaps(
+              src.type(), src.dict(), std::move(bitmaps), out_rows));
+        };
     // S's columns (join columns become fill runs; non-join columns are
     // laid out consecutively, each S row's value repeated n2 times).
     for (size_t i = 0; i < s.num_columns(); ++i) {
       const Column& src = *s.column(i);
       specs.push_back(s.schema().column(i));
-      std::vector<WahBitmap> builders(src.distinct_count());
       auto join_pos = std::find(sj.begin(), sj.end(), i);
       if (join_pos != sj.end()) {
+        // Join column: one fill run per tuple — cheap enough serially.
         size_t c = static_cast<size_t>(join_pos - sj.begin());
+        std::vector<WahBitmap> builders(src.distinct_count());
         for (uint64_t k = 0; k < num_tuples; ++k) {
           AppendOnesAt(&builders[tuple_svids[c][k]], off[k],
                        n1[k] * n2[k]);
         }
-      } else {
-        std::vector<Vid> svids = src.DecodeVids();
-        for (uint64_t k = 0; k < num_tuples; ++k) {
-          for (uint64_t i1 = 0; i1 < n1[k]; ++i1) {
-            uint64_t s_row = s_rows_flat[s_start[k] + i1];
-            AppendOnesAt(&builders[svids[s_row]], off[k] + i1 * n2[k],
-                         n2[k]);
+        out_cols.push_back(FinishColumn(src.type(), src.dict(),
+                                        std::move(builders), out_rows));
+        continue;
+      }
+      std::vector<Vid> svids = src.DecodeVids(&exec);
+      build_mapped(src, [&](uint64_t k) {
+        for (uint64_t i1 = 0; i1 < n1[k]; ++i1) {
+          Vid v = svids[s_rows_flat[s_start[k] + i1]];
+          uint64_t base = off[k] + i1 * n2[k];
+          for (uint64_t j1 = 0; j1 < n2[k]; ++j1) {
+            out_vid_of_row[base + j1] = v;
           }
         }
-      }
-      out_cols.push_back(FinishColumn(src.type(), src.dict(),
-                                      std::move(builders), out_rows));
+      });
     }
     // T's non-join columns: strided placement with distance n2.
     for (size_t i = 0; i < t.num_columns(); ++i) {
       if (std::find(tj.begin(), tj.end(), i) != tj.end()) continue;
       const Column& src = *t.column(i);
       specs.push_back(t.schema().column(i));
-      std::vector<WahBitmap> builders(src.distinct_count());
-      std::vector<Vid> tvids = src.DecodeVids();
-      for (uint64_t k = 0; k < num_tuples; ++k) {
+      std::vector<Vid> tvids = src.DecodeVids(&exec);
+      build_mapped(src, [&](uint64_t k) {
         for (uint64_t i1 = 0; i1 < n1[k]; ++i1) {
           uint64_t base = off[k] + i1 * n2[k];
           for (uint64_t j1 = 0; j1 < n2[k]; ++j1) {
-            uint64_t t_row = t_rows_flat[t_start[k] + j1];
-            builders[tvids[t_row]].AppendSetBit(base + j1);
+            out_vid_of_row[base + j1] =
+                tvids[t_rows_flat[t_start[k] + j1]];
           }
         }
-      }
-      out_cols.push_back(FinishColumn(src.type(), src.dict(),
-                                      std::move(builders), out_rows));
+      });
     }
   }
   CODS_ASSIGN_OR_RETURN(Schema out_schema,
@@ -468,7 +501,7 @@ Result<MergeResult> CodsMerge(const Table& s, const Table& t,
     if (t_keyed) {
       CODS_ASSIGN_OR_RETURN(result.table,
                             CodsMergeKeyFk(s, t, join_columns, out_key,
-                                           out_name, observer));
+                                           out_name, observer, options.exec));
       result.used_key_fk = true;
       return result;
     }
@@ -478,14 +511,14 @@ Result<MergeResult> CodsMerge(const Table& s, const Table& t,
       // S's non-join columns.
       CODS_ASSIGN_OR_RETURN(result.table,
                             CodsMergeKeyFk(t, s, join_columns, out_key,
-                                           out_name, observer));
+                                           out_name, observer, options.exec));
       result.used_key_fk = true;
       return result;
     }
   }
   CODS_ASSIGN_OR_RETURN(result.table,
                         CodsMergeGeneral(s, t, join_columns, out_key,
-                                         out_name, observer));
+                                         out_name, observer, options.exec));
   return result;
 }
 

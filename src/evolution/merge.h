@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "evolution/observer.h"
+#include "exec/exec.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -37,6 +38,8 @@ struct MergeOptions {
   /// Force the general two-pass algorithm even when the key–FK fast path
   /// applies (used by the ablation benchmark).
   bool force_general = false;
+  /// Execution context for the parallel phases. nullptr: process default.
+  const ExecContext* exec = nullptr;
 };
 
 /// Result of a mergence.
@@ -66,14 +69,14 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
     const Table& s, const Table& t,
     const std::vector<std::string>& join_columns,
     const std::vector<std::string>& out_key, const std::string& out_name,
-    EvolutionObserver* observer = nullptr);
+    EvolutionObserver* observer = nullptr, const ExecContext* ctx = nullptr);
 
 /// The general two-pass path directly.
 Result<std::shared_ptr<const Table>> CodsMergeGeneral(
     const Table& s, const Table& t,
     const std::vector<std::string>& join_columns,
     const std::vector<std::string>& out_key, const std::string& out_name,
-    EvolutionObserver* observer = nullptr);
+    EvolutionObserver* observer = nullptr, const ExecContext* ctx = nullptr);
 
 }  // namespace cods
 

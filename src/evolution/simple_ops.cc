@@ -2,6 +2,8 @@
 
 #include "bitmap/wah_filter.h"
 #include "bitmap/wah_ops.h"
+#include "exec/exec.h"
+#include "exec/parallel_build.h"
 
 namespace cods {
 
@@ -62,71 +64,83 @@ Result<std::shared_ptr<const Table>> CopyTableOp(const Table& src,
 
 Result<std::shared_ptr<const Table>> UnionTablesOp(
     const Table& a, const Table& b, const std::string& name,
-    EvolutionObserver* observer) {
+    EvolutionObserver* observer, const ExecContext* ctx) {
   if (!a.schema().SameLayout(b.schema())) {
     return Status::InvalidArgument(
         "UNION TABLES requires identical column names and types");
   }
-  if (auto a2 = ReencodeRleToWah(a)) return UnionTablesOp(*a2, b, name, observer);
-  if (auto b2 = ReencodeRleToWah(b)) return UnionTablesOp(a, *b2, name, observer);
+  if (auto a2 = ReencodeRleToWah(a)) {
+    return UnionTablesOp(*a2, b, name, observer, ctx);
+  }
+  if (auto b2 = ReencodeRleToWah(b)) {
+    return UnionTablesOp(a, *b2, name, observer, ctx);
+  }
+  ExecContext exec = ResolveContext(ctx);
   const std::string op = "UNION " + a.name() + "∪" + b.name();
   const uint64_t out_rows = a.rows() + b.rows();
-  std::vector<std::shared_ptr<const Column>> cols;
+  std::vector<std::shared_ptr<const Column>> cols(a.num_columns());
   ScopedStep step(observer, op, "concat",
                   "concatenating compressed bitmaps of " +
                       std::to_string(a.num_columns()) + " columns");
-  for (size_t i = 0; i < a.num_columns(); ++i) {
-    const Column& ca = *a.column(i);
-    const Column& cb = *b.column(i);
-    if (ca.encoding() != ColumnEncoding::kWahBitmap ||
-        cb.encoding() != ColumnEncoding::kWahBitmap) {
-      return Status::InvalidArgument(
-          "UNION TABLES requires WAH-encoded columns");
-    }
-    // Output dictionary: a's values first, then b's new values.
-    Dictionary dict = ca.dict();
-    std::vector<Vid> b_to_out(cb.distinct_count());
-    for (Vid v = 0; v < cb.distinct_count(); ++v) {
-      b_to_out[v] = dict.GetOrInsert(cb.dict().value(v));
-    }
-    std::vector<WahBitmap> bitmaps(dict.size());
-    // Prefix: a's bitmaps (values absent from a start as zero runs).
-    for (Vid v = 0; v < dict.size(); ++v) {
-      if (v < ca.distinct_count()) {
-        bitmaps[v] = ca.bitmap(v);
-      } else {
-        bitmaps[v].AppendRun(false, a.rows());
-      }
-    }
-    // Suffix: b's bitmaps appended on the compressed form (when a.rows()
-    // is group-aligned, Concat splices code words directly).
-    std::vector<bool> extended(dict.size(), false);
-    for (Vid v = 0; v < cb.distinct_count(); ++v) {
-      bitmaps[b_to_out[v]].Concat(cb.bitmap(v));
-      extended[b_to_out[v]] = true;
-    }
-    for (Vid v = 0; v < dict.size(); ++v) {
-      if (!extended[v]) bitmaps[v].AppendRun(false, b.rows());
-    }
-    cols.push_back(Column::FromBitmaps(ca.type(), std::move(dict),
-                                       std::move(bitmaps), out_rows));
-  }
+  // Outer grain: one task per column. The dictionary merge is serial per
+  // column (GetOrInsert mutates), but the per-value prefix/concat
+  // assembly nests a second ParallelFor over output vids.
+  CODS_RETURN_NOT_OK(ParallelFor(
+      exec, 0, a.num_columns(), 1, [&](uint64_t i) -> Status {
+        const Column& ca = *a.column(i);
+        const Column& cb = *b.column(i);
+        if (ca.encoding() != ColumnEncoding::kWahBitmap ||
+            cb.encoding() != ColumnEncoding::kWahBitmap) {
+          return Status::InvalidArgument(
+              "UNION TABLES requires WAH-encoded columns");
+        }
+        // Output dictionary: a's values first, then b's new values.
+        Dictionary dict = ca.dict();
+        std::vector<Vid> b_to_out(cb.distinct_count());
+        // Inverse map: which b vid (if any) extends each output vid.
+        std::vector<Vid> b_of_out(ca.distinct_count() + cb.distinct_count(),
+                                  kNoVid);
+        for (Vid v = 0; v < cb.distinct_count(); ++v) {
+          b_to_out[v] = dict.GetOrInsert(cb.dict().value(v));
+          b_of_out[b_to_out[v]] = v;
+        }
+        std::vector<WahBitmap> bitmaps(dict.size());
+        CODS_RETURN_NOT_OK(ParallelFor(
+            exec, 0, dict.size(), 16, [&](uint64_t v) {
+              // Prefix: a's bitmap (values absent from a are zero runs).
+              if (v < ca.distinct_count()) {
+                bitmaps[v] = ca.bitmap(static_cast<Vid>(v));
+              } else {
+                bitmaps[v].AppendRun(false, a.rows());
+              }
+              // Suffix: b's bitmap appended on the compressed form (when
+              // a.rows() is group-aligned, Concat splices code words).
+              if (b_of_out[v] != kNoVid) {
+                bitmaps[v].Concat(cb.bitmap(b_of_out[v]));
+              } else {
+                bitmaps[v].AppendRun(false, b.rows());
+              }
+              return Status::OK();
+            }));
+        cols[i] = Column::FromBitmaps(ca.type(), std::move(dict),
+                                      std::move(bitmaps), out_rows);
+        return Status::OK();
+      }));
   // Keys rarely survive a union (duplicates may appear); drop them.
   CODS_ASSIGN_OR_RETURN(Schema schema,
                         Schema::Make(a.schema().columns(), {}));
   return Table::Make(name, std::move(schema), std::move(cols), out_rows);
 }
 
-Result<PartitionResult> PartitionTableOp(const Table& src,
-                                         const std::string& name1,
-                                         const std::string& name2,
-                                         const std::string& column,
-                                         CompareOp op, const Value& literal,
-                                         EvolutionObserver* observer) {
+Result<PartitionResult> PartitionTableOp(
+    const Table& src, const std::string& name1, const std::string& name2,
+    const std::string& column, CompareOp op, const Value& literal,
+    EvolutionObserver* observer, const ExecContext* ctx) {
   if (auto converted = ReencodeRleToWah(src)) {
     return PartitionTableOp(*converted, name1, name2, column, op, literal,
-                            observer);
+                            observer, ctx);
   }
+  ExecContext exec = ResolveContext(ctx);
   const std::string opname = "PARTITION " + src.name();
   CODS_ASSIGN_OR_RETURN(auto pred_col, src.ColumnByName(column));
   // Selection bitmap: single-pass k-way union of the bitmaps of
@@ -151,22 +165,16 @@ Result<PartitionResult> PartitionTableOp(const Table& src,
                         const std::vector<uint64_t>& positions)
       -> Result<std::shared_ptr<const Table>> {
     WahPositionFilter filter(positions, src.rows());
-    std::vector<std::shared_ptr<const Column>> cols;
-    for (size_t i = 0; i < src.num_columns(); ++i) {
-      const Column& c = *src.column(i);
-      if (c.encoding() != ColumnEncoding::kWahBitmap) {
-        return Status::InvalidArgument(
-            "PARTITION TABLE requires WAH-encoded columns");
-      }
-      std::vector<WahBitmap> filtered;
-      filtered.reserve(c.distinct_count());
-      for (Vid v = 0; v < c.distinct_count(); ++v) {
-        filtered.push_back(filter.Filter(c.bitmap(v)));
-      }
-      cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
-                                         std::move(filtered),
-                                         positions.size()));
-    }
+    std::vector<std::shared_ptr<const Column>> cols(src.num_columns());
+    // Column tasks nest the per-vid filter tasks inside
+    // FilterColumnBitmaps.
+    CODS_RETURN_NOT_OK(ParallelFor(
+        exec, 0, src.num_columns(), 1, [&](uint64_t i) -> Status {
+          CODS_ASSIGN_OR_RETURN(
+              cols[i], FilterColumnBitmaps(exec, *src.column(i), filter,
+                                           "PARTITION TABLE"));
+          return Status::OK();
+        }));
     return Table::Make(name, src.schema(), std::move(cols),
                        positions.size());
   };

@@ -13,6 +13,7 @@
 
 #include "evolution/observer.h"
 #include "evolution/smo.h"
+#include "exec/exec.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -39,7 +40,7 @@ Result<std::shared_ptr<const Table>> CopyTableOp(const Table& src,
 /// the input bitmaps — executed on compressed words.
 Result<std::shared_ptr<const Table>> UnionTablesOp(
     const Table& a, const Table& b, const std::string& name,
-    EvolutionObserver* observer = nullptr);
+    EvolutionObserver* observer = nullptr, const ExecContext* ctx = nullptr);
 
 /// PARTITION TABLE: splits `src` into rows satisfying
 /// `column compare_op literal` (first output) and the rest (second).
@@ -50,12 +51,10 @@ struct PartitionResult {
   std::shared_ptr<const Table> matching;
   std::shared_ptr<const Table> rest;
 };
-Result<PartitionResult> PartitionTableOp(const Table& src,
-                                         const std::string& name1,
-                                         const std::string& name2,
-                                         const std::string& column,
-                                         CompareOp op, const Value& literal,
-                                         EvolutionObserver* observer = nullptr);
+Result<PartitionResult> PartitionTableOp(
+    const Table& src, const std::string& name1, const std::string& name2,
+    const std::string& column, CompareOp op, const Value& literal,
+    EvolutionObserver* observer = nullptr, const ExecContext* ctx = nullptr);
 
 /// ADD COLUMN with a constant default: the new column is one dictionary
 /// entry whose bitmap is a single one-fill — O(1) in the table size.

@@ -1,0 +1,155 @@
+#include "exec/exec.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/thread_pool.h"
+
+namespace cods {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};
+
+int EnvThreads() {
+  static const int env = [] {
+    const char* s = std::getenv("CODS_THREADS");
+    if (s != nullptr) {
+      long v = std::strtol(s, nullptr, 10);
+      if (v > 0 && v <= 1024) return static_cast<int>(v);
+    }
+    return 0;
+  }();
+  return env;
+}
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  int global = g_default_threads.load(std::memory_order_relaxed);
+  if (global > 0) return global;
+  int env = EnvThreads();
+  if (env > 0) return env;
+  return HardwareThreads();
+}
+
+// Shared state of one parallel region. Held by shared_ptr so helper
+// tasks that fire after the region already finished (every chunk was
+// claimed by faster threads) find valid, exhausted state.
+struct RegionState {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t chunk = 0;
+  uint64_t num_chunks = 0;
+  const std::function<Status(uint64_t, uint64_t)>* fn = nullptr;
+  std::vector<Status> statuses;
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims chunks until none remain. Each claimed chunk is run and its
+  // Status recorded at the chunk's slot.
+  void Drain() {
+    for (;;) {
+      uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      uint64_t lo = begin + c * chunk;
+      uint64_t hi = lo + chunk < end ? lo + chunk : end;
+      statuses[c] = (*fn)(lo, hi);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExecContext::ExecContext(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {}
+
+void SetDefaultThreads(int n) {
+  g_default_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+Status ParallelForChunked(
+    const ExecContext& ctx, uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<Status(uint64_t, uint64_t)>& fn) {
+  if (begin >= end) return Status::OK();
+  const uint64_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const int threads = ctx.num_threads();
+  // Serial fallback: plain loop, early exit on the first error — the
+  // deterministic aggregation below returns the same Status.
+  if (threads <= 1 || n <= grain) {
+    for (uint64_t lo = begin; lo < end; lo += grain) {
+      uint64_t hi = lo + grain < end ? lo + grain : end;
+      CODS_RETURN_NOT_OK(fn(lo, hi));
+    }
+    return Status::OK();
+  }
+
+  // Chunking: enough chunks for load balance (4 per thread), but never
+  // below the grain.
+  uint64_t chunk = (n + static_cast<uint64_t>(threads) * 4 - 1) /
+                   (static_cast<uint64_t>(threads) * 4);
+  if (chunk < grain) chunk = grain;
+  auto state = std::make_shared<RegionState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->num_chunks = (n + chunk - 1) / chunk;
+  state->fn = &fn;
+  state->statuses.assign(state->num_chunks, Status::OK());
+
+  const uint64_t helpers_wanted = state->num_chunks - 1;
+  const int helpers =
+      static_cast<int>(helpers_wanted <
+                               static_cast<uint64_t>(threads - 1)
+                           ? helpers_wanted
+                           : static_cast<uint64_t>(threads - 1));
+  ThreadPool* pool = SharedPool(helpers);
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) ==
+             state->num_chunks;
+    });
+  }
+  for (Status& st : state->statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+Status ParallelFor(const ExecContext& ctx, uint64_t begin, uint64_t end,
+                   uint64_t grain,
+                   const std::function<Status(uint64_t)>& fn) {
+  return ParallelForChunked(
+      ctx, begin, end, grain,
+      [&fn](uint64_t lo, uint64_t hi) -> Status {
+        for (uint64_t i = lo; i < hi; ++i) {
+          CODS_RETURN_NOT_OK(fn(i));
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace cods

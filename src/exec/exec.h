@@ -1,0 +1,74 @@
+// The parallel execution layer. CODS's data-level evolution and its
+// query kernels operate column-at-a-time (and, within a column, value-
+// bitmap-at-a-time), so the natural unit of parallelism is an index
+// range over independent columns / value ids / row chunks. ParallelFor
+// is that primitive; ExecContext carries the thread count.
+//
+// Determinism contract: every parallel region in this codebase writes
+// results into pre-sized slots indexed by loop index and merges them in
+// index order, so the output of any rewired path is BIT-IDENTICAL to
+// serial execution at every thread count. `num_threads == 1` is a
+// strictly serial fallback that never touches the pool or spawns a
+// thread.
+//
+// Scheduling: the chunk list is driven by an atomic cursor. The calling
+// thread participates in the work alongside up to num_threads-1 helpers
+// submitted to the shared pool, which makes nested ParallelFor calls
+// safe — an inner region running on a pool worker drains its own chunks
+// even when every other worker is busy.
+//
+// Error handling: each chunk produces a Status; the first non-OK Status
+// in CHUNK INDEX ORDER is returned (all chunks always run), so error
+// results are as deterministic as success results.
+
+#ifndef CODS_EXEC_EXEC_H_
+#define CODS_EXEC_EXEC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace cods {
+
+/// Execution parameters for the parallel kernels. Cheap to copy.
+class ExecContext {
+ public:
+  /// `num_threads <= 0` resolves the default: the CODS_THREADS
+  /// environment variable if set and positive, SetDefaultThreads() if
+  /// called, otherwise std::thread::hardware_concurrency().
+  explicit ExecContext(int num_threads = 0);
+
+  int num_threads() const { return num_threads_; }
+  /// True when execution must be strictly serial (no pool involvement).
+  bool serial() const { return num_threads_ == 1; }
+
+ private:
+  int num_threads_;
+};
+
+/// Overrides the process-wide default thread count (0 restores the
+/// CODS_THREADS / hardware default). Thread-safe.
+void SetDefaultThreads(int n);
+
+/// Resolves an optional context pointer: nullptr means "default".
+inline ExecContext ResolveContext(const ExecContext* ctx) {
+  return ctx != nullptr ? *ctx : ExecContext();
+}
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks
+/// of at least `grain` indices, distributed over ctx.num_threads()
+/// threads (the caller included). Returns the first non-OK Status in
+/// chunk order, running every chunk regardless of failures.
+Status ParallelForChunked(
+    const ExecContext& ctx, uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<Status(uint64_t, uint64_t)>& fn);
+
+/// Per-index convenience over ParallelForChunked: fn(i) for i in
+/// [begin, end), grouped into grain-sized chunks.
+Status ParallelFor(const ExecContext& ctx, uint64_t begin, uint64_t end,
+                   uint64_t grain, const std::function<Status(uint64_t)>& fn);
+
+}  // namespace cods
+
+#endif  // CODS_EXEC_EXEC_H_

@@ -1,0 +1,94 @@
+#include "exec/parallel_build.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+namespace {
+
+// Serial reference: one ordered scan, maximal equal-value runs append as
+// single fills. Used verbatim for the chunk-local partial builds.
+void ScanIntoBuilders(const Vid* vid_of_row, uint64_t lo, uint64_t hi,
+                      uint64_t base, std::vector<WahBitmap>* builders) {
+  for (uint64_t r = lo; r < hi;) {
+    Vid v = vid_of_row[r];
+    uint64_t end = r + 1;
+    while (end < hi && vid_of_row[end] == v) ++end;
+    CODS_DCHECK(v < builders->size());
+    WahBitmap& bm = (*builders)[v];
+    bm.AppendRun(false, (r - base) - bm.size());
+    bm.AppendRun(true, end - r);
+    r = end;
+  }
+}
+
+}  // namespace
+
+std::vector<WahBitmap> BuildValueBitmaps(const ExecContext& ctx,
+                                         const Vid* vid_of_row,
+                                         uint64_t rows, uint64_t num_values) {
+  std::vector<WahBitmap> out(num_values);
+  if (rows == 0) return out;
+
+  // Pick a chunk size: ~4 chunks per thread, 63-group-aligned so the
+  // final concatenation splices code words, and capped so the transient
+  // partial-builder matrix (num_chunks × num_values headers) stays small
+  // even for very high-cardinality columns.
+  const uint64_t threads = static_cast<uint64_t>(ctx.num_threads());
+  uint64_t num_chunks = threads * 4;
+  constexpr uint64_t kMaxPartialHeaders = uint64_t{1} << 22;
+  if (num_values > 0 && num_chunks > kMaxPartialHeaders / num_values) {
+    num_chunks = kMaxPartialHeaders / num_values;
+  }
+  if (num_chunks < 2 || ctx.serial() || rows < 4 * kWahGroupBits * threads) {
+    ScanIntoBuilders(vid_of_row, 0, rows, 0, &out);
+    for (WahBitmap& bm : out) bm.AppendRun(false, rows - bm.size());
+    return out;
+  }
+  uint64_t chunk = (rows + num_chunks - 1) / num_chunks;
+  chunk = (chunk + kWahGroupBits - 1) / kWahGroupBits * kWahGroupBits;
+  num_chunks = (rows + chunk - 1) / chunk;
+
+  std::vector<std::vector<WahBitmap>> partials(num_chunks);
+  Status st = ParallelFor(
+      ctx, 0, num_chunks, 1, [&](uint64_t c) -> Status {
+        uint64_t lo = c * chunk;
+        uint64_t hi = lo + chunk < rows ? lo + chunk : rows;
+        std::vector<WahBitmap> local(num_values);
+        ScanIntoBuilders(vid_of_row, lo, hi, lo, &local);
+        // Pad every builder to the chunk length so the concatenation
+        // below needs no per-chunk bookkeeping.
+        for (WahBitmap& bm : local) bm.AppendRun(false, (hi - lo) - bm.size());
+        partials[c] = std::move(local);
+        return Status::OK();
+      });
+  CODS_CHECK(st.ok()) << st.ToString();
+  st = ParallelFor(ctx, 0, num_values, 64, [&](uint64_t v) -> Status {
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      out[v].Concat(partials[c][v]);
+    }
+    return Status::OK();
+  });
+  CODS_CHECK(st.ok()) << st.ToString();
+  return out;
+}
+
+Result<std::shared_ptr<const Column>> FilterColumnBitmaps(
+    const ExecContext& ctx, const Column& column,
+    const WahPositionFilter& filter, const std::string& op_name) {
+  if (column.encoding() != ColumnEncoding::kWahBitmap) {
+    return Status::InvalidArgument(op_name +
+                                   " requires WAH-encoded columns");
+  }
+  std::vector<WahBitmap> filtered(column.distinct_count());
+  CODS_RETURN_NOT_OK(
+      ParallelFor(ctx, 0, column.distinct_count(), 16, [&](uint64_t v) {
+        filtered[v] = filter.Filter(column.bitmap(static_cast<Vid>(v)));
+        return Status::OK();
+      }));
+  return std::shared_ptr<const Column>(
+      Column::FromBitmaps(column.type(), column.dict(), std::move(filtered),
+                          filter.num_positions()));
+}
+
+}  // namespace cods

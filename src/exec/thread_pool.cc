@@ -1,0 +1,68 @@
+#include "exec/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+ThreadPool::ThreadPool(int num_threads) {
+  CODS_CHECK(num_threads >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CODS_CHECK(!shutdown_) << "Submit on a shut-down ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::EnsureThreads(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool* SharedPool(int min_threads) {
+  // Leaked on purpose: workers must outlive every static object that
+  // might run parallel work during teardown.
+  static ThreadPool* pool = new ThreadPool(min_threads < 1 ? 1 : min_threads);
+  pool->EnsureThreads(min_threads);
+  return pool;
+}
+
+}  // namespace cods

@@ -1,0 +1,64 @@
+// A fixed-size worker pool with a single shared task queue. The pool is
+// deliberately minimal: tasks are type-erased thunks, there is no
+// per-task future — completion tracking belongs to the caller (see
+// ParallelFor in exec/exec.h, which drives workers through an atomic
+// chunk cursor so the submitting thread participates in the work and
+// nested parallel regions cannot deadlock on queue capacity).
+//
+// The process-wide pool used by the execution layer is obtained through
+// SharedPool(); it is created lazily on first parallel use and grows (but
+// never shrinks) to the largest helper count ever requested, so
+// `num_threads = 1` execution paths never spawn a thread.
+
+#ifndef CODS_EXEC_THREAD_POOL_H_
+#define CODS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cods {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: queued tasks that never ran are dropped. Callers
+  /// that need completion must track it themselves (ParallelFor does).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Current worker count.
+  int num_threads() const;
+
+  /// Grows the pool to at least `n` workers (no-op when already there).
+  void EnsureThreads(int n);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+/// The lazily-initialized process-wide pool, grown to hold at least
+/// `min_threads` workers. Never destroyed (workers idle at exit), so it
+/// is safe to use from static destructors and leak-checkers still see it
+/// as reachable.
+ThreadPool* SharedPool(int min_threads);
+
+}  // namespace cods
+
+#endif  // CODS_EXEC_THREAD_POOL_H_

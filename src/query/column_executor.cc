@@ -74,12 +74,48 @@ std::vector<Row> HashJoinRowVec(const std::vector<Row>& left,
 
 Result<std::shared_ptr<const Table>> RowsToColumnTable(
     const std::string& name, const Schema& schema,
-    const std::vector<Row>& rows) {
-  TableBuilder builder(name, schema);
-  for (const Row& row : rows) {
-    CODS_RETURN_NOT_OK(builder.AppendRow(row));
-  }
-  return builder.Finish();
+    const std::vector<Row>& rows, const ExecContext* ctx) {
+  ExecContext exec = ResolveContext(ctx);
+  // Validation first, row-chunk parallel: chunk-order error aggregation
+  // keeps TableBuilder's row-major first-error reporting, and the encode
+  // tasks below can then index freely. The per-value rules live in
+  // ValidateValueForColumn, shared with TableBuilder::AppendRow.
+  CODS_RETURN_NOT_OK(ParallelForChunked(
+      exec, 0, rows.size(), 1024,
+      [&](uint64_t lo, uint64_t hi) -> Status {
+        for (uint64_t r = lo; r < hi; ++r) {
+          if (rows[r].size() != schema.num_columns()) {
+            return Status::InvalidArgument(
+                "row arity " + std::to_string(rows[r].size()) +
+                " != schema arity " + std::to_string(schema.num_columns()));
+          }
+          for (size_t i = 0; i < schema.num_columns(); ++i) {
+            CODS_RETURN_NOT_OK(
+                ValidateValueForColumn(rows[r][i], schema.column(i)));
+          }
+        }
+        return Status::OK();
+      }));
+  // One task per column: dictionary-encode its values in row order, then
+  // compress (FromVids nests the chunk-parallel bitmap builder).
+  std::vector<std::shared_ptr<const Column>> columns(schema.num_columns());
+  CODS_RETURN_NOT_OK(ParallelFor(
+      exec, 0, schema.num_columns(), 1, [&](uint64_t i) -> Status {
+        const ColumnSpec& spec = schema.column(i);
+        Dictionary dict;
+        std::vector<Vid> vids;
+        vids.reserve(rows.size());
+        for (const Row& row : rows) {
+          vids.push_back(dict.GetOrInsert(row[i]));
+        }
+        columns[i] = spec.sorted
+                         ? Column::FromVidsRle(spec.type, std::move(dict),
+                                               vids)
+                         : Column::FromVids(spec.type, std::move(dict),
+                                            vids, &exec);
+        return Status::OK();
+      }));
+  return Table::Make(name, schema, std::move(columns), rows.size());
 }
 
 }  // namespace cods

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -33,10 +34,12 @@ std::vector<Row> HashJoinRowVec(const std::vector<Row>& left,
                                 const std::vector<size_t>& right_join);
 
 /// Splits tuples into columns, dictionary-encodes and WAH-compresses them
-/// into a new column table (the "re-compress" stage).
+/// into a new column table (the "re-compress" stage). Each column
+/// encodes and compresses independently, so the work parallelizes one
+/// task per column on `ctx`; output is bit-identical at any thread count.
 Result<std::shared_ptr<const Table>> RowsToColumnTable(
     const std::string& name, const Schema& schema,
-    const std::vector<Row>& rows);
+    const std::vector<Row>& rows, const ExecContext* ctx = nullptr);
 
 }  // namespace cods
 

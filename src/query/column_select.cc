@@ -2,6 +2,7 @@
 
 #include "bitmap/wah_filter.h"
 #include "bitmap/wah_ops.h"
+#include "exec/parallel_build.h"
 
 namespace cods {
 
@@ -35,40 +36,53 @@ Result<WahBitmap> EvalPredicate(const Table& table,
 
 namespace {
 
-// Evaluates every predicate to its selection bitmap. Returns an empty
-// vector (and sets *empty) as soon as one predicate selects nothing —
-// the conjunction is empty and the remaining predicates never run.
+// Evaluates every predicate to its selection bitmap, in parallel on
+// `ctx` (one task per predicate — each is an independent k-way union
+// over its own column). Every predicate always runs, so invalid
+// predicates error identically at every thread count; the first error
+// in predicate order wins.
 Result<std::vector<WahBitmap>> EvalAllPredicates(
-    const Table& table, const std::vector<ColumnPredicate>& preds,
-    bool* any_empty) {
-  *any_empty = false;
+    const ExecContext& ctx, const Table& table,
+    const std::vector<ColumnPredicate>& preds) {
+  std::vector<Result<WahBitmap>> slots(preds.size(),
+                                       Result<WahBitmap>(WahBitmap()));
+  Status st = ParallelFor(ctx, 0, preds.size(), 1, [&](uint64_t i) {
+    slots[i] = EvalPredicate(table, preds[i]);
+    return Status::OK();
+  });
+  CODS_CHECK(st.ok()) << st.ToString();
   std::vector<WahBitmap> evaluated;
   evaluated.reserve(preds.size());
-  for (const ColumnPredicate& pred : preds) {
-    CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
-    if (one.IsAllZeros()) {  // O(1) emptiness, not a CountOnes() decode
-      *any_empty = true;
-      return std::vector<WahBitmap>{};
-    }
-    evaluated.push_back(std::move(one));
+  for (Result<WahBitmap>& slot : slots) {
+    CODS_RETURN_NOT_OK(slot.status());
+    evaluated.push_back(std::move(slot).ValueOrDie());
   }
   return evaluated;
 }
 
+// True when some evaluated predicate selects nothing (O(1) emptiness
+// checks, not CountOnes() decodes).
+bool AnyEmpty(const std::vector<WahBitmap>& evaluated) {
+  for (const WahBitmap& bm : evaluated) {
+    if (bm.IsAllZeros()) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-// Note the short-circuit granularity: the fold this replaces could also
-// stop when two individually non-empty predicates intersected to
-// nothing, at the price of a full CountOnes() decode per step. Here only
-// per-predicate emptiness stops evaluation early; pairwise-disjoint
-// operands are instead handled by zero-fill annihilation inside the
-// single k-way AND.
+// Short-circuit granularity: per-predicate emptiness skips the k-way
+// AND entirely; pairwise-disjoint operands are handled by zero-fill
+// annihilation inside the single k-way merge. (Unlike the serial fold
+// this grew from, every predicate is always *evaluated*, so errors and
+// results are independent of thread count.)
 Result<WahBitmap> EvalConjunction(const Table& table,
-                                  const std::vector<ColumnPredicate>& preds) {
-  bool any_empty = false;
-  CODS_ASSIGN_OR_RETURN(std::vector<WahBitmap> evaluated,
-                        EvalAllPredicates(table, preds, &any_empty));
-  if (any_empty) {
+                                  const std::vector<ColumnPredicate>& preds,
+                                  const ExecContext* ctx) {
+  CODS_ASSIGN_OR_RETURN(
+      std::vector<WahBitmap> evaluated,
+      EvalAllPredicates(ResolveContext(ctx), table, preds));
+  if (AnyEmpty(evaluated)) {
     WahBitmap none;
     none.AppendRun(false, table.rows());
     return none;
@@ -77,51 +91,44 @@ Result<WahBitmap> EvalConjunction(const Table& table,
 }
 
 Result<WahBitmap> EvalDisjunction(const Table& table,
-                                  const std::vector<ColumnPredicate>& preds) {
-  // Every predicate is evaluated (so invalid predicates error even when
-  // an earlier one already saturated); a saturated operand costs the
-  // k-way union nothing thanks to one-fill annihilation.
-  std::vector<WahBitmap> evaluated;
-  evaluated.reserve(preds.size());
-  for (const ColumnPredicate& pred : preds) {
-    CODS_ASSIGN_OR_RETURN(WahBitmap one, EvalPredicate(table, pred));
-    evaluated.push_back(std::move(one));
-  }
+                                  const std::vector<ColumnPredicate>& preds,
+                                  const ExecContext* ctx) {
+  // A saturated operand costs the k-way union nothing thanks to
+  // one-fill annihilation.
+  CODS_ASSIGN_OR_RETURN(
+      std::vector<WahBitmap> evaluated,
+      EvalAllPredicates(ResolveContext(ctx), table, preds));
   return WahOrMany(evaluated, table.rows());
 }
 
 Result<uint64_t> CountWhere(const Table& table,
-                            const std::vector<ColumnPredicate>& preds) {
-  bool any_empty = false;
-  CODS_ASSIGN_OR_RETURN(std::vector<WahBitmap> evaluated,
-                        EvalAllPredicates(table, preds, &any_empty));
-  if (any_empty) return 0;
+                            const std::vector<ColumnPredicate>& preds,
+                            const ExecContext* ctx) {
+  CODS_ASSIGN_OR_RETURN(
+      std::vector<WahBitmap> evaluated,
+      EvalAllPredicates(ResolveContext(ctx), table, preds));
+  if (AnyEmpty(evaluated)) return 0;
   // Count-only kernel: the selection bitmap is never materialized.
   return WahAndManyCount(evaluated, table.rows());
 }
 
 Result<std::shared_ptr<const Table>> SelectWhere(
     const Table& table, const std::vector<ColumnPredicate>& preds,
-    const std::string& out_name) {
-  CODS_ASSIGN_OR_RETURN(WahBitmap selection, EvalConjunction(table, preds));
+    const std::string& out_name, const ExecContext* ctx) {
+  ExecContext exec = ResolveContext(ctx);
+  CODS_ASSIGN_OR_RETURN(WahBitmap selection,
+                        EvalConjunction(table, preds, &exec));
   std::vector<uint64_t> positions = selection.SetPositions();
   WahPositionFilter filter(positions, table.rows());
-  std::vector<std::shared_ptr<const Column>> cols;
-  for (size_t i = 0; i < table.num_columns(); ++i) {
-    const Column& c = *table.column(i);
-    if (c.encoding() != ColumnEncoding::kWahBitmap) {
-      return Status::InvalidArgument(
-          "SelectWhere requires WAH-encoded columns");
-    }
-    std::vector<WahBitmap> filtered;
-    filtered.reserve(c.distinct_count());
-    for (Vid v = 0; v < c.distinct_count(); ++v) {
-      filtered.push_back(filter.Filter(c.bitmap(v)));
-    }
-    cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
-                                       std::move(filtered),
-                                       positions.size()));
-  }
+  std::vector<std::shared_ptr<const Column>> cols(table.num_columns());
+  // Column tasks nest the per-vid filter tasks inside FilterColumnBitmaps.
+  CODS_RETURN_NOT_OK(
+      ParallelFor(exec, 0, table.num_columns(), 1, [&](uint64_t i) -> Status {
+        CODS_ASSIGN_OR_RETURN(
+            cols[i], FilterColumnBitmaps(exec, *table.column(i), filter,
+                                         "SelectWhere"));
+        return Status::OK();
+      }));
   // Selection preserves key uniqueness, so the key declaration survives.
   return Table::Make(out_name, table.schema(), std::move(cols),
                      positions.size());
@@ -146,7 +153,7 @@ Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
 
 Result<std::vector<std::pair<Value, double>>> GroupBySum(
     const Table& table, const std::string& group_column,
-    const std::string& measure_column) {
+    const std::string& measure_column, const ExecContext* ctx) {
   CODS_ASSIGN_OR_RETURN(auto group, table.ColumnByName(group_column));
   CODS_ASSIGN_OR_RETURN(auto measure, table.ColumnByName(measure_column));
   if (measure->type() == DataType::kString) {
@@ -169,19 +176,25 @@ Result<std::vector<std::pair<Value, double>>> GroupBySum(
     measure_values.push_back(v.is_int64() ? static_cast<double>(v.int64())
                                           : v.dbl());
   }
-  std::vector<std::pair<Value, double>> out;
-  out.reserve(group->distinct_count());
-  for (Vid g = 0; g < group->distinct_count(); ++g) {
-    double sum = 0;
-    if (!group->bitmap(g).IsAllZeros()) {
-      for (size_t m = 0; m < live_measures.size(); ++m) {
-        uint64_t count = WahAndCount(group->bitmap(g), *live_measures[m]);
-        if (count == 0) continue;
-        sum += measure_values[m] * static_cast<double>(count);
-      }
-    }
-    out.emplace_back(group->dict().value(g), sum);
-  }
+  // One task per group value: the inner AND-counts are independent, and
+  // each group writes its own pre-sized slot, so dictionary order (and
+  // floating-point summation order) is preserved at every thread count.
+  std::vector<std::pair<Value, double>> out(group->distinct_count());
+  Status st = ParallelFor(
+      ResolveContext(ctx), 0, group->distinct_count(), 4, [&](uint64_t g) {
+        double sum = 0;
+        const WahBitmap& gbm = group->bitmap(static_cast<Vid>(g));
+        if (!gbm.IsAllZeros()) {
+          for (size_t m = 0; m < live_measures.size(); ++m) {
+            uint64_t count = WahAndCount(gbm, *live_measures[m]);
+            if (count == 0) continue;
+            sum += measure_values[m] * static_cast<double>(count);
+          }
+        }
+        out[g] = {group->dict().value(static_cast<Vid>(g)), sum};
+        return Status::OK();
+      });
+  CODS_CHECK(st.ok()) << st.ToString();
   return out;
 }
 

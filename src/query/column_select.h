@@ -14,6 +14,7 @@
 
 #include "bitmap/wah_bitmap.h"
 #include "evolution/smo.h"  // CompareOp / EvalCompare
+#include "exec/exec.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -48,16 +49,22 @@ Result<WahBitmap> EvalPredicate(const Table& table,
                                 const ColumnPredicate& predicate);
 
 /// AND of all predicates (all must qualify). Empty list selects all rows.
+/// The per-predicate bitmaps evaluate in parallel on `ctx` and feed one
+/// k-way AND; output is bit-identical at every thread count.
 Result<WahBitmap> EvalConjunction(const Table& table,
-                                  const std::vector<ColumnPredicate>& preds);
+                                  const std::vector<ColumnPredicate>& preds,
+                                  const ExecContext* ctx = nullptr);
 
-/// OR of all predicates. Empty list selects no rows.
+/// OR of all predicates. Empty list selects no rows. Per-predicate
+/// evaluation parallelizes like EvalConjunction.
 Result<WahBitmap> EvalDisjunction(const Table& table,
-                                  const std::vector<ColumnPredicate>& preds);
+                                  const std::vector<ColumnPredicate>& preds,
+                                  const ExecContext* ctx = nullptr);
 
 /// SELECT COUNT(*) WHERE all predicates hold — never materializes rows.
 Result<uint64_t> CountWhere(const Table& table,
-                            const std::vector<ColumnPredicate>& preds);
+                            const std::vector<ColumnPredicate>& preds,
+                            const ExecContext* ctx = nullptr);
 
 /// SELECT * WHERE all predicates hold, as a new column table named
 /// `out_name`. Row selection runs through the same position-filter
@@ -65,7 +72,7 @@ Result<uint64_t> CountWhere(const Table& table,
 /// compressed.
 Result<std::shared_ptr<const Table>> SelectWhere(
     const Table& table, const std::vector<ColumnPredicate>& preds,
-    const std::string& out_name);
+    const std::string& out_name, const ExecContext* ctx = nullptr);
 
 /// Materializes the selected tuples directly (small results).
 Result<std::vector<Row>> FetchWhere(const Table& table,
@@ -82,9 +89,10 @@ Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
 /// between group and measure bitmaps: O(v_group · v_measure) bitmap
 /// intersections, never materializing rows — efficient when the measure
 /// has few distinct values (the dictionary-encoding sweet spot).
+/// The per-group intersections run in parallel on `ctx`.
 Result<std::vector<std::pair<Value, double>>> GroupBySum(
     const Table& table, const std::string& group_column,
-    const std::string& measure_column);
+    const std::string& measure_column, const ExecContext* ctx = nullptr);
 
 }  // namespace cods
 

@@ -1,6 +1,9 @@
 #include "storage/column.h"
 
+#include <atomic>
+
 #include "bitmap/wah_ops.h"
+#include "exec/parallel_build.h"
 
 namespace cods {
 
@@ -15,20 +18,15 @@ const char* ColumnEncodingToString(ColumnEncoding encoding) {
 }
 
 std::shared_ptr<Column> Column::FromVids(DataType type, Dictionary dict,
-                                         const std::vector<Vid>& vids) {
+                                         const std::vector<Vid>& vids,
+                                         const ExecContext* ctx) {
   auto col = std::shared_ptr<Column>(new Column());
   col->type_ = type;
   col->encoding_ = ColumnEncoding::kWahBitmap;
   col->rows_ = vids.size();
-  col->bitmaps_.resize(dict.size());
+  col->bitmaps_ = BuildValueBitmaps(ResolveContext(ctx), vids.data(),
+                                    vids.size(), dict.size());
   col->dict_ = std::move(dict);
-  for (uint64_t row = 0; row < vids.size(); ++row) {
-    CODS_DCHECK(vids[row] < col->bitmaps_.size());
-    col->bitmaps_[vids[row]].AppendSetBit(row);
-  }
-  for (WahBitmap& bm : col->bitmaps_) {
-    bm.AppendRun(false, col->rows_ - bm.size());
-  }
   return col;
 }
 
@@ -85,16 +83,21 @@ const RleVector& Column::rle() const {
   return rle_;
 }
 
-std::vector<Vid> Column::DecodeVids() const {
+std::vector<Vid> Column::DecodeVids(const ExecContext* ctx) const {
   if (encoding_ == ColumnEncoding::kRle) {
     return rle_.Decode();
   }
   std::vector<Vid> out(rows_, 0);
-  for (Vid vid = 0; vid < bitmaps_.size(); ++vid) {
-    WahSetBitIterator it(bitmaps_[vid]);
-    uint64_t pos;
-    while (it.Next(&pos)) out[pos] = vid;
-  }
+  // Value bitmaps partition the row set, so the per-vid writes target
+  // disjoint positions — safe to run concurrently, identical result.
+  Status st = ParallelFor(
+      ResolveContext(ctx), 0, bitmaps_.size(), 16, [&](uint64_t vid) {
+        WahSetBitIterator it(bitmaps_[vid]);
+        uint64_t pos;
+        while (it.Next(&pos)) out[pos] = static_cast<Vid>(vid);
+        return Status::OK();
+      });
+  CODS_CHECK(st.ok()) << st.ToString();
   return out;
 }
 
@@ -144,7 +147,7 @@ uint64_t Column::SizeBytes() const {
   return bytes;
 }
 
-Status Column::ValidateInvariants() const {
+Status Column::ValidateInvariants(const ExecContext* ctx) const {
   if (encoding_ == ColumnEncoding::kRle) {
     if (rle_.size() != rows_) {
       return Status::Corruption("RLE length != row count");
@@ -159,13 +162,24 @@ Status Column::ValidateInvariants() const {
   if (bitmaps_.size() != dict_.size()) {
     return Status::Corruption("bitmap count != dictionary size");
   }
-  uint64_t total_ones = 0;
-  for (const WahBitmap& bm : bitmaps_) {
-    if (bm.size() != rows_) {
-      return Status::Corruption("bitmap length != row count");
-    }
-    total_ones += bm.CountOnes();
-  }
+  // Per-bitmap length check and popcount, parallel over value bitmaps.
+  // The sum is order-independent, so a relaxed atomic accumulation stays
+  // deterministic.
+  std::atomic<uint64_t> ones{0};
+  CODS_RETURN_NOT_OK(ParallelForChunked(
+      ResolveContext(ctx), 0, bitmaps_.size(), 16,
+      [&](uint64_t lo, uint64_t hi) -> Status {
+        uint64_t local = 0;
+        for (uint64_t v = lo; v < hi; ++v) {
+          if (bitmaps_[v].size() != rows_) {
+            return Status::Corruption("bitmap length != row count");
+          }
+          local += bitmaps_[v].CountOnes();
+        }
+        ones.fetch_add(local, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  uint64_t total_ones = ones.load(std::memory_order_relaxed);
   if (total_ones != rows_) {
     return Status::Corruption("bitmaps do not partition rows: " +
                               std::to_string(total_ones) + " ones over " +

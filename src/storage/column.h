@@ -16,6 +16,7 @@
 #include "bitmap/rle.h"
 #include "bitmap/wah_bitmap.h"
 #include "common/result.h"
+#include "exec/exec.h"
 #include "storage/dictionary.h"
 #include "storage/value.h"
 
@@ -32,9 +33,12 @@ const char* ColumnEncodingToString(ColumnEncoding encoding);
 /// An immutable column of one table.
 class Column {
  public:
-  /// Builds a WAH-bitmap column from a row-ordered vid sequence.
+  /// Builds a WAH-bitmap column from a row-ordered vid sequence. The
+  /// bitmap compression runs on `ctx` (nullptr: default context); the
+  /// result is bit-identical at every thread count.
   static std::shared_ptr<Column> FromVids(DataType type, Dictionary dict,
-                                          const std::vector<Vid>& vids);
+                                          const std::vector<Vid>& vids,
+                                          const ExecContext* ctx = nullptr);
 
   /// Builds an RLE column from a row-ordered vid sequence.
   static std::shared_ptr<Column> FromVidsRle(DataType type, Dictionary dict,
@@ -68,8 +72,9 @@ class Column {
   const RleVector& rle() const;
 
   /// Decodes the column into a row-ordered vid vector.
-  /// Cost: O(rows + compressed words).
-  std::vector<Vid> DecodeVids() const;
+  /// Cost: O(rows + compressed words); bitmap decoding parallelizes over
+  /// value bitmaps (their set positions are disjoint).
+  std::vector<Vid> DecodeVids(const ExecContext* ctx = nullptr) const;
 
   /// Value at `row` (point lookup; O(compressed words) for bitmap
   /// encoding — use DecodeVids for scans).
@@ -87,8 +92,9 @@ class Column {
 
   /// Verifies structural invariants: every bitmap has length rows(); the
   /// bitmaps partition the row set (each row covered exactly once); the
-  /// dictionary and bitmap count agree. O(distinct * compressed words).
-  Status ValidateInvariants() const;
+  /// dictionary and bitmap count agree. O(distinct * compressed words);
+  /// the per-bitmap checks parallelize over value bitmaps.
+  Status ValidateInvariants(const ExecContext* ctx = nullptr) const;
 
  private:
   Column() = default;

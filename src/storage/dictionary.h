@@ -18,6 +18,9 @@ namespace cods {
 /// Value id type. 32 bits bounds a column at ~4.2B distinct values.
 using Vid = uint32_t;
 
+/// Sentinel for "no such value id" (dictionary translation misses).
+inline constexpr Vid kNoVid = static_cast<Vid>(-1);
+
 /// Dense dictionary of distinct values for one column.
 class Dictionary {
  public:

@@ -75,19 +75,21 @@ uint64_t Table::SizeBytes() const {
   return bytes;
 }
 
-Status Table::ValidateInvariants() const {
+Status Table::ValidateInvariants(const ExecContext* ctx) const {
   if (columns_.size() != schema_.num_columns()) {
     return Status::Corruption("schema arity mismatch");
   }
-  for (size_t i = 0; i < columns_.size(); ++i) {
+  // Per-column validation is independent; ParallelFor returns the first
+  // failing column in schema order, matching the serial walk.
+  ExecContext exec = ResolveContext(ctx);
+  return ParallelFor(exec, 0, columns_.size(), 1, [&](uint64_t i) -> Status {
     if (columns_[i]->rows() != rows_) {
       return Status::Corruption("column row count mismatch in '" +
                                 schema_.column(i).name + "'");
     }
-    CODS_RETURN_NOT_OK(columns_[i]->ValidateInvariants().WithContext(
-        "column '" + schema_.column(i).name + "'"));
-  }
-  return Status::OK();
+    return columns_[i]->ValidateInvariants(&exec).WithContext(
+        "column '" + schema_.column(i).name + "'");
+  });
 }
 
 TableBuilder::TableBuilder(std::string name, Schema schema)
@@ -96,6 +98,20 @@ TableBuilder::TableBuilder(std::string name, Schema schema)
       dicts_(schema_.num_columns()),
       vids_(schema_.num_columns()) {}
 
+Status ValidateValueForColumn(const Value& v, const ColumnSpec& spec) {
+  if (v.is_null()) {
+    return Status::TypeError("null values are not supported (column '" +
+                             spec.name + "')");
+  }
+  CODS_ASSIGN_OR_RETURN(DataType t, v.type());
+  if (t != spec.type) {
+    return Status::TypeError("value " + v.ToString() +
+                             " does not match column '" + spec.name +
+                             "' of type " + DataTypeToString(spec.type));
+  }
+  return Status::OK();
+}
+
 Status TableBuilder::AppendRow(const Row& row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
@@ -103,17 +119,7 @@ Status TableBuilder::AppendRow(const Row& row) {
         std::to_string(schema_.num_columns()));
   }
   for (size_t i = 0; i < row.size(); ++i) {
-    if (row[i].is_null()) {
-      return Status::TypeError("null values are not supported (column '" +
-                               schema_.column(i).name + "')");
-    }
-    CODS_ASSIGN_OR_RETURN(DataType t, row[i].type());
-    if (t != schema_.column(i).type) {
-      return Status::TypeError(
-          "value " + row[i].ToString() + " does not match column '" +
-          schema_.column(i).name + "' of type " +
-          DataTypeToString(schema_.column(i).type));
-    }
+    CODS_RETURN_NOT_OK(ValidateValueForColumn(row[i], schema_.column(i)));
   }
   for (size_t i = 0; i < row.size(); ++i) {
     vids_[i].push_back(dicts_[i].GetOrInsert(row[i]));

@@ -55,7 +55,9 @@ class Table {
   uint64_t SizeBytes() const;
 
   /// Validates per-column invariants plus schema/column agreement.
-  Status ValidateInvariants() const;
+  /// Parallel over columns; the first failing column (in schema order)
+  /// determines the returned Status.
+  Status ValidateInvariants(const ExecContext* ctx = nullptr) const;
 
  private:
   std::string name_;
@@ -63,6 +65,11 @@ class Table {
   std::vector<std::shared_ptr<const Column>> columns_;
   uint64_t rows_ = 0;
 };
+
+/// Checks that `v` may be stored in a column described by `spec`
+/// (non-null, matching type). Shared by every row-ingest path so the
+/// rules and error messages cannot diverge.
+Status ValidateValueForColumn(const Value& v, const ColumnSpec& spec);
 
 /// Builds a table row-by-row, dictionary-encoding on the fly.
 class TableBuilder {

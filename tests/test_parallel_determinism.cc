@@ -1,0 +1,237 @@
+// Determinism suite for the parallel execution subsystem: every rewired
+// hot path must produce BIT-IDENTICAL output at threads ∈ {1, 2, 8}.
+// WahBitmap's canonical form makes this checkable as plain representation
+// equality (operator== compares code words), so the comparisons below
+// are exact, not just logical.
+
+#include <memory>
+#include <vector>
+
+#include "evolution/decompose.h"
+#include "evolution/engine.h"
+#include "evolution/merge.h"
+#include "evolution/simple_ops.h"
+#include "exec/exec.h"
+#include "gtest/gtest.h"
+#include "query/column_executor.h"
+#include "query/column_select.h"
+#include "workload/generator.h"
+
+namespace cods {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+std::shared_ptr<const Table> TestTable(uint64_t rows = 30'000,
+                                       uint64_t distinct = 500) {
+  WorkloadSpec spec;
+  spec.num_rows = rows;
+  spec.num_distinct = distinct;
+  spec.payload_distinct = 100;
+  spec.dependent_distinct = 50;
+  auto r = GenerateEvolutionTable(spec);
+  CODS_CHECK(r.ok()) << r.status().ToString();
+  return r.ValueOrDie();
+}
+
+// Exact (code-word-level) table equality.
+void ExpectTablesIdentical(const Table& a, const Table& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << label;
+  for (size_t i = 0; i < a.num_columns(); ++i) {
+    const Column& ca = *a.column(i);
+    const Column& cb = *b.column(i);
+    ASSERT_EQ(ca.encoding(), cb.encoding()) << label << " col " << i;
+    ASSERT_EQ(ca.distinct_count(), cb.distinct_count())
+        << label << " col " << i;
+    if (ca.encoding() != ColumnEncoding::kWahBitmap) continue;
+    for (Vid v = 0; v < ca.distinct_count(); ++v) {
+      ASSERT_EQ(ca.dict().value(v), cb.dict().value(v))
+          << label << " col " << i << " vid " << v;
+      EXPECT_TRUE(ca.bitmap(v) == cb.bitmap(v))
+          << label << ": column " << i << " vid " << v
+          << " bitmaps differ";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, Decompose) {
+  auto r = TestTable();
+  DecomposeOptions serial_opts;
+  ExecContext serial(1);
+  serial_opts.exec = &serial;
+  auto reference =
+      CodsDecompose(*r, "S", {kKeyColumn, kPayloadColumn}, {}, "T",
+                    {kKeyColumn, kDependentColumn}, {kKeyColumn}, nullptr,
+                    serial_opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    DecomposeOptions opts;
+    opts.exec = &ctx;
+    auto result =
+        CodsDecompose(*r, "S", {kKeyColumn, kPayloadColumn}, {}, "T",
+                      {kKeyColumn, kDependentColumn}, {kKeyColumn}, nullptr,
+                      opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesIdentical(*reference->s, *result->s,
+                          "decompose S @" + std::to_string(threads));
+    ExpectTablesIdentical(*reference->t, *result->t,
+                          "decompose T @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, MergeKeyFk) {
+  WorkloadSpec spec;
+  spec.num_rows = 30'000;
+  spec.num_distinct = 500;
+  auto pair = GenerateMergePair(spec);
+  ASSERT_TRUE(pair.ok());
+  ExecContext serial(1);
+  auto reference = CodsMergeKeyFk(*pair->s, *pair->t, {kKeyColumn}, {},
+                                  "R", nullptr, &serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto result = CodsMergeKeyFk(*pair->s, *pair->t, {kKeyColumn}, {},
+                                 "R", nullptr, &ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesIdentical(**reference, **result,
+                          "merge key-fk @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, MergeGeneral) {
+  auto pair = GenerateGeneralMergePair(200, 6, 4);
+  ASSERT_TRUE(pair.ok());
+  ExecContext serial(1);
+  auto reference = CodsMergeGeneral(*pair->s, *pair->t, {"J"}, {}, "R",
+                                    nullptr, &serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto result = CodsMergeGeneral(*pair->s, *pair->t, {"J"}, {}, "R",
+                                   nullptr, &ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesIdentical(**reference, **result,
+                          "merge general @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, UnionAndPartition) {
+  auto r = TestTable();
+  ExecContext serial(1);
+  auto ref_union = UnionTablesOp(*r, *r->WithName("R2"), "U", nullptr,
+                                 &serial);
+  ASSERT_TRUE(ref_union.ok());
+  Value pivot(static_cast<int64_t>(250));
+  auto ref_part = PartitionTableOp(*r, "A", "B", kKeyColumn, CompareOp::kLt,
+                                   pivot, nullptr, &serial);
+  ASSERT_TRUE(ref_part.ok());
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto u = UnionTablesOp(*r, *r->WithName("R2"), "U", nullptr, &ctx);
+    ASSERT_TRUE(u.ok()) << u.status().ToString();
+    ExpectTablesIdentical(**ref_union, **u,
+                          "union @" + std::to_string(threads));
+    auto p = PartitionTableOp(*r, "A", "B", kKeyColumn, CompareOp::kLt,
+                              pivot, nullptr, &ctx);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    ExpectTablesIdentical(*ref_part->matching, *p->matching,
+                          "partition matching @" + std::to_string(threads));
+    ExpectTablesIdentical(*ref_part->rest, *p->rest,
+                          "partition rest @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, QueryPaths) {
+  auto r = TestTable();
+  std::vector<ColumnPredicate> preds{
+      ColumnPredicate::Compare(kKeyColumn, CompareOp::kLt,
+                               Value(static_cast<int64_t>(300))),
+      ColumnPredicate::Compare(kPayloadColumn, CompareOp::kGe,
+                               Value(static_cast<int64_t>(20))),
+  };
+  ExecContext serial(1);
+  auto ref_conj = EvalConjunction(*r, preds, &serial);
+  auto ref_disj = EvalDisjunction(*r, preds, &serial);
+  auto ref_count = CountWhere(*r, preds, &serial);
+  auto ref_select = SelectWhere(*r, preds, "sel", &serial);
+  auto ref_group = GroupBySum(*r, kDependentColumn, kPayloadColumn,
+                              &serial);
+  ASSERT_TRUE(ref_conj.ok() && ref_disj.ok() && ref_count.ok() &&
+              ref_select.ok() && ref_group.ok());
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto conj = EvalConjunction(*r, preds, &ctx);
+    ASSERT_TRUE(conj.ok());
+    EXPECT_TRUE(*ref_conj == *conj) << "conjunction @" << threads;
+    auto disj = EvalDisjunction(*r, preds, &ctx);
+    ASSERT_TRUE(disj.ok());
+    EXPECT_TRUE(*ref_disj == *disj) << "disjunction @" << threads;
+    auto count = CountWhere(*r, preds, &ctx);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*ref_count, *count) << "count @" << threads;
+    auto sel = SelectWhere(*r, preds, "sel", &ctx);
+    ASSERT_TRUE(sel.ok());
+    ExpectTablesIdentical(**ref_select, **sel,
+                          "select @" + std::to_string(threads));
+    auto group = GroupBySum(*r, kDependentColumn, kPayloadColumn, &ctx);
+    ASSERT_TRUE(group.ok());
+    ASSERT_EQ(ref_group->size(), group->size());
+    for (size_t i = 0; i < group->size(); ++i) {
+      EXPECT_EQ((*ref_group)[i].first, (*group)[i].first);
+      // Bit-identical doubles: same AND-count sequence, same summation
+      // order per group.
+      EXPECT_EQ((*ref_group)[i].second, (*group)[i].second)
+          << "group " << i << " @" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RowsToColumnTableAndValidate) {
+  auto r = TestTable();
+  std::vector<Row> rows = r->Materialize();
+  ExecContext serial(1);
+  auto reference = RowsToColumnTable("rebuilt", r->schema(), rows, &serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto result = RowsToColumnTable("rebuilt", r->schema(), rows, &ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesIdentical(**reference, **result,
+                          "rows-to-column @" + std::to_string(threads));
+    Status st = (*result)->ValidateInvariants(&ctx);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST(ParallelDeterminismTest, EngineEndToEndScript) {
+  // The full engine pipeline at num_threads = 1 vs 8: DECOMPOSE, then
+  // MERGE back, with validation on (exercising parallel
+  // ValidateInvariants on every produced table).
+  auto run_with = [&](int threads) -> std::shared_ptr<const Table> {
+    Catalog catalog;
+    CODS_CHECK_OK(catalog.AddTable(TestTable()));
+    EngineOptions options;
+    options.num_threads = threads;
+    options.validate_outputs = true;
+    EvolutionEngine engine(&catalog, nullptr, options);
+    CODS_CHECK_OK(engine.Apply(Smo::DecomposeTable(
+        "R", "S", {kKeyColumn, kPayloadColumn}, {}, "T",
+        {kKeyColumn, kDependentColumn}, {kKeyColumn})));
+    CODS_CHECK_OK(
+        engine.Apply(Smo::MergeTables("S", "T", "R", {kKeyColumn}, {})));
+    return catalog.GetTable("R").ValueOrDie();
+  };
+  auto reference = run_with(1);
+  for (int threads : {2, 8}) {
+    auto result = run_with(threads);
+    ExpectTablesIdentical(*reference, *result,
+                          "engine script @" + std::to_string(threads));
+  }
+}
+
+}  // namespace
+}  // namespace cods
