@@ -161,6 +161,21 @@ void BM_WahOrPairwiseFold(benchmark::State& state) {
   }
 }
 
+// Fold with the in-place accumulator: each step merges into a recycled
+// buffer and swaps, so the steady state allocates nothing per step —
+// contrast with BM_WahOrPairwiseFold, which materializes (and frees) a
+// fresh bitmap per operand. This is the shape of callers that cannot
+// batch into WahOrMany (operands arrive one at a time).
+void BM_WahOrWithFold(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeOperands(state.range(0));
+  for (auto _ : state) {
+    WahBitmap acc;
+    acc.AppendRun(false, kKWayBits);
+    for (const WahBitmap& bm : ops) acc.OrWith(bm);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
 void BM_WahOrManyCount(benchmark::State& state) {
   std::vector<WahBitmap> ops = MakeOperands(state.range(0));
   std::vector<const WahBitmap*> ptrs = Ptrs(ops);
@@ -195,6 +210,16 @@ void BM_WahAndPairwiseFold(benchmark::State& state) {
     WahBitmap acc;
     acc.AppendRun(true, kKWayBits);
     for (const WahBitmap& bm : ops) acc = WahAnd(acc, bm);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_WahAndWithFold(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeDenseOperands(state.range(0));
+  for (auto _ : state) {
+    WahBitmap acc;
+    acc.AppendRun(true, kKWayBits);
+    for (const WahBitmap& bm : ops) acc.AndWith(bm);
     benchmark::DoNotOptimize(acc);
   }
 }
@@ -259,9 +284,11 @@ void WideKSweep(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_WahOrMany)->Apply(KSweep);
 BENCHMARK(BM_WahOrPairwiseFold)->Apply(KSweep);
+BENCHMARK(BM_WahOrWithFold)->Apply(KSweep);
 BENCHMARK(BM_WahOrManyCount)->Apply(KSweep);
 BENCHMARK(BM_WahAndMany)->Apply(KSweep);
 BENCHMARK(BM_WahAndPairwiseFold)->Apply(KSweep);
+BENCHMARK(BM_WahAndWithFold)->Apply(KSweep);
 BENCHMARK(BM_WahOrManyClustered)->Apply(WideKSweep);
 BENCHMARK(BM_WahOrFoldClustered)->Apply(WideKSweep);
 

@@ -16,6 +16,8 @@
 //   .save <path> / .open <path>  persist / load the whole catalog
 //   .commit <msg> / .log / .checkout <v>  versioning
 //   .undo                        undo the last invertible operator
+//   .plan <file|script>          EXPLAIN a script's dependency DAG
+//   .runplan <file|script>       execute a script via the planner
 //   .help / .quit
 
 #include <unistd.h>
@@ -31,6 +33,7 @@
 #include "evolution/engine.h"
 #include "evolution/inverse.h"
 #include "evolution/versioned_catalog.h"
+#include "plan/script_planner.h"
 #include "query/column_select.h"
 #include "smo/parser.h"
 #include "storage/csv.h"
@@ -159,6 +162,9 @@ class Shell {
       log_.Clear();  // the undo log refers to the abandoned timeline
     } else if (cmd == ".undo") {
       Report(Undo());
+    } else if ((cmd == ".plan" || cmd == ".runplan") && w.size() >= 2) {
+      Report(Plan(std::string(Trim(line.substr(cmd.size()))),
+                  cmd == ".runplan"));
     } else {
       std::cout << "unknown command; try .help\n";
     }
@@ -226,6 +232,35 @@ class Shell {
     return Status::OK();
   }
 
+  // `arg` is inline script text when it contains ';', else a path to a
+  // script file. Prints the dependency-DAG plan; with `run`, executes it
+  // through the planner + task graph (planned runs are not undoable, so
+  // the undo log is cleared).
+  Status Plan(const std::string& arg, bool run) {
+    std::string text = arg;
+    if (arg.find(';') == std::string::npos) {
+      std::ifstream in(arg);
+      if (!in) return Status::IOError("cannot open '" + arg + "'");
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    CODS_ASSIGN_OR_RETURN(std::vector<Smo> script, ParseSmoScript(text));
+    ScriptPlan plan = PlanScript(script);
+    std::cout << FormatScriptPlan(script, plan);
+    if (!run) return Status::OK();
+    // Planned runs are not undoable, and even a failed one commits the
+    // serial prefix — the undo log is stale either way, so drop it
+    // before executing, not only on success.
+    log_.Clear();
+    TaskGraphStats stats;
+    CODS_RETURN_NOT_OK(engine_.ApplyAllPlanned(script, &stats));
+    std::cout << "ok: " << stats.ran << " SMOs on " << stats.threads
+              << " threads, peak " << stats.max_parallel
+              << " in flight\n";
+    return Status::OK();
+  }
+
   Status Undo() {
     if (log_.size() == 0) {
       return Status::InvalidArgument("nothing to undo");
@@ -260,6 +295,8 @@ class Shell {
       "  .load <csv> <table>   .tables   .show <t>   .stats <t>\n"
       "  .count <t> <col> <op> <lit>     .advise decompose <t> (c,..) (c,..)\n"
       "  .save <path>  .open <path>  .commit <msg>  .log  .checkout <v>\n"
+      "  .plan <file|script>     show a script's dependency-DAG plan\n"
+      "  .runplan <file|script>  execute via planner (overlaps SMOs)\n"
       "  .undo  .help  .quit\n";
 
   VersionedCatalog versions_;

@@ -3,7 +3,10 @@
 // executes it against a catalog seeded with the Figure 1 table, and
 // narrates every data-evolution step — the "Data Evolution Status" pane.
 //
-//   $ ./build/examples/evolution_script [script.smo]
+//   $ ./build/examples/evolution_script [--plan] [script.smo]
+//
+// --plan prints the script planner's dependency-DAG (the EXPLAIN view:
+// stages, read/write sets, edges) instead of executing.
 
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +14,7 @@
 #include <sstream>
 
 #include "evolution/engine.h"
+#include "plan/script_planner.h"
 #include "smo/parser.h"
 #include "storage/csv.h"
 #include "storage/printer.h"
@@ -44,10 +48,16 @@ const char kSampleData[] =
 
 int main(int argc, char** argv) {
   std::string script_text = kSampleScript;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  bool plan_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--plan") {
+      plan_only = true;
+      continue;
+    }
+    std::ifstream in(arg);
     if (!in) {
-      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      std::cerr << "cannot open script '" << arg << "'\n";
       return EXIT_FAILURE;
     }
     std::ostringstream buf;
@@ -59,6 +69,11 @@ int main(int argc, char** argv) {
   if (!script.ok()) {
     std::cerr << "parse error: " << script.status().ToString() << "\n";
     return EXIT_FAILURE;
+  }
+
+  if (plan_only) {
+    std::cout << FormatScriptPlan(*script, PlanScript(*script));
+    return EXIT_SUCCESS;
   }
 
   Catalog catalog;

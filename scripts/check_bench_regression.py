@@ -8,14 +8,26 @@ than the threshold.
 
 Usage:
   check_bench_regression.py --baseline-dir bench/baselines \
-      --current-dir . [--threshold 0.15] [--metric real_time] [--update]
+      --current-dir . [--threshold 0.15] [--metric real_time] \
+      [--absolute] [--update]
 
 Behavior:
   * Only benchmarks present in BOTH files are compared (new series are
     allowed to appear; removed ones are reported as a warning).
-  * Aggregate series (``_mean``/``_median``/``_stddev``/``_cv``) are
-    compared only via ``_median`` when present; raw series are used
-    otherwise.
+  * When raw repetition entries are present, each series is tracked as
+    the MIN across repetitions — best-of-N is robust against whole
+    repetitions lost to VM steal time or frequency dips, which inflate
+    medians. With aggregates-only output, ``_median`` is used instead.
+  * Default mode is MACHINE-RELATIVE: the per-file anchor is the MEDIAN
+    of the per-series current/baseline ratios, and every series is
+    gated on its ratio relative to that anchor. A uniformly faster or
+    slower runner moves the median itself and cancels out, while a
+    minority of series genuinely changing (one op got 3x faster) leaves
+    the median — and therefore the unchanged peers — untouched. This is
+    what lets the CI threshold sit at 15% on unpinned runners instead
+    of the 50% absolute timings needed. ``--absolute`` restores raw
+    metric comparison (also used automatically when fewer than
+    ``--min-anchor-series`` common series exist).
   * Runs taken at a different ``cods_threads`` context than the baseline
     are skipped with a warning (timings are not comparable).
   * ``--update`` rewrites the baselines from the current files instead of
@@ -25,10 +37,13 @@ Behavior:
 
 import argparse
 import json
+import math
 import os
 import sys
 
 AGGREGATE_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+TIME_UNIT_TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
 
 
 def load(path):
@@ -37,20 +52,24 @@ def load(path):
 
 
 def series(doc, metric):
-    """name -> metric value, preferring _median aggregates when present."""
-    out = {}
+    """name -> metric value in MICROSECONDS: min across raw repetitions
+    when present (best-of-N timing), else the _median aggregate."""
+    raw_min = {}
     medians = {}
     for b in doc.get("benchmarks", []):
         name = b.get("name", "")
+        unit = TIME_UNIT_TO_US.get(b.get("time_unit", "us"), 1.0)
         if b.get("run_type") == "aggregate":
             if name.endswith("_median"):
-                medians[name[: -len("_median")]] = float(b[metric])
+                medians[name[: -len("_median")]] = float(b[metric]) * unit
             continue
         if name.endswith(AGGREGATE_SUFFIXES):
             continue
         if metric in b:
-            out[name] = float(b[metric])
-    out.update(medians)  # aggregates win over raw iterations
+            v = float(b[metric]) * unit
+            raw_min[name] = min(v, raw_min.get(name, v))
+    out = medians
+    out.update(raw_min)  # best-of-repetitions wins over the median
     return out
 
 
@@ -58,7 +77,14 @@ def context_threads(doc):
     return doc.get("context", {}).get("cods_threads")
 
 
-def compare(baseline_path, current_path, threshold, metric):
+def median(values):
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else math.sqrt(s[mid - 1] * s[mid])
+
+
+def compare(baseline_path, current_path, threshold, metric, absolute,
+            min_anchor_series, noise_floor_us):
     base = load(baseline_path)
     cur = load(current_path)
     bt, ct = context_threads(base), context_threads(cur)
@@ -78,16 +104,55 @@ def compare(baseline_path, current_path, threshold, metric):
             + ", ".join(missing[:5])
             + ("..." if len(missing) > 5 else "")
         )
-    for name in sorted(set(base_series) & set(cur_series)):
-        b, c = base_series[name], cur_series[name]
-        if b <= 0:
-            continue
+    common = sorted(
+        name
+        for name in set(base_series) & set(cur_series)
+        if base_series[name] > 0 and cur_series[name] > 0
+    )
+    # Sub-floor series cannot be timed to the gate's precision (a
+    # handful of microseconds swings tens of percent); excluding them is
+    # reported, never silent.
+    floored = [n for n in common if base_series[n] < noise_floor_us]
+    if floored:
+        print(
+            f"NOTE {os.path.basename(current_path)}: {len(floored)} series "
+            f"under the {noise_floor_us:g}us noise floor not gated: "
+            + ", ".join(floored[:4])
+            + ("..." if len(floored) > 4 else "")
+        )
+        common = [n for n in common if n not in set(floored)]
+    if not common:
+        return regressions
+
+    # Per-file anchor: the median of per-series current/baseline ratios
+    # estimates the runs' machine-speed difference. Dividing it out
+    # leaves machine-relative shape; being a median, it is immune to a
+    # minority of series changing for real (a genuinely 3x-faster op
+    # must not make its unchanged peers look like regressions, as a
+    # mean-based anchor would).
+    anchor = 1.0
+    relative = not absolute and len(common) >= min_anchor_series
+    if relative:
+        anchor = median([cur_series[n] / base_series[n] for n in common])
+        print(
+            f"{os.path.basename(current_path)}: relative mode, "
+            f"{anchor:.2f}x median machine speed over {len(common)} series"
+        )
+    elif not absolute:
+        print(
+            f"WARN {os.path.basename(current_path)}: only {len(common)} "
+            f"common series (< {min_anchor_series}); comparing absolute "
+            "timings"
+        )
+
+    for name in common:
+        b, c = base_series[name], cur_series[name] / anchor
         ratio = c / b
         status = "OK"
         if ratio > 1.0 + threshold:
             status = "REGRESSION"
             regressions.append((name, b, c, ratio))
-        print(f"{status:10s} {name:60s} {b:12.1f} -> {c:12.1f} ({ratio:5.2f}x)")
+        print(f"{status:10s} {name:60s} {b:12.3f} -> {c:12.3f} ({ratio:5.2f}x)")
     return regressions
 
 
@@ -97,6 +162,24 @@ def main():
     ap.add_argument("--current-dir", required=True)
     ap.add_argument("--threshold", type=float, default=0.15)
     ap.add_argument("--metric", default="real_time")
+    ap.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw metric values instead of machine-relative ratios",
+    )
+    ap.add_argument(
+        "--min-anchor-series",
+        type=int,
+        default=3,
+        help="fewest common series for which the per-run anchor is trusted",
+    )
+    ap.add_argument(
+        "--noise-floor-us",
+        type=float,
+        default=5.0,
+        help="series with a baseline time under this many microseconds "
+        "are reported but not gated (too small to time reliably)",
+    )
     ap.add_argument("--update", action="store_true")
     args = ap.parse_args()
 
@@ -129,7 +212,8 @@ def main():
             continue
         result = compare(
             baseline, os.path.join(args.current_dir, f), args.threshold,
-            args.metric,
+            args.metric, args.absolute, args.min_anchor_series,
+            args.noise_floor_us,
         )
         if result is None:  # thread-context mismatch
             skipped += 1
@@ -150,12 +234,13 @@ def main():
         print("no baselines matched; nothing compared")
         return 0
     if all_regressions:
+        mode = "absolute" if args.absolute else "machine-relative"
         print(
             f"\n{len(all_regressions)} regression(s) beyond "
-            f"{args.threshold:.0%} on {args.metric}:"
+            f"{args.threshold:.0%} on {mode} {args.metric}:"
         )
         for name, b, c, ratio in all_regressions:
-            print(f"  {name}: {b:.1f} -> {c:.1f} ({ratio:.2f}x)")
+            print(f"  {name}: {b:.3f} -> {c:.3f} ({ratio:.2f}x)")
         return 1
     print("\nno regressions")
     return 0

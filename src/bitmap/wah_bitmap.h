@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -108,14 +109,34 @@ class WahBitmap {
   /// compressed code words.
   void Reserve(uint64_t words) { words_.reserve(words); }
 
+  /// Resets to an empty bitmap, retaining the word vector's capacity
+  /// (builders that recycle a bitmap as an output buffer stop
+  /// allocating once it reaches steady-state size).
+  void Clear() {
+    words_.clear();
+    tail_ = 0;
+    tail_bits_ = 0;
+    num_bits_ = 0;
+  }
+
+  /// Swaps the full representation with `other`. O(1).
+  void Swap(WahBitmap& other) noexcept {
+    words_.swap(other.words_);
+    std::swap(tail_, other.tail_);
+    std::swap(tail_bits_, other.tail_bits_);
+    std::swap(num_bits_, other.num_bits_);
+  }
+
   // ---- Mutating logical ops (implemented in bitmap/wah_ops.cc) ---------
   //
   // Fold-accumulator convenience for callers that cannot batch their
   // operands into a WahOrMany/WahAndMany call. O(1) when either side is
   // a homogeneous fill (an untouched or saturated/annihilated
-  // accumulator, a homogeneous operand); otherwise one pairwise merge
-  // into a fresh bitmap that replaces *this — not allocation-free (see
-  // ROADMAP "Open items").
+  // accumulator, a homogeneous operand). Otherwise one streaming merge
+  // into a recycled thread-local buffer that is swapped in as the new
+  // representation; the displaced accumulator vector becomes the next
+  // call's buffer, so fold loops stop allocating once the buffer
+  // reaches steady-state capacity.
 
   /// this |= other. Requires equal sizes.
   void OrWith(const WahBitmap& other);

@@ -450,6 +450,37 @@ uint64_t WahAndManyCount(const std::vector<WahBitmap>& operands,
   return ManyOpCount(PointersTo(operands), OpKind::kAnd, size);
 }
 
+namespace {
+
+// Output buffer for the in-place merges. After a merge the pre-merge
+// accumulator representation is swapped in here, so its word vector is
+// recycled as the next call's output buffer — a fold loop allocates only
+// while the buffer is still growing toward its steady-state capacity.
+// Thread-local, so concurrent folds (e.g. per-column ParallelFor grains)
+// each own a buffer.
+WahBitmap& InPlaceScratch() {
+  static thread_local WahBitmap scratch;
+  return scratch;
+}
+
+// One streaming merge of `a op b` into the recycled buffer; the result
+// is swapped into `a`. Safe for aliasing (a == &b): both sides are read
+// through independent decoders and the output lives in the buffer.
+void MergeInPlace(WahBitmap* a, const WahBitmap& b, OpKind op) {
+  WahBitmap& out = InPlaceScratch();
+  out.Clear();
+  out.Reserve(a->NumWords() + b.NumWords());
+  RunBinaryOp(
+      *a, b, op,
+      [&](bool value, uint64_t groups) {
+        out.AppendRun(value, groups * kWahGroupBits);
+      },
+      [&](uint64_t payload, uint64_t bits) { out.AppendBits(payload, bits); });
+  a->Swap(out);
+}
+
+}  // namespace
+
 void WahBitmap::OrWith(const WahBitmap& other) {
   CODS_CHECK(size() == other.size())
       << "WAH OrWith on different sizes: " << size() << " vs "
@@ -459,7 +490,7 @@ void WahBitmap::OrWith(const WahBitmap& other) {
     *this = other;
     return;
   }
-  *this = WahOr(*this, other);
+  MergeInPlace(this, other, OpKind::kOr);
 }
 
 void WahBitmap::AndWith(const WahBitmap& other) {
@@ -471,7 +502,7 @@ void WahBitmap::AndWith(const WahBitmap& other) {
     *this = other;
     return;
   }
-  *this = WahAnd(*this, other);
+  MergeInPlace(this, other, OpKind::kAnd);
 }
 
 bool WahIntersects(const WahBitmap& a, const WahBitmap& b) {

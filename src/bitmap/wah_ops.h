@@ -34,7 +34,10 @@
 // The in-place WahBitmap::OrWith/AndWith members are also implemented
 // here: they keep the fold-accumulator pattern O(1) in the homogeneous
 // cases (empty accumulator, saturated accumulator, homogeneous operand)
-// and otherwise fall back to one pairwise merge.
+// and otherwise run one streaming merge into a recycled thread-local
+// buffer that is swapped in as the accumulator's new representation —
+// the displaced word vector becomes the next call's buffer, so
+// fold-shaped loops reach a steady state with no per-step allocation.
 
 #ifndef CODS_BITMAP_WAH_OPS_H_
 #define CODS_BITMAP_WAH_OPS_H_

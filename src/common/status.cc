@@ -31,6 +31,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kConstraintViolation:
       return "Constraint violation";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kCorruption = 7,        // internal invariant violated in stored data
   kTypeError = 8,         // value/type mismatch
   kConstraintViolation = 9,  // key/FD precondition does not hold
+  kCancelled = 10,        // work skipped because a prerequisite failed
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +74,9 @@ class Status {
   static Status ConstraintViolation(std::string msg) {
     return Status(StatusCode::kConstraintViolation, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -96,6 +100,7 @@ class Status {
   bool IsConstraintViolation() const {
     return code() == StatusCode::kConstraintViolation;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

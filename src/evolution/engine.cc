@@ -1,5 +1,8 @@
 #include "evolution/engine.h"
 
+#include "plan/script_planner.h"
+#include "plan/staged_catalog.h"
+
 namespace cods {
 
 EvolutionEngine::EvolutionEngine(Catalog* catalog,
@@ -19,53 +22,119 @@ Status EvolutionEngine::MaybeValidate(const Table& table) {
 }
 
 Status EvolutionEngine::Apply(const Smo& smo) {
+  return ApplyTo(*catalog_, smo, observer_);
+}
+
+Status EvolutionEngine::ApplyTo(TableStore& store, const Smo& smo,
+                                EvolutionObserver* observer) {
   switch (smo.kind) {
     case SmoKind::kCreateTable:
-      return ApplyCreateTable(smo);
+      return ApplyCreateTable(store, smo);
     case SmoKind::kDropTable:
-      return catalog_->DropTable(smo.table);
+      return store.DropTable(smo.table);
     case SmoKind::kRenameTable:
-      return catalog_->RenameTable(smo.table, smo.new_name);
+      return store.RenameTable(smo.table, smo.new_name);
     case SmoKind::kCopyTable: {
-      CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
+      CODS_ASSIGN_OR_RETURN(auto src, store.GetTable(smo.table));
       CODS_ASSIGN_OR_RETURN(auto copy,
                             CopyTableOp(*src, smo.out1, options_.deep_copy));
-      return catalog_->AddTable(std::move(copy));
+      return store.AddTable(std::move(copy));
     }
     case SmoKind::kUnionTables:
-      return ApplyUnion(smo);
+      return ApplyUnion(store, smo, observer);
     case SmoKind::kPartitionTable:
-      return ApplyPartition(smo);
+      return ApplyPartition(store, smo, observer);
     case SmoKind::kDecomposeTable:
-      return ApplyDecompose(smo);
+      return ApplyDecompose(store, smo, observer);
     case SmoKind::kMergeTables:
-      return ApplyMerge(smo);
+      return ApplyMerge(store, smo, observer);
     case SmoKind::kAddColumn:
     case SmoKind::kDropColumn:
     case SmoKind::kRenameColumn:
-      return ApplyColumnOp(smo);
+      return ApplyColumnOp(store, smo);
   }
   return Status::NotImplemented("unknown SMO kind");
 }
 
 Status EvolutionEngine::ApplyAll(const std::vector<Smo>& script) {
+  if (options_.plan_scripts) return ApplyAllPlanned(script);
   for (const Smo& smo : script) {
     CODS_RETURN_NOT_OK(Apply(smo).WithContext(smo.ToString()));
   }
   return Status::OK();
 }
 
-Status EvolutionEngine::ApplyCreateTable(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto table, MakeEmptyTable(smo.out1, smo.schema));
-  return catalog_->AddTable(std::move(table));
+Status EvolutionEngine::ApplyAllPlanned(const std::vector<Smo>& script,
+                                        TaskGraphStats* stats) {
+  if (stats != nullptr) *stats = {};
+  if (script.empty()) return Status::OK();
+  const size_t n = script.size();
+  ScriptPlan plan = PlanScript(script);
+
+  StagedCatalog staged(catalog_);
+  std::vector<std::vector<CatalogEffect>> effects(n);
+  std::vector<StagedCatalog::View> views;
+  views.reserve(n);
+  for (size_t i = 0; i < n; ++i) views.push_back(staged.MakeView(&effects[i]));
+
+  // Observers written for serial execution must not see concurrent
+  // callbacks from overlapping operators.
+  SerializedObserver serialized(observer_);
+  EvolutionObserver* observer = observer_ != nullptr ? &serialized : nullptr;
+
+  TaskGraph graph;
+  for (size_t i = 0; i < n; ++i) {
+    graph.AddTask(
+        [this, &views, &script, observer, i]() -> Status {
+          // Same context string as the serial ApplyAll loop attaches.
+          return ApplyTo(views[i], script[i], observer)
+              .WithContext(script[i].ToString());
+        },
+        SmoKindToString(script[i].kind));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t dep : plan.tasks[i].deps) {
+      graph.AddDependency(static_cast<int>(i), static_cast<int>(dep));
+    }
+  }
+
+  Status run_status = graph.Run(exec_ctx_);
+  if (stats != nullptr) *stats = graph.stats();
+
+  // Planner graphs are acyclic by construction; a non-OK Run with every
+  // task status OK means nothing executed (defensive) — commit nothing.
+  if (!run_status.ok()) {
+    bool any_task_failed = false;
+    for (size_t i = 0; i < n && !any_task_failed; ++i) {
+      any_task_failed = !graph.task_status(static_cast<int>(i)).ok();
+    }
+    if (!any_task_failed) return run_status;
+  }
+
+  // Commit staged effects in script order, stopping at the first failed
+  // operator — exactly the prefix serial ApplyAll would have applied.
+  for (size_t i = 0; i < n; ++i) {
+    const Status& st = graph.task_status(static_cast<int>(i));
+    if (!st.ok()) return st;
+    for (const CatalogEffect& effect : effects[i]) {
+      CODS_RETURN_NOT_OK(ApplyEffect(effect, catalog_));
+    }
+  }
+  return Status::OK();
 }
 
-Status EvolutionEngine::ApplyDecompose(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto r, catalog_->GetTable(smo.table));
-  if (smo.out1 != smo.table && catalog_->HasTable(smo.out1)) {
+Status EvolutionEngine::ApplyCreateTable(TableStore& store, const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto table, MakeEmptyTable(smo.out1, smo.schema));
+  return store.AddTable(std::move(table));
+}
+
+Status EvolutionEngine::ApplyDecompose(TableStore& store, const Smo& smo,
+                                       EvolutionObserver* observer) {
+  CODS_ASSIGN_OR_RETURN(auto r, store.GetTable(smo.table));
+  if (smo.out1 != smo.table && store.HasTable(smo.out1)) {
     return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
   }
-  if (smo.out2 != smo.table && catalog_->HasTable(smo.out2)) {
+  if (smo.out2 != smo.table && store.HasTable(smo.out2)) {
     return Status::AlreadyExists("table '" + smo.out2 + "' already exists");
   }
   DecomposeOptions opts;
@@ -74,20 +143,21 @@ Status EvolutionEngine::ApplyDecompose(const Smo& smo) {
   CODS_ASSIGN_OR_RETURN(
       DecomposeResult result,
       CodsDecompose(*r, smo.out1, smo.columns1, smo.key1, smo.out2,
-                    smo.columns2, smo.key2, observer_, opts));
+                    smo.columns2, smo.key2, observer, opts));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.s));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.t));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
-  catalog_->PutTable(std::move(result.s));
-  catalog_->PutTable(std::move(result.t));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table));
+  store.PutTable(std::move(result.s));
+  store.PutTable(std::move(result.t));
   return Status::OK();
 }
 
-Status EvolutionEngine::ApplyMerge(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto s, catalog_->GetTable(smo.table));
-  CODS_ASSIGN_OR_RETURN(auto t, catalog_->GetTable(smo.table2));
+Status EvolutionEngine::ApplyMerge(TableStore& store, const Smo& smo,
+                                   EvolutionObserver* observer) {
+  CODS_ASSIGN_OR_RETURN(auto s, store.GetTable(smo.table));
+  CODS_ASSIGN_OR_RETURN(auto t, store.GetTable(smo.table2));
   if (smo.out1 != smo.table && smo.out1 != smo.table2 &&
-      catalog_->HasTable(smo.out1)) {
+      store.HasTable(smo.out1)) {
     return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
   }
   MergeOptions opts;
@@ -95,52 +165,54 @@ Status EvolutionEngine::ApplyMerge(const Smo& smo) {
   opts.exec = &exec_ctx_;
   CODS_ASSIGN_OR_RETURN(MergeResult result,
                         CodsMerge(*s, *t, smo.columns1, smo.key1, smo.out1,
-                                  observer_, opts));
+                                  observer, opts));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.table));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table2));
-  catalog_->PutTable(std::move(result.table));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table2));
+  store.PutTable(std::move(result.table));
   return Status::OK();
 }
 
-Status EvolutionEngine::ApplyUnion(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto a, catalog_->GetTable(smo.table));
-  CODS_ASSIGN_OR_RETURN(auto b, catalog_->GetTable(smo.table2));
+Status EvolutionEngine::ApplyUnion(TableStore& store, const Smo& smo,
+                                   EvolutionObserver* observer) {
+  CODS_ASSIGN_OR_RETURN(auto a, store.GetTable(smo.table));
+  CODS_ASSIGN_OR_RETURN(auto b, store.GetTable(smo.table2));
   if (smo.out1 != smo.table && smo.out1 != smo.table2 &&
-      catalog_->HasTable(smo.out1)) {
+      store.HasTable(smo.out1)) {
     return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
   }
   CODS_ASSIGN_OR_RETURN(
-      auto out, UnionTablesOp(*a, *b, smo.out1, observer_, &exec_ctx_));
+      auto out, UnionTablesOp(*a, *b, smo.out1, observer, &exec_ctx_));
   CODS_RETURN_NOT_OK(MaybeValidate(*out));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table2));
-  catalog_->PutTable(std::move(out));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table2));
+  store.PutTable(std::move(out));
   return Status::OK();
 }
 
-Status EvolutionEngine::ApplyPartition(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
-  if (smo.out1 != smo.table && catalog_->HasTable(smo.out1)) {
+Status EvolutionEngine::ApplyPartition(TableStore& store, const Smo& smo,
+                                       EvolutionObserver* observer) {
+  CODS_ASSIGN_OR_RETURN(auto src, store.GetTable(smo.table));
+  if (smo.out1 != smo.table && store.HasTable(smo.out1)) {
     return Status::AlreadyExists("table '" + smo.out1 + "' already exists");
   }
-  if (smo.out2 != smo.table && catalog_->HasTable(smo.out2)) {
+  if (smo.out2 != smo.table && store.HasTable(smo.out2)) {
     return Status::AlreadyExists("table '" + smo.out2 + "' already exists");
   }
   CODS_ASSIGN_OR_RETURN(
       PartitionResult result,
       PartitionTableOp(*src, smo.out1, smo.out2, smo.column, smo.compare_op,
-                       smo.literal, observer_, &exec_ctx_));
+                       smo.literal, observer, &exec_ctx_));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.matching));
   CODS_RETURN_NOT_OK(MaybeValidate(*result.rest));
-  CODS_RETURN_NOT_OK(catalog_->DropTable(smo.table));
-  catalog_->PutTable(std::move(result.matching));
-  catalog_->PutTable(std::move(result.rest));
+  CODS_RETURN_NOT_OK(store.DropTable(smo.table));
+  store.PutTable(std::move(result.matching));
+  store.PutTable(std::move(result.rest));
   return Status::OK();
 }
 
-Status EvolutionEngine::ApplyColumnOp(const Smo& smo) {
-  CODS_ASSIGN_OR_RETURN(auto src, catalog_->GetTable(smo.table));
+Status EvolutionEngine::ApplyColumnOp(TableStore& store, const Smo& smo) {
+  CODS_ASSIGN_OR_RETURN(auto src, store.GetTable(smo.table));
   std::shared_ptr<const Table> out;
   switch (smo.kind) {
     case SmoKind::kAddColumn: {
@@ -161,7 +233,7 @@ Status EvolutionEngine::ApplyColumnOp(const Smo& smo) {
       return Status::InvalidArgument("not a column operator");
   }
   CODS_RETURN_NOT_OK(MaybeValidate(*out));
-  catalog_->PutTable(std::move(out));
+  store.PutTable(std::move(out));
   return Status::OK();
 }
 

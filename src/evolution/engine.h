@@ -1,6 +1,17 @@
 // The CODS evolution engine: interprets Schema Modification Operators
 // against a catalog, executing data evolution at the data level. This is
 // the component behind the demo's "execution" button.
+//
+// Two script execution modes:
+//   * ApplyAll — strictly serial, one operator at a time.
+//   * ApplyAllPlanned — plans the script into a dependency DAG over the
+//     operators' table read/write sets (plan/script_planner.h), runs it
+//     on the exec-layer TaskGraph so independent operators overlap, and
+//     commits each operator's privately staged catalog effects in script
+//     order. The final catalog — schemas and per-column WAH code words —
+//     is bit-identical to serial ApplyAll at every thread count, and a
+//     mid-script failure leaves exactly the serial prefix committed with
+//     the same error Status.
 
 #ifndef CODS_EVOLUTION_ENGINE_H_
 #define CODS_EVOLUTION_ENGINE_H_
@@ -13,6 +24,7 @@
 #include "evolution/simple_ops.h"
 #include "evolution/smo.h"
 #include "exec/exec.h"
+#include "exec/task_graph.h"
 #include "storage/catalog.h"
 
 namespace cods {
@@ -26,10 +38,15 @@ struct EngineOptions {
   bool validate_outputs = false;
   /// COPY TABLE physically duplicates storage instead of sharing it.
   bool deep_copy = false;
+  /// ApplyAll routes whole scripts through the planner + task graph
+  /// (ApplyAllPlanned) instead of the serial loop. Single-operator
+  /// Apply calls are unaffected.
+  bool plan_scripts = false;
   /// Worker threads for the data-movement phases of DECOMPOSE / MERGE /
-  /// UNION / PARTITION and output validation. 0: process default
-  /// (CODS_THREADS env var, else hardware concurrency); 1: strictly
-  /// serial. Results are bit-identical at every thread count.
+  /// UNION / PARTITION, output validation, and — in planned mode — the
+  /// script-level task graph. 0: process default (CODS_THREADS env var,
+  /// else hardware concurrency); 1: strictly serial. Results are
+  /// bit-identical at every thread count.
   int num_threads = 0;
 };
 
@@ -50,18 +67,41 @@ class EvolutionEngine {
   /// Executes one operator.
   Status Apply(const Smo& smo);
 
-  /// Executes a script; stops at the first failure.
+  /// Executes a script; stops at the first failure. Routes through
+  /// ApplyAllPlanned when options.plan_scripts is set.
   Status ApplyAll(const std::vector<Smo>& script);
+
+  /// Executes a script through the planner + task graph: independent
+  /// operators overlap on num_threads workers, each operator's catalog
+  /// effects are staged privately, and the effects commit in script
+  /// order — so on success the catalog is bit-identical to serial
+  /// ApplyAll, and on failure exactly the operators preceding the first
+  /// failing SCRIPT POSITION are committed and that operator's Status
+  /// is returned (operators with no path from the failure may have run;
+  /// their staged effects are discarded). Fills `stats` (optional) with
+  /// the task-graph execution statistics.
+  Status ApplyAllPlanned(const std::vector<Smo>& script,
+                         TaskGraphStats* stats = nullptr);
 
   Catalog* catalog() { return catalog_; }
 
  private:
-  Status ApplyCreateTable(const Smo& smo);
-  Status ApplyDecompose(const Smo& smo);
-  Status ApplyMerge(const Smo& smo);
-  Status ApplyUnion(const Smo& smo);
-  Status ApplyPartition(const Smo& smo);
-  Status ApplyColumnOp(const Smo& smo);
+  // Operator interpreters, parameterized over the table store so the
+  // same code runs directly on the catalog (Apply) and on a staged
+  // overlay (ApplyAllPlanned). `observer` rather than the member so
+  // planned execution can substitute a serializing adapter.
+  Status ApplyTo(TableStore& store, const Smo& smo,
+                 EvolutionObserver* observer);
+  Status ApplyCreateTable(TableStore& store, const Smo& smo);
+  Status ApplyDecompose(TableStore& store, const Smo& smo,
+                        EvolutionObserver* observer);
+  Status ApplyMerge(TableStore& store, const Smo& smo,
+                    EvolutionObserver* observer);
+  Status ApplyUnion(TableStore& store, const Smo& smo,
+                    EvolutionObserver* observer);
+  Status ApplyPartition(TableStore& store, const Smo& smo,
+                        EvolutionObserver* observer);
+  Status ApplyColumnOp(TableStore& store, const Smo& smo);
 
   // Validates a produced table when validate_outputs is on.
   Status MaybeValidate(const Table& table);

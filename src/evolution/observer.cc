@@ -47,6 +47,19 @@ double RecordingObserver::TotalSeconds() const {
   return total;
 }
 
+void SerializedObserver::OnStepBegin(const std::string& op,
+                                     const std::string& step,
+                                     const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wrapped_->OnStepBegin(op, step, detail);
+}
+
+void SerializedObserver::OnStepEnd(const std::string& op,
+                                   const std::string& step, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wrapped_->OnStepEnd(op, step, seconds);
+}
+
 ScopedStep::ScopedStep(EvolutionObserver* observer, std::string op,
                        std::string step, std::string detail)
     : observer_(observer), op_(std::move(op)), step_(std::move(step)) {

@@ -6,6 +6,7 @@
 #ifndef CODS_EVOLUTION_OBSERVER_H_
 #define CODS_EVOLUTION_OBSERVER_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,27 @@ class RecordingObserver : public EvolutionObserver {
 
  private:
   std::vector<Step> steps_;
+};
+
+/// Serializes callbacks onto a wrapped observer. Planned script
+/// execution (engine.h ApplyAllPlanned) overlaps independent operators,
+/// so their step reports arrive concurrently; observers written for
+/// serial execution stay correct behind this adapter. Interleaving
+/// across operators is scheduling-dependent; per-operator step order is
+/// preserved.
+class SerializedObserver : public EvolutionObserver {
+ public:
+  explicit SerializedObserver(EvolutionObserver* wrapped)
+      : wrapped_(wrapped) {}
+
+  void OnStepBegin(const std::string& op, const std::string& step,
+                   const std::string& detail) override;
+  void OnStepEnd(const std::string& op, const std::string& step,
+                 double seconds) override;
+
+ private:
+  EvolutionObserver* wrapped_;
+  std::mutex mu_;
 };
 
 /// RAII step reporter: begin on construction, end (with elapsed time) on

@@ -1,10 +1,62 @@
 #include "evolution/smo.h"
 
+#include <algorithm>
+#include <charconv>
 #include <sstream>
 
 #include "common/string_util.h"
 
 namespace cods {
+
+namespace {
+
+// Renders a literal so the script parser reads back the same value:
+// strings are single-quoted with embedded quotes doubled (SQL style),
+// doubles print with shortest-round-trip precision.
+std::string FormatLiteral(const Value& value) {
+  if (value.is_null()) return "NULL";
+  if (value.is_int64()) return std::to_string(value.int64());
+  if (value.is_double()) {
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value.dbl());
+    std::string out(buf, ptr);
+    // Keep the token a number-with-a-point so the parser types it as a
+    // double rather than an int64.
+    if (out.find_first_of(".eEn") == std::string::npos) out += ".0";
+    return out;
+  }
+  std::string out = "'";
+  for (char c : value.str()) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+std::string FormatSchemaForScript(const Schema& schema) {
+  std::string out = "(";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(i).name;
+    out += " ";
+    out += DataTypeToString(schema.column(i).type);
+    if (schema.column(i).sorted) out += " SORTED";
+  }
+  if (!schema.key().empty()) {
+    out += ", KEY(" + Join(schema.key(), ", ") + ")";
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<std::string> SortedUnique(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace
 
 const char* SmoKindToString(SmoKind kind) {
   switch (kind) {
@@ -185,7 +237,7 @@ std::string Smo::ToString() const {
   std::ostringstream out;
   switch (kind) {
     case SmoKind::kCreateTable:
-      out << "CREATE TABLE " << out1 << " " << schema.ToString();
+      out << "CREATE TABLE " << out1 << " " << FormatSchemaForScript(schema);
       break;
     case SmoKind::kDropTable:
       out << "DROP TABLE " << table;
@@ -202,7 +254,7 @@ std::string Smo::ToString() const {
     case SmoKind::kPartitionTable:
       out << "PARTITION TABLE " << table << " INTO " << out1 << ", " << out2
           << " WHERE " << column << " " << CompareOpToString(compare_op)
-          << " " << literal.ToString();
+          << " " << FormatLiteral(literal);
       break;
     case SmoKind::kDecomposeTable:
       out << "DECOMPOSE TABLE " << table << " INTO " << out1 << "("
@@ -219,7 +271,7 @@ std::string Smo::ToString() const {
     case SmoKind::kAddColumn:
       out << "ADD COLUMN " << column << " "
           << DataTypeToString(column_spec.type) << " TO " << table
-          << " DEFAULT " << default_value.ToString();
+          << " DEFAULT " << FormatLiteral(default_value);
       break;
     case SmoKind::kDropColumn:
       out << "DROP COLUMN " << column << " FROM " << table;
@@ -230,6 +282,53 @@ std::string Smo::ToString() const {
       break;
   }
   return out.str();
+}
+
+std::vector<std::string> Smo::ReadTables() const {
+  switch (kind) {
+    case SmoKind::kCreateTable:
+    case SmoKind::kDropTable:
+    case SmoKind::kRenameTable:
+      return {};
+    case SmoKind::kCopyTable:
+    case SmoKind::kPartitionTable:
+    case SmoKind::kDecomposeTable:
+    case SmoKind::kAddColumn:
+    case SmoKind::kDropColumn:
+    case SmoKind::kRenameColumn:
+      return {table};
+    case SmoKind::kUnionTables:
+    case SmoKind::kMergeTables:
+      return SortedUnique({table, table2});
+  }
+  return {};
+}
+
+std::vector<std::string> Smo::WriteTables() const {
+  switch (kind) {
+    case SmoKind::kCreateTable:
+      return {out1};
+    case SmoKind::kDropTable:
+      return {table};
+    case SmoKind::kRenameTable:
+      return SortedUnique({table, new_name});
+    case SmoKind::kCopyTable:
+      return {out1};
+    case SmoKind::kUnionTables:
+    case SmoKind::kMergeTables:
+      // The two inputs are dropped and replaced by the output.
+      return SortedUnique({table, table2, out1});
+    case SmoKind::kPartitionTable:
+    case SmoKind::kDecomposeTable:
+      // The input is dropped and replaced by the two outputs.
+      return SortedUnique({table, out1, out2});
+    case SmoKind::kAddColumn:
+    case SmoKind::kDropColumn:
+    case SmoKind::kRenameColumn:
+      // The table is replaced by its new version under the same name.
+      return {table};
+  }
+  return {};
 }
 
 }  // namespace cods

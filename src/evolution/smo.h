@@ -91,8 +91,22 @@ struct Smo {
   static Smo RenameColumn(std::string table, std::string from,
                           std::string to);
 
-  /// Human-readable rendering, close to the script syntax.
+  /// Renders the operator in the script syntax of smo/parser.h. The
+  /// output re-parses to an equivalent operator (string literals are
+  /// quoted, doubles print with round-trip precision), which the shell
+  /// and the plan printer rely on.
   std::string ToString() const;
+
+  // ---- Table sets (the script planner's conflict analysis) ---------------
+  //
+  // ReadTables: tables whose data this operator consumes. WriteTables:
+  // tables this operator creates, replaces, drops, or whose name it
+  // claims (the engine's existence checks consult exactly these names).
+  // Two SMOs of a script may run concurrently iff neither writes a
+  // table the other reads or writes. Both sets are sorted and deduped.
+
+  std::vector<std::string> ReadTables() const;
+  std::vector<std::string> WriteTables() const;
 };
 
 }  // namespace cods

@@ -1,0 +1,123 @@
+// A dependency-DAG task scheduler on the shared ThreadPool — the
+// inter-operator counterpart of ParallelFor (exec/exec.h). ParallelFor
+// overlaps the grains *inside* one operator; TaskGraph overlaps whole
+// tasks (e.g. the independent SMOs of an evolution script, as planned by
+// plan/script_planner.h) whose dependencies form a DAG.
+//
+// Scheduling: tasks whose dependencies have all finished sit in a ready
+// queue drained by up to num_threads workers — the calling thread
+// participates alongside helpers submitted to the shared pool, exactly
+// like ParallelFor, so a TaskGraph run nested inside a pool worker (or
+// tasks that themselves call ParallelFor) cannot deadlock. Helpers are
+// submitted against the tasks actually waiting (up to num_threads - 1
+// at once) and RETURN when the queue runs dry rather than parking on
+// it, so on dependency-chain sections the pool workers stay free for
+// the running task's own ParallelFor grains; completing a task that
+// readies successors submits fresh helpers for them. With
+// num_threads == 1 the graph runs strictly serially in a deterministic
+// topological order and never touches the pool.
+//
+// Error handling (the ParallelFor determinism contract, lifted to DAGs):
+// every task whose dependencies all succeeded runs; a task downstream of
+// a failure is skipped with StatusCode::kCancelled (its outputs would
+// depend on state the failed task never produced). Run() returns the
+// first non-OK task status in TASK INDEX ORDER, which — because edges
+// only point from lower to higher indices in planner-built graphs — is
+// always the root failure, never a propagated skip.
+
+#ifndef CODS_EXEC_TASK_GRAPH_H_
+#define CODS_EXEC_TASK_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec.h"
+
+namespace cods {
+
+/// Execution statistics of one TaskGraph::Run — the overlap evidence
+/// the script benchmarks and the shell's .runplan report.
+struct TaskGraphStats {
+  uint64_t tasks = 0;       ///< tasks in the graph
+  uint64_t edges = 0;       ///< dependency edges
+  uint64_t ran = 0;         ///< tasks whose function actually executed
+  uint64_t skipped = 0;     ///< tasks skipped because a dependency failed
+  int threads = 0;          ///< worker width of the run
+  int max_parallel = 0;     ///< peak tasks simultaneously in flight
+  double wall_seconds = 0;  ///< wall-clock time of Run()
+  double task_seconds = 0;  ///< sum of per-task execution times
+};
+
+/// A one-shot dependency DAG of Status-returning tasks. Build with
+/// AddTask/AddDependency, execute once with Run, then inspect per-task
+/// statuses and stats.
+class TaskGraph {
+ public:
+  using TaskFn = std::function<Status()>;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task; ids are dense and assigned in call order. `label`
+  /// annotates error contexts ("task #2 (DECOMPOSE TABLE)").
+  int AddTask(TaskFn fn, std::string label = {});
+
+  /// Declares that `task` must not start before `dependency` finished.
+  /// Both ids must exist and differ.
+  void AddDependency(int task, int dependency);
+
+  size_t num_tasks() const { return tasks_.size(); }
+
+  /// Executes the graph with ctx.num_threads() workers (the caller
+  /// included). Blocks until every runnable task finished. Returns
+  /// InvalidArgument (running nothing) if the graph has a cycle,
+  /// otherwise the first non-OK task status in task index order, OK if
+  /// all succeeded. Must be called at most once.
+  Status Run(const ExecContext& ctx);
+
+  /// Statistics of the completed run.
+  const TaskGraphStats& stats() const { return stats_; }
+
+  /// Status of one task after Run: its function's return value, or
+  /// kCancelled if it was skipped because a dependency failed.
+  const Status& task_status(int id) const;
+
+ private:
+  struct Task {
+    TaskFn fn;
+    std::string label;
+    std::vector<int> dependents;  // edges out of this task
+    int num_deps = 0;             // edges into this task
+  };
+
+  struct RunState;
+
+  // Caller's drain: executes ready tasks, parking on the queue between
+  // bursts, until the whole run completes.
+  static void DrainReadyQueue(const std::shared_ptr<RunState>& st);
+
+  // Pool helper's drain: executes ready tasks and RETURNS when the
+  // queue is empty, releasing its helper slot (and its pool worker).
+  static void HelperDrain(const std::shared_ptr<RunState>& st);
+
+  // Submits pool helpers for waiting ready tasks, bounded by the free
+  // helper slots.
+  static void MaybeSubmitHelpers(const std::shared_ptr<RunState>& st);
+
+  // Executes or skips one ready task and unblocks its dependents.
+  void ExecuteTask(RunState* st, int id);
+
+  std::vector<Task> tasks_;
+  std::vector<Status> statuses_;
+  TaskGraphStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace cods
+
+#endif  // CODS_EXEC_TASK_GRAPH_H_

@@ -1,0 +1,101 @@
+#include "plan/staged_catalog.h"
+
+#include "common/logging.h"
+
+namespace cods {
+
+Status ApplyEffect(const CatalogEffect& effect, Catalog* catalog) {
+  switch (effect.kind) {
+    case CatalogEffect::Kind::kAdd:
+      return catalog->AddTable(effect.table);
+    case CatalogEffect::Kind::kPut:
+      catalog->PutTable(effect.table);
+      return Status::OK();
+    case CatalogEffect::Kind::kDrop:
+      return catalog->DropTable(effect.name);
+    case CatalogEffect::Kind::kRename:
+      return catalog->RenameTable(effect.name, effect.name2);
+  }
+  return Status::NotImplemented("unknown catalog effect");
+}
+
+StagedCatalog::StagedCatalog(const Catalog* base) : base_(base) {
+  CODS_CHECK(base_ != nullptr);
+}
+
+// Both helpers require mu_ to be held by the caller.
+
+Result<std::shared_ptr<const Table>> StagedCatalog::Get(
+    const std::string& name) const {
+  auto it = overlay_.find(name);
+  if (it != overlay_.end()) {
+    if (it->second == nullptr) {
+      return Status::KeyError("no table named '" + name + "'");
+    }
+    return it->second;
+  }
+  return base_->GetTable(name);
+}
+
+bool StagedCatalog::Has(const std::string& name) const {
+  auto it = overlay_.find(name);
+  if (it != overlay_.end()) return it->second != nullptr;
+  return base_->HasTable(name);
+}
+
+Status StagedCatalog::View::AddTable(std::shared_ptr<const Table> table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  const std::string& name = table->name();
+  if (staged_->Has(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  staged_->overlay_[name] = table;
+  log_->push_back({CatalogEffect::Kind::kAdd, std::move(table), {}, {}});
+  return Status::OK();
+}
+
+void StagedCatalog::View::PutTable(std::shared_ptr<const Table> table) {
+  CODS_CHECK(table != nullptr);
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  staged_->overlay_[table->name()] = table;
+  log_->push_back({CatalogEffect::Kind::kPut, std::move(table), {}, {}});
+}
+
+Result<std::shared_ptr<const Table>> StagedCatalog::View::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  return staged_->Get(name);
+}
+
+bool StagedCatalog::View::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  return staged_->Has(name);
+}
+
+Status StagedCatalog::View::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  if (!staged_->Has(name)) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  staged_->overlay_[name] = nullptr;
+  log_->push_back({CatalogEffect::Kind::kDrop, nullptr, name, {}});
+  return Status::OK();
+}
+
+Status StagedCatalog::View::RenameTable(const std::string& from,
+                                        const std::string& to) {
+  std::lock_guard<std::mutex> lock(staged_->mu_);
+  auto src = staged_->Get(from);
+  if (!src.ok()) return src.status();
+  if (from == to) return Status::OK();  // Catalog's no-op, no effect logged
+  if (staged_->Has(to)) {
+    return Status::AlreadyExists("table '" + to + "' already exists");
+  }
+  staged_->overlay_[from] = nullptr;
+  staged_->overlay_[to] = src.ValueOrDie()->WithName(to);
+  log_->push_back({CatalogEffect::Kind::kRename, nullptr, from, to});
+  return Status::OK();
+}
+
+}  // namespace cods

@@ -50,20 +50,30 @@ class Lexer {
         while (pos_ < text_.size() &&
                (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
                 text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E')) {
+                text_[pos_] == 'E' ||
+                // Exponent sign: only directly after e/E ("1e+25").
+                ((text_[pos_] == '+' || text_[pos_] == '-') &&
+                 (tok.text.back() == 'e' || tok.text.back() == 'E')))) {
           tok.text += Advance();
         }
       } else if (c == '\'' || c == '"') {
         tok.kind = TokenKind::kString;
         char quote = Advance();
-        while (pos_ < text_.size() && text_[pos_] != quote) {
-          tok.text += Advance();
+        for (;;) {
+          while (pos_ < text_.size() && text_[pos_] != quote) {
+            tok.text += Advance();
+          }
+          if (pos_ >= text_.size()) {
+            return Status::InvalidArgument(Where(tok) +
+                                           "unterminated string literal");
+          }
+          Advance();  // closing quote...
+          if (pos_ < text_.size() && text_[pos_] == quote) {
+            tok.text += Advance();  // ...or a doubled (escaped) one
+            continue;
+          }
+          break;
         }
-        if (pos_ >= text_.size()) {
-          return Status::InvalidArgument(Where(tok) +
-                                         "unterminated string literal");
-        }
-        Advance();  // closing quote
       } else if (c == '<' || c == '>' || c == '!') {
         tok.kind = TokenKind::kSymbol;
         tok.text += Advance();

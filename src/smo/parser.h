@@ -15,7 +15,8 @@
 //   RENAME COLUMN Addr TO Address IN R;
 //
 // Keywords are case-insensitive; identifiers are case-sensitive; string
-// literals use single or double quotes; statements end with ';'.
+// literals use single or double quotes with SQL-style doubling for an
+// embedded quote ('it''s'); statements end with ';'.
 
 #ifndef CODS_SMO_PARSER_H_
 #define CODS_SMO_PARSER_H_

@@ -15,8 +15,37 @@
 
 namespace cods {
 
+/// The name → table operations an SMO interpreter needs. The evolution
+/// engine executes against this interface, so the same operator code
+/// runs both directly on a Catalog and on a staged overlay (see
+/// plan/staged_catalog.h) whose effects commit later.
+class TableStore {
+ public:
+  virtual ~TableStore() = default;
+
+  /// Registers a table under table->name(). Fails if the name is taken.
+  virtual Status AddTable(std::shared_ptr<const Table> table) = 0;
+
+  /// Replaces or inserts a table under table->name().
+  virtual void PutTable(std::shared_ptr<const Table> table) = 0;
+
+  /// Looks up a table.
+  virtual Result<std::shared_ptr<const Table>> GetTable(
+      const std::string& name) const = 0;
+
+  virtual bool HasTable(const std::string& name) const = 0;
+
+  /// Removes a table. Fails if missing.
+  virtual Status DropTable(const std::string& name) = 0;
+
+  /// Renames a table (data untouched). Fails if `from` is missing or
+  /// `to` exists.
+  virtual Status RenameTable(const std::string& from,
+                             const std::string& to) = 0;
+};
+
 /// Name → table mapping with Status-returning mutations.
-class Catalog {
+class Catalog : public TableStore {
  public:
   Catalog() = default;
 
@@ -27,24 +56,13 @@ class Catalog {
   Catalog(Catalog&&) noexcept = default;
   Catalog& operator=(Catalog&&) noexcept = default;
 
-  /// Registers a table under table->name(). Fails if the name is taken.
-  Status AddTable(std::shared_ptr<const Table> table);
-
-  /// Replaces or inserts a table under table->name().
-  void PutTable(std::shared_ptr<const Table> table);
-
-  /// Looks up a table.
+  Status AddTable(std::shared_ptr<const Table> table) override;
+  void PutTable(std::shared_ptr<const Table> table) override;
   Result<std::shared_ptr<const Table>> GetTable(
-      const std::string& name) const;
-
-  bool HasTable(const std::string& name) const;
-
-  /// Removes a table. Fails if missing.
-  Status DropTable(const std::string& name);
-
-  /// Renames a table (data untouched). Fails if `from` is missing or
-  /// `to` exists.
-  Status RenameTable(const std::string& from, const std::string& to);
+      const std::string& name) const override;
+  bool HasTable(const std::string& name) const override;
+  Status DropTable(const std::string& name) override;
+  Status RenameTable(const std::string& from, const std::string& to) override;
 
   /// Table names in sorted order.
   std::vector<std::string> TableNames() const;

@@ -233,5 +233,60 @@ TEST(ParallelDeterminismTest, EngineEndToEndScript) {
   }
 }
 
+TEST(ParallelDeterminismTest, PlannedScriptExecution) {
+  // Script-level determinism: the planner + task-graph executor must
+  // produce a catalog code-word-identical to serial ApplyAll at every
+  // thread count. The script mixes independent DECOMPOSEs (overlap),
+  // a partition/union diamond, and schema-only ops.
+  auto fresh_catalog = []() {
+    auto catalog = std::make_unique<Catalog>();
+    CODS_CHECK_OK(catalog->AddTable(TestTable()->WithName("R0")));
+    CODS_CHECK_OK(catalog->AddTable(TestTable()->WithName("R1")));
+    return catalog;
+  };
+  std::vector<Smo> script;
+  for (int i = 0; i < 2; ++i) {
+    std::string n = std::to_string(i);
+    script.push_back(Smo::DecomposeTable(
+        "R" + n, "S" + n, {kKeyColumn, kPayloadColumn}, {}, "T" + n,
+        {kKeyColumn, kDependentColumn}, {kKeyColumn}));
+  }
+  script.push_back(Smo::MergeTables("S0", "T0", "R0", {kKeyColumn}, {}));
+  script.push_back(Smo::PartitionTable("S1", "S1lo", "S1hi", kKeyColumn,
+                                       CompareOp::kLt,
+                                       Value(static_cast<int64_t>(250))));
+  script.push_back(Smo::UnionTables("S1lo", "S1hi", "S1"));
+  script.push_back(Smo::RenameTable("T1", "T1v2"));
+  script.push_back(Smo::CopyTable("R0", "R0backup"));
+
+  auto serial_catalog = fresh_catalog();
+  {
+    EngineOptions options;
+    options.num_threads = 1;
+    options.validate_outputs = true;
+    EvolutionEngine engine(serial_catalog.get(), nullptr, options);
+    CODS_CHECK_OK(engine.ApplyAll(script));
+  }
+
+  for (int threads : kThreadCounts) {
+    auto catalog = fresh_catalog();
+    EngineOptions options;
+    options.num_threads = threads;
+    options.validate_outputs = true;
+    options.plan_scripts = true;  // ApplyAll routes through the planner
+    EvolutionEngine engine(catalog.get(), nullptr, options);
+    Status st = engine.ApplyAll(script);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_EQ(serial_catalog->TableNames(), catalog->TableNames())
+        << "planned script @" << threads;
+    for (const std::string& name : serial_catalog->TableNames()) {
+      ExpectTablesIdentical(*serial_catalog->GetTable(name).ValueOrDie(),
+                            *catalog->GetTable(name).ValueOrDie(),
+                            "planned script table " + name + " @" +
+                                std::to_string(threads));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cods

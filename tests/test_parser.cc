@@ -200,17 +200,122 @@ TEST(Parser, StatementRequiresExactlyOne) {
 }
 
 TEST(Parser, RoundTripThroughToString) {
-  // ToString output of parsed SMOs re-parses to the same operator.
+  // ToString output of parsed SMOs re-parses to the same operator —
+  // every statement form, including quoted strings, round-trip doubles,
+  // CREATE TABLE schemas with keys, and both DECOMPOSE key positions.
   for (const char* stmt :
        {"DROP TABLE R", "RENAME TABLE A TO B", "COPY TABLE A TO B",
         "UNION TABLES A, B INTO C",
         "MERGE TABLES S, T INTO R ON (k) KEY(k)",
-        "DROP COLUMN c FROM R", "RENAME COLUMN a TO b IN R"}) {
+        "MERGE TABLES S, T INTO R ON (a, b)",
+        "DROP COLUMN c FROM R", "RENAME COLUMN a TO b IN R",
+        "CREATE TABLE T (a INT64, b STRING, c DOUBLE SORTED, KEY(a, b))",
+        "CREATE TABLE T (a INT64)",
+        "PARTITION TABLE R INTO A, B WHERE x >= 10",
+        "PARTITION TABLE R INTO A, B WHERE City = 'New York'",
+        "PARTITION TABLE R INTO A, B WHERE Score >= 3.5",
+        "PARTITION TABLE R INTO A, B WHERE Score < 0.1",
+        "PARTITION TABLE R INTO A, B WHERE Score < 1e25",
+        "PARTITION TABLE R INTO A, B WHERE Score > 2.5e-7",
+        "PARTITION TABLE R INTO A, B WHERE Delta > -4",
+        "DECOMPOSE TABLE R INTO S(a, b) KEY(a, b), T(a, c) KEY(a)",
+        "DECOMPOSE TABLE R INTO S(a, b), T(a, c) KEY(a)",
+        "ADD COLUMN Address STRING TO R DEFAULT 'unknown'",
+        "ADD COLUMN n INT64 TO R",
+        "ADD COLUMN f DOUBLE TO R DEFAULT 2.25"}) {
     Smo first = ParseSmoStatement(stmt).ValueOrDie();
-    Smo second = ParseSmoStatement(first.ToString()).ValueOrDie();
+    auto reparsed = ParseSmoStatement(first.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << stmt << " -> " << first.ToString() << ": "
+        << reparsed.status().ToString();
+    Smo second = std::move(reparsed).ValueOrDie();
     EXPECT_EQ(first.ToString(), second.ToString()) << stmt;
     EXPECT_EQ(first.kind, second.kind);
+    EXPECT_EQ(first.literal, second.literal) << stmt;
+    EXPECT_EQ(first.default_value, second.default_value) << stmt;
+    EXPECT_EQ(first.columns1, second.columns1) << stmt;
+    EXPECT_EQ(first.key1, second.key1) << stmt;
+    EXPECT_EQ(first.key2, second.key2) << stmt;
   }
+}
+
+TEST(Parser, RoundTripQuotesStringsWithEmbeddedQuotes) {
+  Smo first = ParseSmoStatement(
+                  "PARTITION TABLE R INTO A, B WHERE x = \"it's\";")
+                  .ValueOrDie();
+  EXPECT_EQ(first.literal, Value("it's"));
+  Smo second = ParseSmoStatement(first.ToString()).ValueOrDie();
+  EXPECT_EQ(second.literal, Value("it's"));
+
+  // SQL-style doubling covers strings holding BOTH quote kinds.
+  Smo both = Smo::PartitionTable("R", "A", "B", "x", CompareOp::kEq,
+                                 Value("it's a \"mix\""));
+  Smo reparsed = ParseSmoStatement(both.ToString()).ValueOrDie();
+  EXPECT_EQ(reparsed.literal, Value("it's a \"mix\""));
+
+  // Doubled quotes in source text decode to one literal quote.
+  Smo doubled = ParseSmoStatement(
+                    "PARTITION TABLE R INTO A, B WHERE x = 'it''s';")
+                    .ValueOrDie();
+  EXPECT_EQ(doubled.literal, Value("it's"));
+  // An empty string stays a string literal, not an unterminated one.
+  EXPECT_EQ(ParseSmoStatement("PARTITION TABLE R INTO A, B WHERE x = '';")
+                .ValueOrDie()
+                .literal,
+            Value(""));
+}
+
+TEST(Parser, ErrorPathsPerStatementForm) {
+  struct Case {
+    const char* text;
+    const char* expect;  // substring of the error message
+  };
+  for (const Case& c : {
+           Case{"CREATE TABLE (a INT64);", "expected table name"},
+           Case{"CREATE TABLE T a INT64;", "expected '('"},
+           Case{"CREATE TABLE T (a INT64,);", "expected column name"},
+           Case{"CREATE TABLE T (KEY());", "expected name"},
+           Case{"COPY TABLE A B;", "expected keyword 'TO'"},
+           Case{"RENAME TABLE A;", "expected keyword 'TO'"},
+           Case{"RENAME COLUMN a TO b;", "expected keyword 'IN'"},
+           Case{"UNION TABLES A, B C;", "expected keyword 'INTO'"},
+           Case{"PARTITION TABLE R INTO A, B;", "expected keyword 'WHERE'"},
+           Case{"PARTITION TABLE R INTO A, B WHERE x <;",
+                "expected a literal"},
+           Case{"PARTITION TABLE R INTO A, B WHERE x 3;",
+                "expected a comparison operator"},
+           Case{"DECOMPOSE TABLE R INTO S(a) T(b);", "expected ','"},
+           Case{"DECOMPOSE TABLE R INTO S, T(b);", "expected '('"},
+           Case{"MERGE TABLES S, T INTO R ON x;", "expected '('"},
+           Case{"MERGE TABLES S T INTO R ON (x);", "expected ','"},
+           Case{"ADD COLUMN x BLOB TO R;", "unknown data type"},
+           Case{"ADD COLUMN x INT64 R;", "expected keyword 'TO'"},
+           Case{"DROP COLUMN x R;", "expected keyword 'FROM'"},
+           Case{"DROP;", "expected keyword 'COLUMN'"},
+       }) {
+    Status st = ParseSmoScript(c.text).status();
+    ASSERT_FALSE(st.ok()) << c.text;
+    EXPECT_NE(st.message().find(c.expect), std::string::npos)
+        << c.text << " -> " << st.ToString();
+  }
+}
+
+TEST(Parser, LexerErrors) {
+  EXPECT_NE(ParseSmoScript("DROP TABLE @x;").status().message().find(
+                "unexpected character '@'"),
+            std::string::npos);
+  EXPECT_NE(ParseSmoScript("PARTITION TABLE R INTO A, B WHERE x ! 3;")
+                .status()
+                .message()
+                .find("stray '!'"),
+            std::string::npos);
+}
+
+TEST(Parser, ErrorAtEndOfInputSaysSo) {
+  Status st = ParseSmoScript("COPY TABLE A TO").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("at end of input"), std::string::npos)
+      << st.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Tests for the exec-layer dependency-DAG scheduler: ordering, error
+// aggregation and skip propagation, cycle rejection, nesting with
+// ParallelFor, and the stats contract.
+
+#include "exec/task_graph.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+TEST(TaskGraph, EmptyGraphIsOk) {
+  TaskGraph graph;
+  EXPECT_TRUE(graph.Run(ExecContext(4)).ok());
+  EXPECT_EQ(graph.stats().tasks, 0u);
+}
+
+TEST(TaskGraph, RespectsDependencyOrder) {
+  for (int threads : {1, 2, 8}) {
+    TaskGraph graph;
+    std::mutex mu;
+    std::vector<int> order;
+    auto record = [&](int id) {
+      return [&, id]() -> Status {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(id);
+        return Status::OK();
+      };
+    };
+    // Diamond: 0 -> {1, 2} -> 3.
+    graph.AddTask(record(0));
+    graph.AddTask(record(1));
+    graph.AddTask(record(2));
+    graph.AddTask(record(3));
+    graph.AddDependency(1, 0);
+    graph.AddDependency(2, 0);
+    graph.AddDependency(3, 1);
+    graph.AddDependency(3, 2);
+    ASSERT_TRUE(graph.Run(ExecContext(threads)).ok()) << threads;
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 3);
+    EXPECT_EQ(graph.stats().ran, 4u);
+    EXPECT_EQ(graph.stats().edges, 4u);
+  }
+}
+
+TEST(TaskGraph, SerialRunsInTopologicalIndexOrder) {
+  // At num_threads == 1 the ready queue drains deterministically:
+  // index order within each wave of the DAG.
+  TaskGraph graph;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    return [&, id]() -> Status {
+      order.push_back(id);
+      return Status::OK();
+    };
+  };
+  graph.AddTask(record(0));
+  graph.AddTask(record(1));
+  graph.AddTask(record(2));
+  graph.AddDependency(0, 2);  // 2 before 0
+  ASSERT_TRUE(graph.Run(ExecContext(1)).ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(graph.stats().max_parallel, 1);
+}
+
+TEST(TaskGraph, FirstErrorByTaskIndexWins) {
+  for (int threads : {1, 8}) {
+    TaskGraph graph;
+    graph.AddTask([] { return Status::OK(); });
+    graph.AddTask([] { return Status::InvalidArgument("first"); }, "alpha");
+    graph.AddTask([] { return Status::IOError("second"); });
+    Status st = graph.Run(ExecContext(threads));
+    ASSERT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_NE(st.message().find("task #1 (alpha)"), std::string::npos)
+        << st.ToString();
+    // Independent tasks all run despite the failure.
+    EXPECT_EQ(graph.stats().ran, 3u);
+    EXPECT_EQ(graph.stats().skipped, 0u);
+  }
+}
+
+TEST(TaskGraph, FailurePoisonsDependentsTransitively) {
+  for (int threads : {1, 8}) {
+    TaskGraph graph;
+    std::atomic<int> runs{0};
+    auto count = [&]() -> Status {
+      runs.fetch_add(1);
+      return Status::OK();
+    };
+    graph.AddTask([] { return Status::IOError("boom"); }, "root");
+    graph.AddTask(count);  // independent: runs
+    graph.AddTask(count);  // depends on 0: skipped
+    graph.AddTask(count);  // depends on 2: skipped transitively
+    graph.AddDependency(2, 0);
+    graph.AddDependency(3, 2);
+    Status st = graph.Run(ExecContext(threads));
+    EXPECT_TRUE(st.IsIOError()) << st.ToString();
+    EXPECT_EQ(runs.load(), 1);
+    EXPECT_EQ(graph.stats().skipped, 2u);
+    EXPECT_TRUE(graph.task_status(1).ok());
+    EXPECT_TRUE(graph.task_status(2).IsCancelled());
+    EXPECT_NE(graph.task_status(2).message().find("task #0 (root)"),
+              std::string::npos);
+    EXPECT_TRUE(graph.task_status(3).IsCancelled());
+  }
+}
+
+TEST(TaskGraph, CycleIsRejectedWithoutRunningAnything) {
+  TaskGraph graph;
+  std::atomic<int> runs{0};
+  auto count = [&]() -> Status {
+    runs.fetch_add(1);
+    return Status::OK();
+  };
+  graph.AddTask(count);
+  graph.AddTask(count);
+  graph.AddTask(count);
+  graph.AddDependency(1, 0);
+  graph.AddDependency(2, 1);
+  graph.AddDependency(1, 2);  // 1 <-> 2 cycle
+  Status st = graph.Run(ExecContext(4));
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("cycle"), std::string::npos);
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(TaskGraph, TasksMayNestParallelFor) {
+  // Graph tasks that themselves fan out over the shared pool must not
+  // deadlock (both layers let the claiming thread participate).
+  TaskGraph graph;
+  std::vector<std::atomic<uint64_t>> sums(4);
+  for (int t = 0; t < 4; ++t) {
+    graph.AddTask([&sums, t]() -> Status {
+      ExecContext inner(4);
+      return ParallelFor(inner, 0, 1000, 10, [&sums, t](uint64_t i) {
+        sums[static_cast<size_t>(t)].fetch_add(i);
+        return Status::OK();
+      });
+    });
+  }
+  ASSERT_TRUE(graph.Run(ExecContext(4)).ok());
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 999u * 1000 / 2);
+}
+
+TEST(TaskGraph, StressManyTasksWithChains) {
+  // 200 tasks in 8 chains of 25; every chain must run in order.
+  constexpr int kChains = 8;
+  constexpr int kLen = 25;
+  TaskGraph graph;
+  std::vector<std::atomic<int>> progress(kChains);
+  std::atomic<bool> order_ok{true};
+  for (int c = 0; c < kChains; ++c) {
+    for (int s = 0; s < kLen; ++s) {
+      int id = graph.AddTask([&progress, &order_ok, c, s]() -> Status {
+        if (progress[static_cast<size_t>(c)].fetch_add(1) != s) {
+          order_ok.store(false);
+        }
+        return Status::OK();
+      });
+      if (s > 0) graph.AddDependency(id, id - 1);
+    }
+  }
+  ASSERT_TRUE(graph.Run(ExecContext(8)).ok());
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_EQ(graph.stats().ran, static_cast<uint64_t>(kChains * kLen));
+  EXPECT_GE(graph.stats().max_parallel, 1);
+  EXPECT_GT(graph.stats().wall_seconds, 0.0);
+}
+
+TEST(TaskGraph, StatsCountRanAndThreads) {
+  TaskGraph graph;
+  graph.AddTask([] { return Status::OK(); });
+  graph.AddTask([] { return Status::OK(); });
+  ASSERT_TRUE(graph.Run(ExecContext(3)).ok());
+  const TaskGraphStats& stats = graph.stats();
+  EXPECT_EQ(stats.tasks, 2u);
+  EXPECT_EQ(stats.ran, 2u);
+  EXPECT_EQ(stats.threads, 3);
+  EXPECT_GE(stats.max_parallel, 1);
+  EXPECT_GE(stats.task_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace cods

@@ -421,5 +421,57 @@ TEST(WahInPlaceOps, FoldViaOrWithMatchesOrMany) {
   EXPECT_EQ(acc, WahOrMany(Ptrs(ops), size));
 }
 
+TEST(WahInPlaceOps, FoldViaAndWithMatchesAndMany) {
+  const uint64_t size = 12000;
+  std::vector<WahBitmap> ops;
+  for (int i = 0; i < 6; ++i) ops.push_back(RandomWah(size, 0.9, 60 + i));
+  WahBitmap acc;
+  acc.AppendRun(true, size);
+  for (const WahBitmap& bm : ops) acc.AndWith(bm);
+  EXPECT_EQ(acc, WahAndMany(Ptrs(ops), size));
+}
+
+TEST(WahInPlaceOps, SelfAliasingIsIdempotent) {
+  WahBitmap a = RandomWah(9000, 0.3, 70);
+  WahBitmap expected = a;
+  a.OrWith(a);
+  EXPECT_EQ(a, expected);
+  a.AndWith(a);
+  EXPECT_EQ(a, expected);
+}
+
+TEST(WahInPlaceOps, ClearAndSwapPreserveContentSemantics) {
+  WahBitmap a = RandomWah(5000, 0.2, 71);
+  WahBitmap b = RandomWah(700, 0.8, 72);
+  WahBitmap a_copy = a;
+  WahBitmap b_copy = b;
+  a.Swap(b);
+  EXPECT_EQ(a, b_copy);
+  EXPECT_EQ(b, a_copy);
+  a.Clear();
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.NumWords(), 0u);
+  // A cleared bitmap rebuilds to canonical form like a fresh one.
+  a.AppendRun(true, 700);
+  WahBitmap fresh;
+  fresh.AppendRun(true, 700);
+  EXPECT_EQ(a, fresh);
+}
+
+TEST(WahInPlaceOps, ResultStaysCanonical) {
+  // The in-place merge appends through the canonicalizing API, so the
+  // result compares representation-equal to the pairwise kernel's and
+  // to a fresh append of the same logical content.
+  for (double d : {0.01, 0.5, 0.99}) {
+    WahBitmap a = RandomWah(20000, d, 80);
+    WahBitmap b = RandomWah(20000, d, 81);
+    WahBitmap acc = a;
+    acc.OrWith(b);
+    WahBitmap expected = WahOr(a, b);
+    ASSERT_EQ(acc.NumWords(), expected.NumWords()) << d;
+    EXPECT_EQ(acc, expected) << d;
+  }
+}
+
 }  // namespace
 }  // namespace cods
