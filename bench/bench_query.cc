@@ -1,0 +1,160 @@
+// The query API on the compressed store: nested-expression selection at
+// swept selectivities, count-only vs materializing plans, and
+// group-by-sum — all through the QueryEngine/Expr path the SELECT
+// statement grammar compiles to.
+//
+//   * BM_Query_NestedSelect / BM_Query_NestedCount: the acceptance-shape
+//     expression  K < t AND (V >= 20 OR NOT P IN (...))  with the
+//     threshold t swept so the outer selectivity moves ~10% -> ~100%.
+//     Leaves evaluate in parallel (one task each), AND/OR combine in the
+//     single-pass k-way kernels; the Count series never materializes the
+//     root bitmap.
+//   * BM_Query_WideOrSelect: a flattened 16-leaf OR (the IN-list /
+//     union-of-predicates regime) — exercises k-way fan-in after
+//     normalization.
+//   * BM_Query_GroupBySum: SUM(V) GROUP BY P with a WHERE narrowing,
+//     one task per group over compressed AND-counts.
+//
+// All series sweep --threads 1/2/4/8 via the ExecContext and carry the
+// threads / wall_ms counters for the regression gate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/query_engine.h"
+
+namespace cods {
+namespace {
+
+constexpr uint64_t kDistinct = 1000;
+
+Value I64(uint64_t v) { return Value(static_cast<int64_t>(v)); }
+
+// K < threshold AND (V >= 20 OR NOT P IN (1, 2, 3)) — the nested
+// acceptance shape; `pct` positions the threshold in the key domain.
+ExprPtr NestedExpr(int64_t pct) {
+  return Expr::And(
+      {Expr::Compare(kKeyColumn, CompareOp::kLt, I64(kDistinct * pct / 100)),
+       Expr::Or({Expr::Compare(kPayloadColumn, CompareOp::kGe, I64(20)),
+                 Expr::Not(Expr::In(kPayloadColumn,
+                                    {I64(1), I64(2), I64(3)}))})});
+}
+
+void BM_Query_NestedSelect(benchmark::State& state) {
+  const int64_t pct = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  auto r = bench::CachedR(kDistinct);
+  ExprPtr expr = NestedExpr(pct);
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  uint64_t selected = 0;
+  for (auto _ : state) {
+    auto out = QueryEngine::SelectRows(*r, {}, expr, "sel", &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    selected = out.ValueOrDie()->rows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(r->rows());
+  state.counters["selected"] = static_cast<double>(selected);
+}
+
+void BM_Query_NestedCount(benchmark::State& state) {
+  const int64_t pct = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  auto r = bench::CachedR(kDistinct);
+  ExprPtr expr = NestedExpr(pct);
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  uint64_t count = 0;
+  for (auto _ : state) {
+    auto out = QueryEngine::CountRows(*r, expr, &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    count = out.ValueOrDie();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["rows"] = static_cast<double>(r->rows());
+  state.counters["selected"] = static_cast<double>(count);
+}
+
+// A 16-leaf disjunction over scattered key ranges: after normalization
+// this is ONE 16-way WahOrMany fan-in.
+void BM_Query_WideOrCount(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto r = bench::CachedR(kDistinct);
+  std::vector<ExprPtr> leaves;
+  for (uint64_t i = 0; i < 16; ++i) {
+    uint64_t lo = i * kDistinct / 16;
+    leaves.push_back(
+        Expr::Between(kKeyColumn, I64(lo), I64(lo + kDistinct / 64)));
+  }
+  ExprPtr expr = Expr::Or(std::move(leaves));
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  for (auto _ : state) {
+    auto out = QueryEngine::CountRows(*r, expr, &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(r->rows());
+}
+
+// Group-by table in the dictionary-encoding sweet spot: few distinct
+// groups (P) and measures (V), so the per-(group, measure) compressed
+// AND-count matrix stays dense work rather than dictionary overhead.
+std::shared_ptr<const Table> CachedGroupTable() {
+  static std::shared_ptr<const Table>* cache = [] {
+    WorkloadSpec spec;
+    spec.num_rows = bench::BenchRows();
+    spec.num_distinct = kDistinct;
+    spec.payload_distinct = 50;
+    spec.dependent_distinct = 24;
+    auto r = GenerateEvolutionTable(spec);
+    CODS_CHECK(r.ok()) << r.status().ToString();
+    return new std::shared_ptr<const Table>(r.ValueOrDie());
+  }();
+  return *cache;
+}
+
+void BM_Query_GroupBySum(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  auto r = CachedGroupTable();
+  // WHERE K < half: every group bitmap is narrowed by one compressed
+  // AND before the per-measure counts.
+  ExprPtr where = Expr::Compare(kKeyColumn, CompareOp::kLt,
+                                I64(kDistinct / 2));
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  for (auto _ : state) {
+    auto out = QueryEngine::GroupBySumRows(*r, kDependentColumn,
+                                           kPayloadColumn, where, &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(r->rows());
+}
+
+#define CODS_QUERY_BENCH(fn) \
+  BENCHMARK(fn)->Unit(benchmark::kMillisecond)->MinTime(0.1)
+
+// Selectivity sweep x thread sweep for the nested shapes.
+#define CODS_QUERY_BENCH_SWEEP(fn)                                      \
+  CODS_QUERY_BENCH(fn)                                                  \
+      ->ArgNames({"sel_pct", "threads"})                                \
+      ->Args({10, 1})                                                   \
+      ->Args({50, 1})                                                   \
+      ->Args({100, 1})                                                  \
+      ->Args({50, 2})                                                   \
+      ->Args({50, 4})                                                   \
+      ->Args({50, 8})
+
+CODS_QUERY_BENCH_SWEEP(BM_Query_NestedSelect);
+CODS_QUERY_BENCH_SWEEP(BM_Query_NestedCount);
+CODS_QUERY_BENCH(BM_Query_WideOrCount)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+CODS_QUERY_BENCH(BM_Query_GroupBySum)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace cods
+
+CODS_BENCH_MAIN("query")

@@ -1,12 +1,13 @@
 // cods_shell: an interactive (or piped) shell for the CODS platform —
 // the command-line counterpart of the paper's demo UI. It combines the
-// SMO script language with dot-commands for loading data, displaying
-// tables, persistence, versioning, and the cost advisor.
+// statement language (SMOs and SELECT queries through one parser) with
+// dot-commands for loading data, displaying tables, persistence,
+// versioning, and the cost advisor.
 //
 //   $ ./build/examples/cods_shell            # interactive
 //   $ echo 'LOAD r.csv INTO R; ...' | ./build/examples/cods_shell
 //
-// Commands (';'-terminated SMO statements, or one of):
+// Commands (';'-terminated SMO or SELECT statements, or one of):
 //   .load <csv-path> <table>     load a CSV file (schema inferred)
 //   .tables                      list tables
 //   .show <table>                display a table
@@ -34,7 +35,7 @@
 #include "evolution/inverse.h"
 #include "evolution/versioned_catalog.h"
 #include "plan/script_planner.h"
-#include "query/column_select.h"
+#include "query/query_engine.h"
 #include "smo/parser.h"
 #include "storage/csv.h"
 #include "storage/printer.h"
@@ -94,12 +95,21 @@ class Shell {
 
  private:
   void RunScript(const std::string& text) {
-    auto script = ParseSmoScript(text);
+    auto script = ParseStatementScript(text);
     if (!script.ok()) {
       std::cout << "parse error: " << script.status().ToString() << "\n";
       return;
     }
-    for (const Smo& smo : *script) {
+    for (const Statement& stmt : *script) {
+      if (stmt.kind == Statement::Kind::kQuery) {
+        Status st = RunQuery(stmt.query);
+        if (!st.ok()) {
+          std::cout << "error: " << st.ToString() << "\n";
+          return;
+        }
+        continue;
+      }
+      const Smo& smo = stmt.smo;
       if (IsInvertible(smo.kind)) {
         // Best-effort logging; lossy ops simply are not undoable.
         (void)log_.Record(smo, *versions_.working());
@@ -111,6 +121,26 @@ class Shell {
       }
       std::cout << "ok: " << smo.ToString() << "\n";
     }
+  }
+
+  // Executes one SELECT against the working catalog and prints the
+  // result: the table itself for a projection, the number for COUNT(*),
+  // value/sum lines for GROUP BY.
+  Status RunQuery(const QueryRequest& request) {
+    QueryEngine engine(versions_.working());
+    CODS_ASSIGN_OR_RETURN(QueryResult result, engine.Execute(request));
+    switch (result.verb) {
+      case QueryRequest::Verb::kSelect:
+        std::cout << FormatTable(*result.table);
+        break;
+      case QueryRequest::Verb::kCount:
+        std::cout << result.count << "\n";
+        break;
+      case QueryRequest::Verb::kGroupBySum:
+        std::cout << result.ToString();
+        break;
+    }
+    return Status::OK();
   }
 
   // Returns false to quit.
@@ -206,11 +236,10 @@ class Shell {
     CODS_ASSIGN_OR_RETURN(size_t col_idx, t->schema().ColumnIndex(column));
     CODS_ASSIGN_OR_RETURN(
         Value lit, Value::Parse(literal, t->schema().column(col_idx).type));
-    CODS_ASSIGN_OR_RETURN(
-        uint64_t count,
-        CountWhere(*t, {ColumnPredicate::Compare(column, op, lit)}));
-    std::cout << count << "\n";
-    return Status::OK();
+    // Sugar for SELECT COUNT(*) FROM table WHERE column op lit — same
+    // engine, same plan.
+    return RunQuery(QueryRequest::Count(
+        table, Expr::Compare(column, op, std::move(lit))));
   }
 
   Status Advise(const std::string& table, const std::string& group1,
@@ -289,9 +318,16 @@ class Shell {
   }
 
   static constexpr const char* kHelp =
-      "SMO statements end with ';' (CREATE/DROP/RENAME/COPY TABLE, UNION\n"
+      "Statements end with ';'. SMOs: CREATE/DROP/RENAME/COPY TABLE, UNION\n"
       "TABLES, PARTITION TABLE, DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/\n"
-      "RENAME COLUMN). Dot commands:\n"
+      "RENAME COLUMN. Queries:\n"
+      "  SELECT <cols|*> FROM t [WHERE expr];\n"
+      "  SELECT COUNT(*) FROM t [WHERE expr];\n"
+      "  SELECT g, SUM(m) FROM t [WHERE expr] GROUP BY g;\n"
+      "WHERE expressions nest: =, !=, <, <=, >, >=, IN (..), BETWEEN a\n"
+      "AND b, NOT, AND, OR, parentheses — e.g.\n"
+      "  SELECT * FROM R WHERE a = 'x' AND (b > 3 OR NOT c IN (1, 2));\n"
+      "Dot commands:\n"
       "  .load <csv> <table>   .tables   .show <t>   .stats <t>\n"
       "  .count <t> <col> <op> <lit>     .advise decompose <t> (c,..) (c,..)\n"
       "  .save <path>  .open <path>  .commit <msg>  .log  .checkout <v>\n"

@@ -1,12 +1,16 @@
 // Script-driven evolution: the CLI equivalent of the CODS demo UI.
-// Reads an SMO script (from a file argument or a built-in sample),
-// executes it against a catalog seeded with the Figure 1 table, and
-// narrates every data-evolution step — the "Data Evolution Status" pane.
+// Reads a statement script — SMOs and SELECT queries interleaved
+// through the unified parser — from a file argument or a built-in
+// sample, executes it against a catalog seeded with the Figure 1 table,
+// and narrates every step ("Data Evolution Status" pane; query results
+// print inline).
 //
 //   $ ./build/examples/evolution_script [--plan] [script.smo]
 //
 // --plan prints the script planner's dependency-DAG (the EXPLAIN view:
-// stages, read/write sets, edges) instead of executing.
+// stages, read/write sets, edges) for the script's SMOs instead of
+// executing; queries read but never write, so they are listed outside
+// the DAG.
 
 #include <cstdlib>
 #include <fstream>
@@ -15,6 +19,7 @@
 
 #include "evolution/engine.h"
 #include "plan/script_planner.h"
+#include "query/query_engine.h"
 #include "smo/parser.h"
 #include "storage/csv.h"
 #include "storage/printer.h"
@@ -25,6 +30,8 @@ namespace {
 
 const char kSampleScript[] = R"(-- CODS sample evolution script
 COPY TABLE R TO R_v1;                       -- keep the old version around
+SELECT COUNT(*) FROM R WHERE Skill = 'Light Cleaning'
+  OR Address = '425 Grant Ave';             -- query the pre-evolution shape
 DECOMPOSE TABLE R INTO S(Employee, Skill),
   T(Employee, Address) KEY(Employee);       -- schema 1 -> schema 2
 ADD COLUMN Verified INT64 TO T DEFAULT 0;   -- enrich the new dimension
@@ -32,6 +39,8 @@ RENAME COLUMN Verified TO AddressVerified IN T;
 PARTITION TABLE S INTO Cleaners, Others
   WHERE Skill = 'Light Cleaning';           -- split off one workload
 UNION TABLES Cleaners, Others INTO S;       -- ...and put it back
+SELECT Employee FROM S WHERE Skill = 'Light Cleaning'
+  AND NOT Employee IN ('Nobody');           -- ...and query the new shape
 )";
 
 const char kSampleData[] =
@@ -65,14 +74,27 @@ int main(int argc, char** argv) {
     script_text = buf.str();
   }
 
-  auto script = ParseSmoScript(script_text);
+  auto script = ParseStatementScript(script_text);
   if (!script.ok()) {
     std::cerr << "parse error: " << script.status().ToString() << "\n";
     return EXIT_FAILURE;
   }
 
   if (plan_only) {
-    std::cout << FormatScriptPlan(*script, PlanScript(*script));
+    std::vector<Smo> smos;
+    size_t queries = 0;
+    for (const Statement& stmt : *script) {
+      if (stmt.kind == Statement::Kind::kSmo) {
+        smos.push_back(stmt.smo);
+      } else {
+        ++queries;
+      }
+    }
+    std::cout << FormatScriptPlan(smos, PlanScript(smos));
+    if (queries > 0) {
+      std::cout << queries << " quer" << (queries == 1 ? "y" : "ies")
+                << " excluded from the DAG (queries read, never write)\n";
+    }
     return EXIT_SUCCESS;
   }
 
@@ -83,11 +105,25 @@ int main(int argc, char** argv) {
   EvolutionEngine engine(&catalog, &status,
                          EngineOptions{.validate_preconditions = true,
                                        .validate_outputs = true});
+  QueryEngine queries(&catalog);
 
-  std::cout << "Executing " << script->size() << " operators...\n";
-  for (const Smo& smo : *script) {
-    std::cout << "\n>>> " << smo.ToString() << "\n";
-    Status st = engine.Apply(smo);
+  std::cout << "Executing " << script->size() << " statements...\n";
+  for (const Statement& stmt : *script) {
+    std::cout << "\n>>> " << stmt.ToString() << "\n";
+    if (stmt.kind == Statement::Kind::kQuery) {
+      auto result = queries.Execute(stmt.query);
+      if (!result.ok()) {
+        std::cerr << "failed: " << result.status().ToString() << "\n";
+        return EXIT_FAILURE;
+      }
+      if (result->verb == QueryRequest::Verb::kSelect) {
+        std::cout << FormatTable(*result->table);
+      } else {
+        std::cout << result->ToString() << "\n";
+      }
+      continue;
+    }
+    Status st = engine.Apply(stmt.smo);
     if (!st.ok()) {
       std::cerr << "failed: " << st.ToString() << "\n";
       return EXIT_FAILURE;

@@ -9,7 +9,7 @@ than the threshold.
 Usage:
   check_bench_regression.py --baseline-dir bench/baselines \
       --current-dir . [--threshold 0.15] [--metric real_time] \
-      [--absolute] [--update]
+      [--absolute] [--wall-factor 4.0] [--update]
 
 Behavior:
   * Only benchmarks present in BOTH files are compared (new series are
@@ -30,6 +30,18 @@ Behavior:
     ``--min-anchor-series`` common series exist).
   * Runs taken at a different ``cods_threads`` context than the baseline
     are skipped with a warning (timings are not comparable).
+  * Machine-relative mode is blind to a slowdown hitting the MAJORITY of
+    a file's series at once (it folds into the median anchor), so a
+    coarse ABSOLUTE sanity bound backs it up: per file, neither the
+    total ``wall_ms`` counter nor the summed per-iteration metric (both
+    over the series common to both runs, min across repetitions) may
+    exceed ``--wall-factor`` (default 4x) times the baseline total. The
+    wall total catches run-cost blowups in fixed-iteration series; the
+    metric total catches uniform slowdowns in MinTime-driven series,
+    whose measured-loop wall time google-benchmark holds constant by
+    shrinking the iteration count. The factor is deliberately loose —
+    it absorbs runner-speed spread while still catching an
+    across-the-board collapse.
   * ``--update`` rewrites the baselines from the current files instead of
     comparing (use after an intentional perf change, and commit them).
   * Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
@@ -77,6 +89,21 @@ def context_threads(doc):
     return doc.get("context", {}).get("cods_threads")
 
 
+def wall_series_ms(doc):
+    """Per-series run cost in milliseconds: the MIN wall_ms across raw
+    repetitions (same best-of-N robustness as the timing metric). Empty
+    when no series carries the counter (pre-counter baselines)."""
+    per_series = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate" or name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        if "wall_ms" in b:
+            v = float(b["wall_ms"])
+            per_series[name] = min(v, per_series.get(name, v))
+    return per_series
+
+
 def median(values):
     s = sorted(values)
     mid = len(s) // 2
@@ -84,7 +111,7 @@ def median(values):
 
 
 def compare(baseline_path, current_path, threshold, metric, absolute,
-            min_anchor_series, noise_floor_us):
+            min_anchor_series, noise_floor_us, wall_factor):
     base = load(baseline_path)
     cur = load(current_path)
     bt, ct = context_threads(base), context_threads(cur)
@@ -97,6 +124,52 @@ def compare(baseline_path, current_path, threshold, metric, absolute,
     base_series = series(base, metric)
     cur_series = series(cur, metric)
     regressions = []
+    # Coarse absolute sanity bound: a uniform slowdown moves the relative
+    # anchor, not the per-series ratios — but it cannot hide from the
+    # file's total wall clock. Totals are taken over the series present
+    # in BOTH runs, mirroring the timing comparison's added/removed
+    # policy (new heavy series must not trip the bound, and dropping
+    # series must not mask a collapse of the remainder).
+    base_walls, cur_walls = wall_series_ms(base), wall_series_ms(cur)
+    wall_common = set(base_walls) & set(cur_walls)
+    base_wall = sum(base_walls[n] for n in wall_common)
+    cur_wall = sum(cur_walls[n] for n in wall_common)
+    if (
+        wall_factor is not None
+        and wall_common
+        and base_wall > 0
+        and cur_wall > base_wall * wall_factor
+    ):
+        ratio = cur_wall / base_wall
+        print(
+            f"WALL-BOUND {os.path.basename(current_path)}: total wall_ms "
+            f"{base_wall:.1f} -> {cur_wall:.1f} ({ratio:.2f}x > "
+            f"{wall_factor:g}x bound)"
+        )
+        regressions.append(("<total wall_ms>", base_wall, cur_wall, ratio))
+    # Companion bound on the summed per-iteration metric: MinTime-driven
+    # series hold their measured-loop wall time constant by shrinking the
+    # iteration count when the code slows down, so a uniform slowdown is
+    # invisible to the wall_ms total there — but not to the per-iteration
+    # timings themselves, compared absolutely (no anchor) under the same
+    # loose factor.
+    metric_common = [
+        n for n in set(base_series) & set(cur_series) if base_series[n] > 0
+    ]
+    base_total = sum(base_series[n] for n in metric_common)
+    cur_total = sum(cur_series[n] for n in metric_common)
+    if (
+        wall_factor is not None
+        and base_total > 0
+        and cur_total > base_total * wall_factor
+    ):
+        ratio = cur_total / base_total
+        print(
+            f"TOTAL-BOUND {os.path.basename(current_path)}: total {metric} "
+            f"{base_total:.1f} -> {cur_total:.1f}us ({ratio:.2f}x > "
+            f"{wall_factor:g}x bound)"
+        )
+        regressions.append((f"<total {metric}>", base_total, cur_total, ratio))
     missing = sorted(set(base_series) - set(cur_series))
     if missing:
         print(
@@ -180,6 +253,14 @@ def main():
         help="series with a baseline time under this many microseconds "
         "are reported but not gated (too small to time reliably)",
     )
+    ap.add_argument(
+        "--wall-factor",
+        type=float,
+        default=4.0,
+        help="fail when a file's total wall_ms exceeds this multiple of "
+        "the baseline total (absolute backstop for uniform slowdowns "
+        "the relative anchor cancels); <= 0 disables",
+    )
     ap.add_argument("--update", action="store_true")
     args = ap.parse_args()
 
@@ -214,6 +295,7 @@ def main():
             baseline, os.path.join(args.current_dir, f), args.threshold,
             args.metric, args.absolute, args.min_anchor_series,
             args.noise_floor_us,
+            args.wall_factor if args.wall_factor > 0 else None,
         )
         if result is None:  # thread-context mismatch
             skipped += 1

@@ -1,7 +1,6 @@
 #include "evolution/smo.h"
 
 #include <algorithm>
-#include <charconv>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -9,30 +8,6 @@
 namespace cods {
 
 namespace {
-
-// Renders a literal so the script parser reads back the same value:
-// strings are single-quoted with embedded quotes doubled (SQL style),
-// doubles print with shortest-round-trip precision.
-std::string FormatLiteral(const Value& value) {
-  if (value.is_null()) return "NULL";
-  if (value.is_int64()) return std::to_string(value.int64());
-  if (value.is_double()) {
-    char buf[32];
-    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value.dbl());
-    std::string out(buf, ptr);
-    // Keep the token a number-with-a-point so the parser types it as a
-    // double rather than an int64.
-    if (out.find_first_of(".eEn") == std::string::npos) out += ".0";
-    return out;
-  }
-  std::string out = "'";
-  for (char c : value.str()) {
-    out += c;
-    if (c == '\'') out += '\'';
-  }
-  out += "'";
-  return out;
-}
 
 std::string FormatSchemaForScript(const Schema& schema) {
   std::string out = "(";
@@ -84,42 +59,6 @@ const char* SmoKindToString(SmoKind kind) {
       return "RENAME COLUMN";
   }
   return "?";
-}
-
-const char* CompareOpToString(CompareOp op) {
-  switch (op) {
-    case CompareOp::kEq:
-      return "=";
-    case CompareOp::kNe:
-      return "!=";
-    case CompareOp::kLt:
-      return "<";
-    case CompareOp::kLe:
-      return "<=";
-    case CompareOp::kGt:
-      return ">";
-    case CompareOp::kGe:
-      return ">=";
-  }
-  return "?";
-}
-
-bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
-  switch (op) {
-    case CompareOp::kEq:
-      return lhs == rhs;
-    case CompareOp::kNe:
-      return lhs != rhs;
-    case CompareOp::kLt:
-      return lhs < rhs;
-    case CompareOp::kLe:
-      return lhs < rhs || lhs == rhs;
-    case CompareOp::kGt:
-      return rhs < lhs;
-    case CompareOp::kGe:
-      return rhs < lhs || lhs == rhs;
-  }
-  return false;
 }
 
 Smo Smo::CreateTable(std::string name, Schema schema) {
@@ -254,7 +193,7 @@ std::string Smo::ToString() const {
     case SmoKind::kPartitionTable:
       out << "PARTITION TABLE " << table << " INTO " << out1 << ", " << out2
           << " WHERE " << column << " " << CompareOpToString(compare_op)
-          << " " << FormatLiteral(literal);
+          << " " << FormatScriptLiteral(literal);
       break;
     case SmoKind::kDecomposeTable:
       out << "DECOMPOSE TABLE " << table << " INTO " << out1 << "("
@@ -271,7 +210,7 @@ std::string Smo::ToString() const {
     case SmoKind::kAddColumn:
       out << "ADD COLUMN " << column << " "
           << DataTypeToString(column_spec.type) << " TO " << table
-          << " DEFAULT " << FormatLiteral(default_value);
+          << " DEFAULT " << FormatScriptLiteral(default_value);
       break;
     case SmoKind::kDropColumn:
       out << "DROP COLUMN " << column << " FROM " << table;

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/compare.h"  // CompareOp lives in common/ (back-compat: it
+                             // was declared here before the query layer
+                             // also needed it)
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -30,14 +33,6 @@ enum class SmoKind {
 };
 
 const char* SmoKindToString(SmoKind kind);
-
-/// Comparison operator of a PARTITION TABLE condition.
-enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
-
-const char* CompareOpToString(CompareOp op);
-
-/// Evaluates `lhs op rhs` with Value ordering.
-bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
 
 /// One schema modification operator with its parameters. Unused fields
 /// are ignored by kinds that do not need them; the factory functions

@@ -1,137 +1,75 @@
 #include "query/column_select.h"
 
-#include "bitmap/wah_filter.h"
-#include "bitmap/wah_ops.h"
-#include "exec/parallel_build.h"
+#include "query/query_engine.h"
 
 namespace cods {
 
-Result<WahBitmap> EvalPredicate(const Table& table,
-                                const ColumnPredicate& predicate) {
-  CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(predicate.column));
-  if (col->encoding() != ColumnEncoding::kWahBitmap) {
-    return Status::InvalidArgument(
-        "predicates require a WAH-encoded column; re-encode '" +
-        predicate.column + "' first");
-  }
-  auto qualifies = [&](const Value& v) {
-    if (!predicate.in_values.empty()) {
-      for (const Value& candidate : predicate.in_values) {
-        if (v == candidate) return true;
-      }
-      return false;
-    }
-    return EvalCompare(v, predicate.op, predicate.literal);
-  };
-  // Single-pass k-way union of the qualifying value bitmaps — one output
-  // append stream instead of a pairwise left-fold's k intermediates.
-  std::vector<const WahBitmap*> qualifying;
-  for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
-    if (qualifies(col->dict().value(vid))) {
-      qualifying.push_back(&col->bitmap(vid));
-    }
-  }
-  return WahOrMany(qualifying, table.rows());
+ExprPtr ColumnPredicate::ToExpr() const {
+  if (!in_values.empty()) return Expr::In(column, in_values);
+  return Expr::Compare(column, op, literal);
 }
 
 namespace {
 
-// Evaluates every predicate to its selection bitmap, in parallel on
-// `ctx` (one task per predicate — each is an independent k-way union
-// over its own column). Every predicate always runs, so invalid
-// predicates error identically at every thread count; the first error
-// in predicate order wins.
-Result<std::vector<WahBitmap>> EvalAllPredicates(
-    const ExecContext& ctx, const Table& table,
-    const std::vector<ColumnPredicate>& preds) {
-  std::vector<Result<WahBitmap>> slots(preds.size(),
-                                       Result<WahBitmap>(WahBitmap()));
-  Status st = ParallelFor(ctx, 0, preds.size(), 1, [&](uint64_t i) {
-    slots[i] = EvalPredicate(table, preds[i]);
-    return Status::OK();
-  });
-  CODS_CHECK(st.ok()) << st.ToString();
-  std::vector<WahBitmap> evaluated;
-  evaluated.reserve(preds.size());
-  for (Result<WahBitmap>& slot : slots) {
-    CODS_RETURN_NOT_OK(slot.status());
-    evaluated.push_back(std::move(slot).ValueOrDie());
-  }
-  return evaluated;
-}
-
-// True when some evaluated predicate selects nothing (O(1) emptiness
-// checks, not CountOnes() decodes).
-bool AnyEmpty(const std::vector<WahBitmap>& evaluated) {
-  for (const WahBitmap& bm : evaluated) {
-    if (bm.IsAllZeros()) return true;
-  }
-  return false;
+std::vector<ExprPtr> ToLeaves(const std::vector<ColumnPredicate>& preds) {
+  std::vector<ExprPtr> leaves;
+  leaves.reserve(preds.size());
+  for (const ColumnPredicate& p : preds) leaves.push_back(p.ToExpr());
+  return leaves;
 }
 
 }  // namespace
 
-// Short-circuit granularity: per-predicate emptiness skips the k-way
-// AND entirely; pairwise-disjoint operands are handled by zero-fill
-// annihilation inside the single k-way merge. (Unlike the serial fold
-// this grew from, every predicate is always *evaluated*, so errors and
-// results are independent of thread count.)
+ExprPtr ConjunctionExpr(const std::vector<ColumnPredicate>& preds) {
+  if (preds.empty()) return nullptr;
+  return Expr::And(ToLeaves(preds));
+}
+
+ExprPtr DisjunctionExpr(const std::vector<ColumnPredicate>& preds) {
+  if (preds.empty()) return nullptr;
+  return Expr::Or(ToLeaves(preds));
+}
+
+Result<WahBitmap> EvalPredicate(const Table& table,
+                                const ColumnPredicate& predicate) {
+  return EvalExpr(table, predicate.ToExpr());
+}
+
 Result<WahBitmap> EvalConjunction(const Table& table,
                                   const std::vector<ColumnPredicate>& preds,
                                   const ExecContext* ctx) {
-  CODS_ASSIGN_OR_RETURN(
-      std::vector<WahBitmap> evaluated,
-      EvalAllPredicates(ResolveContext(ctx), table, preds));
-  if (AnyEmpty(evaluated)) {
-    WahBitmap none;
-    none.AppendRun(false, table.rows());
-    return none;
+  if (preds.empty()) {
+    // AND of nothing selects everything (the fold identity).
+    WahBitmap all;
+    all.AppendRun(true, table.rows());
+    return all;
   }
-  return WahAndMany(evaluated, table.rows());
+  return EvalExpr(table, ConjunctionExpr(preds), ctx);
 }
 
 Result<WahBitmap> EvalDisjunction(const Table& table,
                                   const std::vector<ColumnPredicate>& preds,
                                   const ExecContext* ctx) {
-  // A saturated operand costs the k-way union nothing thanks to
-  // one-fill annihilation.
-  CODS_ASSIGN_OR_RETURN(
-      std::vector<WahBitmap> evaluated,
-      EvalAllPredicates(ResolveContext(ctx), table, preds));
-  return WahOrMany(evaluated, table.rows());
+  if (preds.empty()) {
+    // OR of nothing selects nothing.
+    WahBitmap none;
+    none.AppendRun(false, table.rows());
+    return none;
+  }
+  return EvalExpr(table, DisjunctionExpr(preds), ctx);
 }
 
 Result<uint64_t> CountWhere(const Table& table,
                             const std::vector<ColumnPredicate>& preds,
                             const ExecContext* ctx) {
-  CODS_ASSIGN_OR_RETURN(
-      std::vector<WahBitmap> evaluated,
-      EvalAllPredicates(ResolveContext(ctx), table, preds));
-  if (AnyEmpty(evaluated)) return 0;
-  // Count-only kernel: the selection bitmap is never materialized.
-  return WahAndManyCount(evaluated, table.rows());
+  return QueryEngine::CountRows(table, ConjunctionExpr(preds), ctx);
 }
 
 Result<std::shared_ptr<const Table>> SelectWhere(
     const Table& table, const std::vector<ColumnPredicate>& preds,
     const std::string& out_name, const ExecContext* ctx) {
-  ExecContext exec = ResolveContext(ctx);
-  CODS_ASSIGN_OR_RETURN(WahBitmap selection,
-                        EvalConjunction(table, preds, &exec));
-  std::vector<uint64_t> positions = selection.SetPositions();
-  WahPositionFilter filter(positions, table.rows());
-  std::vector<std::shared_ptr<const Column>> cols(table.num_columns());
-  // Column tasks nest the per-vid filter tasks inside FilterColumnBitmaps.
-  CODS_RETURN_NOT_OK(
-      ParallelFor(exec, 0, table.num_columns(), 1, [&](uint64_t i) -> Status {
-        CODS_ASSIGN_OR_RETURN(
-            cols[i], FilterColumnBitmaps(exec, *table.column(i), filter,
-                                         "SelectWhere"));
-        return Status::OK();
-      }));
-  // Selection preserves key uniqueness, so the key declaration survives.
-  return Table::Make(out_name, table.schema(), std::move(cols),
-                     positions.size());
+  return QueryEngine::SelectRows(table, {}, ConjunctionExpr(preds), out_name,
+                                 ctx);
 }
 
 Result<std::vector<Row>> FetchWhere(
@@ -154,48 +92,8 @@ Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
 Result<std::vector<std::pair<Value, double>>> GroupBySum(
     const Table& table, const std::string& group_column,
     const std::string& measure_column, const ExecContext* ctx) {
-  CODS_ASSIGN_OR_RETURN(auto group, table.ColumnByName(group_column));
-  CODS_ASSIGN_OR_RETURN(auto measure, table.ColumnByName(measure_column));
-  if (measure->type() == DataType::kString) {
-    return Status::TypeError("SUM needs a numeric measure column");
-  }
-  if (group->encoding() != ColumnEncoding::kWahBitmap ||
-      measure->encoding() != ColumnEncoding::kWahBitmap) {
-    return Status::InvalidArgument(
-        "GroupBySum requires WAH-encoded columns");
-  }
-  // Hoist per-measure emptiness out of the O(v_group · v_measure) loop
-  // and skip empty group bitmaps entirely; the inner combine stays on the
-  // count-only kernel (nothing is materialized).
-  std::vector<const WahBitmap*> live_measures;
-  std::vector<double> measure_values;
-  for (Vid m = 0; m < measure->distinct_count(); ++m) {
-    if (measure->bitmap(m).IsAllZeros()) continue;
-    live_measures.push_back(&measure->bitmap(m));
-    const Value& v = measure->dict().value(m);
-    measure_values.push_back(v.is_int64() ? static_cast<double>(v.int64())
-                                          : v.dbl());
-  }
-  // One task per group value: the inner AND-counts are independent, and
-  // each group writes its own pre-sized slot, so dictionary order (and
-  // floating-point summation order) is preserved at every thread count.
-  std::vector<std::pair<Value, double>> out(group->distinct_count());
-  Status st = ParallelFor(
-      ResolveContext(ctx), 0, group->distinct_count(), 4, [&](uint64_t g) {
-        double sum = 0;
-        const WahBitmap& gbm = group->bitmap(static_cast<Vid>(g));
-        if (!gbm.IsAllZeros()) {
-          for (size_t m = 0; m < live_measures.size(); ++m) {
-            uint64_t count = WahAndCount(gbm, *live_measures[m]);
-            if (count == 0) continue;
-            sum += measure_values[m] * static_cast<double>(count);
-          }
-        }
-        out[g] = {group->dict().value(static_cast<Vid>(g)), sum};
-        return Status::OK();
-      });
-  CODS_CHECK(st.ok()) << st.ToString();
-  return out;
+  return QueryEngine::GroupBySumRows(table, group_column, measure_column,
+                                     nullptr, ctx);
 }
 
 }  // namespace cods

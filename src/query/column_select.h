@@ -1,9 +1,11 @@
-// Native query execution on the bitmap-indexed column store: predicates
-// evaluate to WAH bitmaps (an OR over the bitmaps of qualifying
-// dictionary values — no decompression), combine with compressed AND/OR,
-// and materialize only the selected rows. This is the "query execution
-// engine" of Figure 2 operating in its element: selection on compressed
-// bitmaps, exactly the capability WAH indexes were built for (Wu et al.).
+// Legacy flat-predicate query surface, kept as thin shims over the
+// composable predicate AST (query/expr.h) and the QueryEngine
+// (query/query_engine.h). A ColumnPredicate list is the degenerate
+// one-level conjunction/disjunction; every function below converts to
+// an Expr tree and executes through the engine's table-level entry
+// points, so old callers and new SELECT statements share one plan shape
+// (parallel leaf evaluation, single-pass k-way WAH combines). Prefer
+// Expr / QueryRequest in new code.
 
 #ifndef CODS_QUERY_COLUMN_SELECT_H_
 #define CODS_QUERY_COLUMN_SELECT_H_
@@ -13,8 +15,9 @@
 #include <vector>
 
 #include "bitmap/wah_bitmap.h"
-#include "evolution/smo.h"  // CompareOp / EvalCompare
+#include "common/compare.h"
 #include "exec/exec.h"
+#include "query/expr.h"
 #include "storage/table.h"
 
 namespace cods {
@@ -41,7 +44,15 @@ struct ColumnPredicate {
     p.in_values = std::move(values);
     return p;
   }
+
+  /// The equivalent AST leaf.
+  ExprPtr ToExpr() const;
 };
+
+/// AND / OR of a predicate list as an Expr tree; nullptr when the list
+/// is empty (the engine's "select everything" WHERE).
+ExprPtr ConjunctionExpr(const std::vector<ColumnPredicate>& preds);
+ExprPtr DisjunctionExpr(const std::vector<ColumnPredicate>& preds);
 
 /// Evaluates one predicate to a selection bitmap of length table.rows().
 /// Cost: dictionary scan + compressed ORs of qualifying value bitmaps.
@@ -49,14 +60,11 @@ Result<WahBitmap> EvalPredicate(const Table& table,
                                 const ColumnPredicate& predicate);
 
 /// AND of all predicates (all must qualify). Empty list selects all rows.
-/// The per-predicate bitmaps evaluate in parallel on `ctx` and feed one
-/// k-way AND; output is bit-identical at every thread count.
 Result<WahBitmap> EvalConjunction(const Table& table,
                                   const std::vector<ColumnPredicate>& preds,
                                   const ExecContext* ctx = nullptr);
 
-/// OR of all predicates. Empty list selects no rows. Per-predicate
-/// evaluation parallelizes like EvalConjunction.
+/// OR of all predicates. Empty list selects no rows.
 Result<WahBitmap> EvalDisjunction(const Table& table,
                                   const std::vector<ColumnPredicate>& preds,
                                   const ExecContext* ctx = nullptr);
@@ -67,9 +75,7 @@ Result<uint64_t> CountWhere(const Table& table,
                             const ExecContext* ctx = nullptr);
 
 /// SELECT * WHERE all predicates hold, as a new column table named
-/// `out_name`. Row selection runs through the same position-filter
-/// machinery as PARTITION TABLE, so the result is built compressed-to-
-/// compressed.
+/// `out_name`.
 Result<std::shared_ptr<const Table>> SelectWhere(
     const Table& table, const std::vector<ColumnPredicate>& preds,
     const std::string& out_name, const ExecContext* ctx = nullptr);
@@ -84,12 +90,8 @@ Result<std::vector<Row>> FetchWhere(const Table& table,
 Result<std::vector<std::pair<Value, uint64_t>>> GroupByCount(
     const Table& table, const std::string& column);
 
-/// SELECT group_column, SUM(measure) GROUP BY group_column, where
-/// `measure` is a numeric column. Computed as compressed AND-counts
-/// between group and measure bitmaps: O(v_group · v_measure) bitmap
-/// intersections, never materializing rows — efficient when the measure
-/// has few distinct values (the dictionary-encoding sweet spot).
-/// The per-group intersections run in parallel on `ctx`.
+/// SELECT group_column, SUM(measure) GROUP BY group_column, through
+/// QueryEngine::GroupBySumRows.
 Result<std::vector<std::pair<Value, double>>> GroupBySum(
     const Table& table, const std::string& group_column,
     const std::string& measure_column, const ExecContext* ctx = nullptr);

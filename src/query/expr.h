@@ -1,0 +1,108 @@
+// The composable predicate AST of the query layer: compare, IN, BETWEEN,
+// NOT, and arbitrarily nested AND/OR over single-column leaves. An Expr
+// compiles onto the compressed-domain WAH kernels instead of a row scan:
+//
+//   1. Normalize: NOT is pushed down De Morgan-style (NOT over AND/OR
+//      distributes, double NOT cancels) and NOT over a comparison folds
+//      into the negated comparison operator (NegateCompareOp), so the
+//      only surviving NOTs sit directly over IN/BETWEEN leaves. Same-kind
+//      AND/AND and OR/OR children are flattened into one node, exposing
+//      the maximal fan-in to the single-pass k-way kernels.
+//   2. Leaf evaluation: every leaf is one dictionary scan plus a k-way
+//      WahOrMany union of the qualifying value bitmaps. Leaves evaluate
+//      in parallel on the ExecContext (one task per leaf, pre-sized
+//      slots, first error in leaf order), so results and errors are
+//      bit-identical at every thread count.
+//   3. Combine: AND/OR nodes feed their children to WahAndMany/WahOrMany
+//      (one pass, no pairwise intermediates); a residual NOT is a WahNot
+//      complement on top of its leaf. The complement is exact because
+//      every row holds exactly one non-null value per column, so a
+//      column's value bitmaps partition the row domain.
+//
+// This is the expression counterpart of the FastBit-style selection the
+// free functions in column_select.h provided for flat predicate lists;
+// those functions are now thin shims over this AST and the QueryEngine.
+
+#ifndef CODS_QUERY_EXPR_H_
+#define CODS_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmap/wah_bitmap.h"
+#include "common/compare.h"
+#include "exec/exec.h"
+#include "storage/table.h"
+
+namespace cods {
+
+struct Expr;
+/// Nodes are immutable and shared; subtrees can be reused across
+/// requests (and across threads) freely.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind { kCompare, kIn, kBetween, kNot, kAnd, kOr };
+
+const char* ExprKindToString(ExprKind kind);
+
+/// One node of a predicate expression. Leaves (kCompare, kIn, kBetween)
+/// name a column and carry literals; kNot has exactly one child; kAnd
+/// and kOr have one or more. The factories below construct well-formed
+/// nodes — use them instead of aggregate initialization.
+struct Expr {
+  ExprKind kind = ExprKind::kCompare;
+
+  // Leaf payload.
+  std::string column;
+  CompareOp op = CompareOp::kEq;     // kCompare
+  Value literal;                     // kCompare right-hand side
+  std::vector<Value> in_values;      // kIn candidate set
+  Value between_lo, between_hi;      // kBetween inclusive bounds
+
+  // kNot: exactly one; kAnd/kOr: one or more.
+  std::vector<ExprPtr> children;
+
+  // ---- Factories ---------------------------------------------------------
+  static ExprPtr Compare(std::string column, CompareOp op, Value literal);
+  static ExprPtr In(std::string column, std::vector<Value> values);
+  static ExprPtr Between(std::string column, Value lo, Value hi);
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr And(std::vector<ExprPtr> children);
+  static ExprPtr Or(std::vector<ExprPtr> children);
+
+  /// True when a row whose `column` holds `v` satisfies this LEAF
+  /// (kCompare/kIn/kBetween only) — the dictionary-scan qualifier and
+  /// the row-level oracle tests check against.
+  bool LeafMatches(const Value& v) const;
+
+  /// Renders the expression in the statement grammar of smo/parser.h
+  /// ("a = 'x' AND (b > 3 OR NOT c IN (1, 2))"). Minimal parentheses;
+  /// the output re-parses to an equivalent expression.
+  std::string ToString() const;
+};
+
+/// Structural equality (same shape, columns, operators, literals).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// The normalization pass described above, exposed for tests and for
+/// plan display. Idempotent. Never errors: unknown columns are caught
+/// at evaluation (bind) time.
+ExprPtr NormalizeExpr(const ExprPtr& expr);
+
+/// Evaluates `expr` to a selection bitmap of length table.rows().
+/// Normalizes, evaluates every leaf in parallel on `ctx`, and combines
+/// with the k-way kernels. Unknown columns and non-WAH-encoded columns
+/// error; the first error in leaf order wins at every thread count.
+Result<WahBitmap> EvalExpr(const Table& table, const ExprPtr& expr,
+                           const ExecContext* ctx = nullptr);
+
+/// Number of selected rows, using the count-only k-way kernels at the
+/// root (the selection bitmap of the root node is never materialized
+/// when the root is AND/OR after normalization).
+Result<uint64_t> EvalExprCount(const Table& table, const ExprPtr& expr,
+                               const ExecContext* ctx = nullptr);
+
+}  // namespace cods
+
+#endif  // CODS_QUERY_EXPR_H_

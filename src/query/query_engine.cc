@@ -1,0 +1,266 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+
+#include "bitmap/wah_filter.h"
+#include "bitmap/wah_ops.h"
+#include "common/logging.h"
+#include "exec/parallel_build.h"
+
+namespace cods {
+
+QueryRequest QueryRequest::Select(std::string table,
+                                  std::vector<std::string> columns,
+                                  ExprPtr where, std::string out_name) {
+  QueryRequest req;
+  req.verb = Verb::kSelect;
+  req.table = std::move(table);
+  req.columns = std::move(columns);
+  req.where = std::move(where);
+  req.out_name = std::move(out_name);
+  return req;
+}
+
+QueryRequest QueryRequest::Count(std::string table, ExprPtr where) {
+  QueryRequest req;
+  req.verb = Verb::kCount;
+  req.table = std::move(table);
+  req.where = std::move(where);
+  return req;
+}
+
+QueryRequest QueryRequest::GroupBySum(std::string table, std::string group_by,
+                                      std::string sum_column, ExprPtr where) {
+  QueryRequest req;
+  req.verb = Verb::kGroupBySum;
+  req.table = std::move(table);
+  req.group_by = std::move(group_by);
+  req.sum_column = std::move(sum_column);
+  req.where = std::move(where);
+  return req;
+}
+
+std::string QueryRequest::ToString() const {
+  std::string out = "SELECT ";
+  switch (verb) {
+    case Verb::kSelect:
+      if (columns.empty()) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += columns[i];
+        }
+      }
+      break;
+    case Verb::kCount:
+      out += "COUNT(*)";
+      break;
+    case Verb::kGroupBySum:
+      // Canonical form always names the group column in the select list,
+      // whether or not the original statement did.
+      out += group_by + ", SUM(" + sum_column + ")";
+      break;
+  }
+  out += " FROM " + table;
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (verb == Verb::kGroupBySum) out += " GROUP BY " + group_by;
+  return out;
+}
+
+std::string QueryResult::ToString() const {
+  switch (verb) {
+    case QueryRequest::Verb::kCount:
+      return std::to_string(count);
+    case QueryRequest::Verb::kSelect:
+      if (table == nullptr) return "(no result table)";
+      return table->name() + ": " + std::to_string(table->rows()) + " row" +
+             (table->rows() == 1 ? "" : "s");
+    case QueryRequest::Verb::kGroupBySum: {
+      std::string out;
+      for (const auto& [value, sum] : groups) {
+        out += value.ToString() + ": " + std::to_string(sum) + "\n";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<QueryResult> QueryEngine::Execute(const QueryRequest& request,
+                                         const ExecContext* ctx) const {
+  CODS_CHECK(store_ != nullptr) << "QueryEngine needs a TableStore";
+  CODS_ASSIGN_OR_RETURN(auto table, store_->GetTable(request.table));
+  QueryResult result;
+  result.verb = request.verb;
+  switch (request.verb) {
+    case QueryRequest::Verb::kSelect: {
+      CODS_ASSIGN_OR_RETURN(
+          result.table, SelectRows(*table, request.columns, request.where,
+                                   request.out_name, ctx));
+      return result;
+    }
+    case QueryRequest::Verb::kCount: {
+      CODS_ASSIGN_OR_RETURN(result.count,
+                            CountRows(*table, request.where, ctx));
+      return result;
+    }
+    case QueryRequest::Verb::kGroupBySum: {
+      CODS_ASSIGN_OR_RETURN(
+          result.groups,
+          GroupBySumRows(*table, request.group_by, request.sum_column,
+                         request.where, ctx));
+      return result;
+    }
+  }
+  return Status::InvalidArgument("unknown query verb");
+}
+
+Result<std::shared_ptr<const Table>> QueryEngine::SelectRows(
+    const Table& table, const std::vector<std::string>& columns,
+    const ExprPtr& where, const std::string& out_name,
+    const ExecContext* ctx) {
+  // Resolve the projection to column indices (request order).
+  std::vector<size_t> indices;
+  if (columns.empty()) {
+    indices.resize(table.num_columns());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  } else {
+    indices.reserve(columns.size());
+    for (const std::string& name : columns) {
+      CODS_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+      indices.push_back(idx);
+    }
+  }
+  std::vector<ColumnSpec> specs;
+  specs.reserve(indices.size());
+  for (size_t idx : indices) specs.push_back(table.schema().column(idx));
+  // Row selection preserves key uniqueness, so the key declaration
+  // survives — but only when the projection retains every key column.
+  std::vector<std::string> key = table.schema().key();
+  for (const std::string& k : key) {
+    bool kept = std::any_of(specs.begin(), specs.end(),
+                            [&](const ColumnSpec& s) { return s.name == k; });
+    if (!kept) {
+      key.clear();
+      break;
+    }
+  }
+  CODS_ASSIGN_OR_RETURN(Schema schema,
+                        Schema::Make(std::move(specs), std::move(key)));
+
+  std::vector<std::shared_ptr<const Column>> cols(indices.size());
+  if (where == nullptr) {
+    // No predicate: the projection shares the input's columns outright.
+    for (size_t i = 0; i < indices.size(); ++i) {
+      cols[i] = table.column(indices[i]);
+    }
+    return Table::Make(out_name, std::move(schema), std::move(cols),
+                       table.rows());
+  }
+
+  ExecContext exec = ResolveContext(ctx);
+  CODS_ASSIGN_OR_RETURN(WahBitmap selection, EvalExpr(table, where, &exec));
+  std::vector<uint64_t> positions = selection.SetPositions();
+  WahPositionFilter filter(positions, table.rows());
+  // Column tasks nest the per-vid filter tasks inside FilterColumnBitmaps.
+  CODS_RETURN_NOT_OK(
+      ParallelFor(exec, 0, indices.size(), 1, [&](uint64_t i) -> Status {
+        CODS_ASSIGN_OR_RETURN(
+            cols[i], FilterColumnBitmaps(exec, *table.column(indices[i]),
+                                         filter, "SELECT"));
+        return Status::OK();
+      }));
+  return Table::Make(out_name, std::move(schema), std::move(cols),
+                     positions.size());
+}
+
+Result<uint64_t> QueryEngine::CountRows(const Table& table,
+                                        const ExprPtr& where,
+                                        const ExecContext* ctx) {
+  if (where == nullptr) return table.rows();
+  return EvalExprCount(table, where, ctx);
+}
+
+Result<std::vector<std::pair<Value, double>>> QueryEngine::GroupBySumRows(
+    const Table& table, const std::string& group_by,
+    const std::string& sum_column, const ExprPtr& where,
+    const ExecContext* ctx) {
+  CODS_ASSIGN_OR_RETURN(auto group, table.ColumnByName(group_by));
+  CODS_ASSIGN_OR_RETURN(auto measure, table.ColumnByName(sum_column));
+  if (measure->type() == DataType::kString) {
+    return Status::TypeError("SUM needs a numeric measure column");
+  }
+  if (group->encoding() != ColumnEncoding::kWahBitmap ||
+      measure->encoding() != ColumnEncoding::kWahBitmap) {
+    return Status::InvalidArgument(
+        "GroupBySum requires WAH-encoded columns");
+  }
+  ExecContext exec = ResolveContext(ctx);
+  // An optional WHERE narrows each group bitmap with ONE compressed AND
+  // before the per-measure counts; evaluated once, shared read-only by
+  // every group task.
+  WahBitmap selection;
+  bool filtered = where != nullptr;
+  if (filtered) {
+    CODS_ASSIGN_OR_RETURN(selection, EvalExpr(table, where, &exec));
+  }
+  // Hoist per-measure emptiness out of the O(v_group · v_measure) loop
+  // and skip empty group bitmaps entirely; the inner combine stays on the
+  // count-only kernel (nothing is materialized).
+  std::vector<const WahBitmap*> live_measures;
+  std::vector<double> measure_values;
+  for (Vid m = 0; m < measure->distinct_count(); ++m) {
+    if (measure->bitmap(m).IsAllZeros()) continue;
+    live_measures.push_back(&measure->bitmap(m));
+    const Value& v = measure->dict().value(m);
+    measure_values.push_back(v.is_int64() ? static_cast<double>(v.int64())
+                                          : v.dbl());
+  }
+  // One task per group value: the inner AND-counts are independent, and
+  // each group writes its own pre-sized slot, so dictionary order (and
+  // floating-point summation order) is preserved at every thread count.
+  std::vector<std::pair<Value, double>> out(group->distinct_count());
+  std::vector<char> qualifies(group->distinct_count(), 1);
+  Status st = ParallelFor(
+      exec, 0, group->distinct_count(), 4, [&](uint64_t g) {
+        double sum = 0;
+        const WahBitmap* gbm = &group->bitmap(static_cast<Vid>(g));
+        WahBitmap narrowed;
+        if (filtered) {
+          if (!gbm->IsAllZeros()) {
+            narrowed = WahAnd(*gbm, selection);
+            gbm = &narrowed;
+          }
+          if (gbm->IsAllZeros()) {
+            // SQL semantics: a WHERE that leaves a group no qualifying
+            // rows drops the group (unlike a group genuinely summing
+            // to 0, which stays).
+            qualifies[g] = 0;
+            return Status::OK();
+          }
+        }
+        if (!gbm->IsAllZeros()) {
+          for (size_t m = 0; m < live_measures.size(); ++m) {
+            uint64_t count = WahAndCount(*gbm, *live_measures[m]);
+            if (count == 0) continue;
+            sum += measure_values[m] * static_cast<double>(count);
+          }
+        }
+        out[g] = {group->dict().value(static_cast<Vid>(g)), sum};
+        return Status::OK();
+      });
+  CODS_CHECK(st.ok()) << st.ToString();
+  if (filtered) {
+    // Compact in index order — deterministic at every thread count.
+    std::vector<std::pair<Value, double>> kept;
+    kept.reserve(out.size());
+    for (size_t g = 0; g < out.size(); ++g) {
+      if (qualifies[g]) kept.push_back(std::move(out[g]));
+    }
+    return kept;
+  }
+  return out;
+}
+
+}  // namespace cods

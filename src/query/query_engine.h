@@ -1,0 +1,136 @@
+// The unified query front door. A QueryRequest is the typed form of a
+// SELECT statement — projection / COUNT(*) / SUM(c) GROUP BY g over one
+// table with an optional predicate AST (query/expr.h) — and QueryEngine
+// executes it against the TableStore interface (storage/catalog.h). The
+// same request therefore runs on the live Catalog or on a
+// StagedCatalog::View mid-script: queries and schema evolution share one
+// storage contract, one statement parser (smo/parser.h), and the same
+// compressed-domain WAH kernels (PAPER.md Figure 2).
+//
+// Execution shape:
+//   * WHERE compiles through EvalExpr / EvalExprCount — leaves in
+//     parallel on the ExecContext, k-way AND/OR combines, count-only
+//     kernels when no rows are materialized.
+//   * SELECT builds the result compressed-to-compressed through the
+//     same position-filter machinery as PARTITION TABLE; a request with
+//     no WHERE shares the input's column pointers outright (the §2.4
+//     "reuse unchanged columns" move, one pointer copy per column).
+//   * SUM(c) GROUP BY g runs as compressed AND-counts between group and
+//     measure bitmaps, one task per group, never materializing rows; a
+//     WHERE narrows each group bitmap with one compressed AND first.
+//
+// Results are bit-identical at every thread count (the determinism
+// contract of src/exec/).
+
+#ifndef CODS_QUERY_QUERY_ENGINE_H_
+#define CODS_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.h"
+#include "query/expr.h"
+#include "storage/catalog.h"
+
+namespace cods {
+
+/// One query, in the shape the statement grammar produces:
+///
+///   SELECT <columns|*>        FROM t [WHERE e]              -> kSelect
+///   SELECT COUNT(*)           FROM t [WHERE e]              -> kCount
+///   SELECT [g,] SUM(m)        FROM t [WHERE e] GROUP BY g   -> kGroupBySum
+struct QueryRequest {
+  enum class Verb { kSelect, kCount, kGroupBySum };
+
+  Verb verb = Verb::kSelect;
+  std::string table;
+
+  /// kSelect: projected columns in request order; empty means all.
+  std::vector<std::string> columns;
+
+  /// Optional predicate; null selects every row.
+  ExprPtr where;
+
+  /// kGroupBySum: the grouping column and the summed measure.
+  std::string group_by;
+  std::string sum_column;
+
+  /// kSelect: name of the result table.
+  std::string out_name = "result";
+
+  // ---- Factories ---------------------------------------------------------
+  static QueryRequest Select(std::string table,
+                             std::vector<std::string> columns = {},
+                             ExprPtr where = nullptr,
+                             std::string out_name = "result");
+  static QueryRequest Count(std::string table, ExprPtr where = nullptr);
+  static QueryRequest GroupBySum(std::string table, std::string group_by,
+                                 std::string sum_column,
+                                 ExprPtr where = nullptr);
+
+  /// Renders the request in the statement grammar; re-parses to an
+  /// equivalent request (the Statement round-trip contract).
+  std::string ToString() const;
+};
+
+/// The result of one request; the member matching the verb is set.
+struct QueryResult {
+  QueryRequest::Verb verb = QueryRequest::Verb::kSelect;
+  std::shared_ptr<const Table> table;                // kSelect
+  uint64_t count = 0;                                // kCount
+  std::vector<std::pair<Value, double>> groups;      // kGroupBySum
+
+  /// Short human-readable rendering (the shell's default display).
+  std::string ToString() const;
+};
+
+/// Executes QueryRequests against a TableStore. Stateless beyond the
+/// store pointer; cheap to construct per script or per statement.
+class QueryEngine {
+ public:
+  /// `store` is not owned and must outlive the engine.
+  explicit QueryEngine(const TableStore* store) : store_(store) {}
+
+  /// Resolves the request's table in the store and executes. The
+  /// request's WHERE binds (column lookup) at execution time, so an
+  /// unknown column is a KeyError naming the column.
+  Result<QueryResult> Execute(const QueryRequest& request,
+                              const ExecContext* ctx = nullptr) const;
+
+  // ---- Table-level entry points ------------------------------------------
+  //
+  // Execute() resolves the table and dispatches here; the legacy
+  // column_select.h shims call these directly with a table in hand.
+
+  /// SELECT <columns> FROM table WHERE where. Null `where` selects all
+  /// rows; empty `columns` projects all. The key declaration survives
+  /// when every key column is retained.
+  static Result<std::shared_ptr<const Table>> SelectRows(
+      const Table& table, const std::vector<std::string>& columns,
+      const ExprPtr& where, const std::string& out_name,
+      const ExecContext* ctx = nullptr);
+
+  /// SELECT COUNT(*) FROM table WHERE where — never materializes rows.
+  static Result<uint64_t> CountRows(const Table& table, const ExprPtr& where,
+                                    const ExecContext* ctx = nullptr);
+
+  /// SELECT group_by, SUM(sum_column) FROM table WHERE where GROUP BY
+  /// group_by. Results are in dictionary (first-appearance) order of
+  /// the group column. Without a WHERE every distinct value gets an
+  /// entry (zero-count dictionary values included, as GroupByCount
+  /// does); with a WHERE, groups left without qualifying rows are
+  /// omitted (SQL GROUP BY semantics).
+  static Result<std::vector<std::pair<Value, double>>> GroupBySumRows(
+      const Table& table, const std::string& group_by,
+      const std::string& sum_column, const ExprPtr& where,
+      const ExecContext* ctx = nullptr);
+
+ private:
+  const TableStore* store_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_QUERY_QUERY_ENGINE_H_

@@ -83,7 +83,8 @@ class Lexer {
         if (tok.text == "!") {
           return Status::InvalidArgument(Where(tok) + "stray '!'");
         }
-      } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=') {
+      } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=' ||
+                 c == '*') {
         tok.kind = TokenKind::kSymbol;
         tok.text += Advance();
       } else {
@@ -144,17 +145,33 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<std::vector<Smo>> ParseScript() {
-    std::vector<Smo> out;
+  // Parses the whole script. `where` (if given) receives one source-
+  // position prefix ("line L, column C: ") per statement, so callers
+  // that restrict the statement mix (ParseSmoScript) can still report
+  // where the offending statement started.
+  Result<std::vector<Statement>> ParseScript(
+      std::vector<std::string>* where = nullptr) {
+    std::vector<Statement> out;
     while (!AtEnd()) {
       if (AcceptSymbol(";")) continue;
-      CODS_ASSIGN_OR_RETURN(Smo smo, ParseStatement());
-      out.push_back(std::move(smo));
+      std::string position = Lexer::Where(Peek());
+      CODS_ASSIGN_OR_RETURN(Statement stmt, ParseOneStatement());
+      out.push_back(std::move(stmt));
+      if (where != nullptr) where->push_back(std::move(position));
     }
     return out;
   }
 
-  Result<Smo> ParseStatement() {
+  Result<Statement> ParseOneStatement() {
+    if (AcceptKeyword("SELECT")) {
+      CODS_ASSIGN_OR_RETURN(QueryRequest query, ParseSelect());
+      return Statement::FromQuery(std::move(query));
+    }
+    CODS_ASSIGN_OR_RETURN(Smo smo, ParseSmo());
+    return Statement::FromSmo(std::move(smo));
+  }
+
+  Result<Smo> ParseSmo() {
     if (AcceptKeyword("CREATE")) {
       CODS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
       return ParseCreateTable();
@@ -265,7 +282,8 @@ class Parser {
       }
       return Smo::AddColumn(table, ColumnSpec{col, type, false}, def);
     }
-    return Error("expected a schema modification operator");
+    return Error("expected a statement (SELECT or a schema modification "
+                 "operator)");
   }
 
  private:
@@ -274,6 +292,143 @@ class Parser {
     std::vector<std::string> columns;
     std::vector<std::string> key;
   };
+
+  // ---- SELECT statements ---------------------------------------------------
+  //
+  //   SELECT <*|cols|COUNT(*)|[g,] SUM(m)> FROM t [WHERE expr] [GROUP BY g]
+
+  Result<QueryRequest> ParseSelect() {
+    QueryRequest req;
+    bool saw_sum = false;
+    if (AcceptKeyword("COUNT")) {
+      CODS_RETURN_NOT_OK(ExpectSymbol("("));
+      CODS_RETURN_NOT_OK(ExpectSymbol("*"));
+      CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+      req.verb = QueryRequest::Verb::kCount;
+    } else if (!AcceptSymbol("*")) {
+      while (true) {
+        if (AcceptKeyword("SUM")) {
+          if (saw_sum) return Error("only one SUM(column) per query");
+          saw_sum = true;
+          CODS_RETURN_NOT_OK(ExpectSymbol("("));
+          CODS_ASSIGN_OR_RETURN(req.sum_column, ExpectIdent("column name"));
+          CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+        } else {
+          CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+          req.columns.push_back(std::move(col));
+        }
+        if (AcceptSymbol(",")) continue;
+        break;
+      }
+      if (saw_sum) req.verb = QueryRequest::Verb::kGroupBySum;
+    }
+    CODS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    CODS_ASSIGN_OR_RETURN(req.table, ExpectIdent("table name"));
+    if (AcceptKeyword("WHERE")) {
+      CODS_ASSIGN_OR_RETURN(req.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (req.verb != QueryRequest::Verb::kGroupBySum) {
+        return Error("GROUP BY needs SUM(column) in the select list");
+      }
+      CODS_ASSIGN_OR_RETURN(req.group_by, ExpectIdent("column name"));
+    }
+    if (req.verb == QueryRequest::Verb::kGroupBySum) {
+      if (req.group_by.empty()) {
+        return Error("SUM(column) needs a GROUP BY clause");
+      }
+      // The select list may additionally name only the group column;
+      // the canonical (ToString) form always prints it.
+      for (const std::string& col : req.columns) {
+        if (col != req.group_by) {
+          return Error("the select list of a GROUP BY query may only name "
+                       "the grouping column; got '" + col + "'");
+        }
+      }
+      req.columns.clear();
+    }
+    // Queries end hard at ';' (or end of input) — anything trailing is
+    // noise worth a precise message, e.g. an over-closed parenthesis.
+    if (!AtEnd() &&
+        !(Peek().kind == TokenKind::kSymbol && Peek().text == ";")) {
+      return Error("expected ';' after the SELECT statement");
+    }
+    return req;
+  }
+
+  // ---- WHERE expressions ---------------------------------------------------
+  //
+  // SQL precedence, loosest first: OR, AND, NOT, then primaries
+  // (parenthesized expression, compare, IN, BETWEEN, and the
+  // `x NOT IN` / `x NOT BETWEEN` forms).
+
+  Result<ExprPtr> ParseExpr() { return ParseOrExpr(); }
+
+  Result<ExprPtr> ParseOrExpr() {
+    CODS_ASSIGN_OR_RETURN(ExprPtr first, ParseAndExpr());
+    std::vector<ExprPtr> children{std::move(first)};
+    while (AcceptKeyword("OR")) {
+      CODS_ASSIGN_OR_RETURN(ExprPtr next, ParseAndExpr());
+      children.push_back(std::move(next));
+    }
+    return Expr::Or(std::move(children));  // single child passes through
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    CODS_ASSIGN_OR_RETURN(ExprPtr first, ParseNotExpr());
+    std::vector<ExprPtr> children{std::move(first)};
+    while (AcceptKeyword("AND")) {
+      CODS_ASSIGN_OR_RETURN(ExprPtr next, ParseNotExpr());
+      children.push_back(std::move(next));
+    }
+    return Expr::And(std::move(children));
+  }
+
+  Result<ExprPtr> ParseNotExpr() {
+    if (AcceptKeyword("NOT")) {
+      CODS_ASSIGN_OR_RETURN(ExprPtr child, ParseNotExpr());
+      return Expr::Not(std::move(child));
+    }
+    return ParsePrimaryExpr();
+  }
+
+  Result<ExprPtr> ParsePrimaryExpr() {
+    if (AcceptSymbol("(")) {
+      CODS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    CODS_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column name"));
+    bool negate = AcceptKeyword("NOT");
+    if (AcceptKeyword("IN")) {
+      CODS_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> values;
+      while (true) {
+        CODS_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(std::move(v));
+        if (AcceptSymbol(",")) continue;
+        CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+        break;
+      }
+      ExprPtr e = Expr::In(std::move(column), std::move(values));
+      return negate ? Expr::Not(std::move(e)) : e;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      // The first AND after BETWEEN separates the bounds (standard SQL);
+      // conjunction continues after the second literal.
+      CODS_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+      CODS_RETURN_NOT_OK(ExpectKeyword("AND"));
+      CODS_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+      ExprPtr e =
+          Expr::Between(std::move(column), std::move(lo), std::move(hi));
+      return negate ? Expr::Not(std::move(e)) : e;
+    }
+    if (negate) return Error("expected IN or BETWEEN after NOT");
+    CODS_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+    CODS_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    return Expr::Compare(std::move(column), op, std::move(literal));
+  }
 
   Result<Smo> ParseCreateTable() {
     CODS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("table name"));
@@ -430,11 +585,60 @@ class Parser {
 
 }  // namespace
 
-Result<std::vector<Smo>> ParseSmoScript(const std::string& text) {
+Statement Statement::FromSmo(Smo smo) {
+  Statement stmt;
+  stmt.kind = Kind::kSmo;
+  stmt.smo = std::move(smo);
+  return stmt;
+}
+
+Statement Statement::FromQuery(QueryRequest query) {
+  Statement stmt;
+  stmt.kind = Kind::kQuery;
+  stmt.query = std::move(query);
+  return stmt;
+}
+
+std::string Statement::ToString() const {
+  return kind == Kind::kSmo ? smo.ToString() : query.ToString();
+}
+
+Result<std::vector<Statement>> ParseStatementScript(const std::string& text) {
   Lexer lexer(text);
   CODS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.ParseScript();
+}
+
+Result<Statement> ParseStatement(const std::string& text) {
+  CODS_ASSIGN_OR_RETURN(std::vector<Statement> script,
+                        ParseStatementScript(text));
+  if (script.size() != 1) {
+    return Status::InvalidArgument("expected exactly one statement, got " +
+                                   std::to_string(script.size()));
+  }
+  return std::move(script[0]);
+}
+
+Result<std::vector<Smo>> ParseSmoScript(const std::string& text) {
+  Lexer lexer(text);
+  CODS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  std::vector<std::string> where;
+  CODS_ASSIGN_OR_RETURN(std::vector<Statement> script,
+                        parser.ParseScript(&where));
+  std::vector<Smo> out;
+  out.reserve(script.size());
+  for (size_t i = 0; i < script.size(); ++i) {
+    if (script[i].kind == Statement::Kind::kQuery) {
+      return Status::InvalidArgument(
+          where[i] +
+          "SELECT is a query statement; this surface accepts only schema "
+          "modification operators");
+    }
+    out.push_back(std::move(script[i].smo));
+  }
+  return out;
 }
 
 Result<Smo> ParseSmoStatement(const std::string& text) {

@@ -1,5 +1,6 @@
-// Parser for the SMO script language — the textual equivalent of the
-// demo UI's operator forms. One statement per operator of Table 1:
+// The unified statement parser: SMO scripts and SELECT queries share
+// one lexer, one grammar, one entry point. One statement per operator
+// of Table 1:
 //
 //   CREATE TABLE S (Employee STRING, Skill STRING, KEY(Employee));
 //   DROP TABLE S;
@@ -14,9 +15,20 @@
 //   DROP COLUMN Address FROM R;
 //   RENAME COLUMN Addr TO Address IN R;
 //
-// Keywords are case-insensitive; identifiers are case-sensitive; string
-// literals use single or double quotes with SQL-style doubling for an
-// embedded quote ('it''s'); statements end with ';'.
+// plus the query statement (query/query_engine.h):
+//
+//   SELECT * FROM R WHERE Skill = 'Typing';
+//   SELECT Employee, Address FROM R WHERE Age > 30 AND
+//     (City IN ('NY', 'SF') OR NOT Verified BETWEEN 0 AND 1);
+//   SELECT COUNT(*) FROM R WHERE NOT (a = 1 OR b = 2);
+//   SELECT Dept, SUM(Salary) FROM R WHERE Age >= 21 GROUP BY Dept;
+//
+// WHERE expressions nest arbitrarily: comparisons, IN, BETWEEN, NOT
+// (also `x NOT IN (...)` / `x NOT BETWEEN ... AND ...`), AND, OR, and
+// parentheses, with SQL precedence NOT > AND > OR. Keywords are
+// case-insensitive; identifiers are case-sensitive; string literals use
+// single or double quotes with SQL-style doubling for an embedded quote
+// ('it''s'); statements end with ';'.
 
 #ifndef CODS_SMO_PARSER_H_
 #define CODS_SMO_PARSER_H_
@@ -25,14 +37,39 @@
 #include <vector>
 
 #include "evolution/smo.h"
+#include "query/query_engine.h"
 
 namespace cods {
 
-/// Parses a script into a sequence of SMOs. On error, the Status message
-/// includes the offending line and column.
-Result<std::vector<Smo>> ParseSmoScript(const std::string& text);
+/// One parsed statement: a schema modification operator or a query.
+struct Statement {
+  enum class Kind { kSmo, kQuery };
+  Kind kind = Kind::kSmo;
+  Smo smo;             // kSmo payload
+  QueryRequest query;  // kQuery payload
+
+  static Statement FromSmo(Smo smo);
+  static Statement FromQuery(QueryRequest query);
+
+  /// Renders the statement in the script syntax; re-parses to an
+  /// equivalent statement (both SMOs and SELECTs round-trip).
+  std::string ToString() const;
+};
+
+/// Parses a script into a sequence of statements (SMOs and queries
+/// interleaved). On error, the Status message includes the offending
+/// line and column.
+Result<std::vector<Statement>> ParseStatementScript(const std::string& text);
 
 /// Parses exactly one statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& text);
+
+/// Parses a script that must consist of SMOs only (the evolution
+/// engine's ApplyAll / planner surfaces); a SELECT statement is an
+/// error naming its position.
+Result<std::vector<Smo>> ParseSmoScript(const std::string& text);
+
+/// Parses exactly one SMO statement (trailing ';' optional).
 Result<Smo> ParseSmoStatement(const std::string& text);
 
 }  // namespace cods

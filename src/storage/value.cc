@@ -1,6 +1,7 @@
 #include "storage/value.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <functional>
 #include <sstream>
@@ -78,21 +79,37 @@ std::string Value::ToString() const {
   return str();
 }
 
+namespace {
+
+// IEEE `<` is not a strict weak ordering in the presence of NaN (NaN is
+// incomparable to every number, which would make it order-EQUAL to all
+// of them and break both sorting and the order-derived EvalCompare
+// equality). Order NaN after every real number instead, so the Value
+// order stays total: NaN equals only NaN.
+bool DoubleLess(double a, double b) {
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) return !a_nan && b_nan;
+  return a < b;
+}
+
+}  // namespace
+
 bool Value::operator<(const Value& other) const {
   // Order alternatives by index (null < int64 < double < string), except
   // that int64 and double compare numerically against each other.
   if (is_int64() && other.is_double()) {
-    return static_cast<double>(int64()) < other.dbl();
+    return DoubleLess(static_cast<double>(int64()), other.dbl());
   }
   if (is_double() && other.is_int64()) {
-    return dbl() < static_cast<double>(other.int64());
+    return DoubleLess(dbl(), static_cast<double>(other.int64()));
   }
   if (repr_.index() != other.repr_.index()) {
     return repr_.index() < other.repr_.index();
   }
   if (is_null()) return false;
   if (is_int64()) return int64() < other.int64();
-  if (is_double()) return dbl() < other.dbl();
+  if (is_double()) return DoubleLess(dbl(), other.dbl());
   return str() < other.str();
 }
 

@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "query/column_executor.h"
 #include "query/column_select.h"
+#include "query/query_engine.h"
 #include "workload/generator.h"
 
 namespace cods {
@@ -186,6 +187,65 @@ TEST(ParallelDeterminismTest, QueryPaths) {
       // order per group.
       EXPECT_EQ((*ref_group)[i].second, (*group)[i].second)
           << "group " << i << " @" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, NestedExpressionEvaluation) {
+  // The expression AST path: leaves evaluate in parallel (one task per
+  // leaf) and combine through the k-way kernels; nested NOT/AND/OR
+  // results must be code-word identical at every thread count, for both
+  // the materializing and the count-only plans, and through the full
+  // QueryEngine request path.
+  auto r = TestTable();
+  ExprPtr expr = Expr::Or(
+      {Expr::And(
+           {Expr::Compare(kKeyColumn, CompareOp::kLt,
+                          Value(static_cast<int64_t>(300))),
+            Expr::Not(Expr::In(kPayloadColumn,
+                               {Value(static_cast<int64_t>(1)),
+                                Value(static_cast<int64_t>(2)),
+                                Value(static_cast<int64_t>(3))}))}),
+       Expr::And({Expr::Between(kDependentColumn,
+                                Value(static_cast<int64_t>(10)),
+                                Value(static_cast<int64_t>(20))),
+                  Expr::Not(Expr::And(
+                      {Expr::Compare(kKeyColumn, CompareOp::kGe,
+                                     Value(static_cast<int64_t>(100))),
+                       Expr::Compare(kPayloadColumn, CompareOp::kNe,
+                                     Value(static_cast<int64_t>(7)))}))})});
+  ExecContext serial(1);
+  auto ref_bm = EvalExpr(*r, expr, &serial);
+  auto ref_count = EvalExprCount(*r, expr, &serial);
+  auto ref_select = QueryEngine::SelectRows(*r, {kKeyColumn, kPayloadColumn},
+                                            expr, "sel", &serial);
+  auto ref_group = QueryEngine::GroupBySumRows(*r, kDependentColumn,
+                                               kPayloadColumn, expr, &serial);
+  ASSERT_TRUE(ref_bm.ok() && ref_count.ok() && ref_select.ok() &&
+              ref_group.ok());
+  EXPECT_EQ(*ref_count, ref_bm->CountOnes());
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto bm = EvalExpr(*r, expr, &ctx);
+    ASSERT_TRUE(bm.ok());
+    EXPECT_TRUE(*ref_bm == *bm) << "expr bitmap @" << threads;
+    auto count = EvalExprCount(*r, expr, &ctx);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*ref_count, *count) << "expr count @" << threads;
+    auto sel = QueryEngine::SelectRows(*r, {kKeyColumn, kPayloadColumn},
+                                       expr, "sel", &ctx);
+    ASSERT_TRUE(sel.ok());
+    ExpectTablesIdentical(**ref_select, **sel,
+                          "expr select @" + std::to_string(threads));
+    auto group = QueryEngine::GroupBySumRows(*r, kDependentColumn,
+                                             kPayloadColumn, expr, &ctx);
+    ASSERT_TRUE(group.ok());
+    ASSERT_EQ(ref_group->size(), group->size());
+    for (size_t i = 0; i < group->size(); ++i) {
+      // Bit-identical doubles: same AND-count sequence, same summation
+      // order per group.
+      EXPECT_EQ((*ref_group)[i], (*group)[i])
+          << "expr group " << i << " @" << threads;
     }
   }
 }
