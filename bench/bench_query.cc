@@ -14,6 +14,13 @@
 //     normalization.
 //   * BM_Query_GroupBySum: SUM(V) GROUP BY P with a WHERE narrowing,
 //     one task per group over compressed AND-counts.
+//   * BM_Query_JoinSelect: the compressed equi-join (key-FK shape) at
+//     swept join selectivities — the fraction of fact rows whose key
+//     survives into the filtered dimension table — times threads.
+//   * BM_Query_JoinGeneral: the general value-clustered shape (both
+//     sides duplicated).
+//   * BM_Query_OrderByLimit: ORDER BY + LIMIT over a filtered select,
+//     full-sort vs top-100.
 //
 // All series sweep --threads 1/2/4/8 via the ExecContext and carry the
 // threads / wall_ms counters for the regression gate.
@@ -21,6 +28,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "query/join.h"
 #include "query/query_engine.h"
 
 namespace cods {
@@ -133,6 +141,88 @@ void BM_Query_GroupBySum(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(r->rows());
 }
 
+// The filtered dimension side of the join sweep: T keyed on K, shrunk
+// to the first `pct`% of the key domain — joining S against it keeps
+// ~pct% of S's rows (the join selectivity).
+std::shared_ptr<const Table> CachedDimension(int64_t pct) {
+  static std::map<int64_t, std::shared_ptr<const Table>>* cache =
+      new std::map<int64_t, std::shared_ptr<const Table>>();
+  auto it = cache->find(pct);
+  if (it != cache->end()) return it->second;
+  const GeneratedPair& pair = bench::CachedPair(kDistinct);
+  auto t = QueryEngine::SelectRows(
+      *pair.t, {},
+      pct >= 100 ? nullptr
+                 : Expr::Compare(kKeyColumn, CompareOp::kLt,
+                                 I64(kDistinct * pct / 100)),
+      "Tdim");
+  CODS_CHECK(t.ok()) << t.status().ToString();
+  return cache->emplace(pct, t.ValueOrDie()).first->second;
+}
+
+void BM_Query_JoinSelect(benchmark::State& state) {
+  const int64_t pct = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const GeneratedPair& pair = bench::CachedPair(kDistinct);
+  auto dim = CachedDimension(pct);
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  uint64_t out_rows = 0;
+  std::string path;
+  for (auto _ : state) {
+    JoinStats stats;
+    auto out = CompressedEquiJoin(*pair.s, *dim, 0, 0, "J", &ctx, &stats);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    out_rows = out.ValueOrDie()->rows();
+    path = stats.path;
+    benchmark::DoNotOptimize(out);
+  }
+  CODS_CHECK(path == "fk-right") << path;
+  state.counters["rows"] = static_cast<double>(pair.s->rows());
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+void BM_Query_JoinGeneral(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  // Both sides duplicated: every join value fans out 6 x 4.
+  static const GeneratedPair* pair = [] {
+    auto p = GenerateGeneralMergePair(1'000, 6, 4);
+    CODS_CHECK(p.ok()) << p.status().ToString();
+    return new GeneratedPair(std::move(p).ValueOrDie());
+  }();
+  ExecContext ctx(threads);
+  bench::RunMeta meta(state, ctx.num_threads());
+  uint64_t out_rows = 0;
+  for (auto _ : state) {
+    auto out = CompressedEquiJoin(*pair->s, *pair->t, 0, 0, "J", &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    out_rows = out.ValueOrDie()->rows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+void BM_Query_OrderByLimit(benchmark::State& state) {
+  const int64_t limit = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  auto r = bench::CachedR(kDistinct);
+  // WHERE keeps ~half the rows, then sort descending on the key and
+  // truncate — the SELECT ... ORDER BY K DESC LIMIT n pipeline.
+  ExprPtr where = Expr::Compare(kPayloadColumn, CompareOp::kGe, I64(20));
+  ExecContext ctx(threads);
+  auto filtered = QueryEngine::SelectRows(*r, {}, where, "sel", &ctx);
+  CODS_CHECK(filtered.ok()) << filtered.status().ToString();
+  bench::RunMeta meta(state, ctx.num_threads());
+  for (auto _ : state) {
+    auto out = QueryEngine::SortRows(*filtered.ValueOrDie(), kKeyColumn,
+                                     /*desc=*/true, limit, "sorted", &ctx);
+    CODS_CHECK(out.ok()) << out.status().ToString();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] =
+      static_cast<double>(filtered.ValueOrDie()->rows());
+}
+
 #define CODS_QUERY_BENCH(fn) \
   BENCHMARK(fn)->Unit(benchmark::kMillisecond)->MinTime(0.1)
 
@@ -153,6 +243,25 @@ CODS_QUERY_BENCH(BM_Query_WideOrCount)
     ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 CODS_QUERY_BENCH(BM_Query_GroupBySum)
     ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+// Join selectivity x thread sweep (key-FK shape).
+CODS_QUERY_BENCH(BM_Query_JoinSelect)
+    ->ArgNames({"match_pct", "threads"})
+    ->Args({10, 1})
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({50, 8});
+CODS_QUERY_BENCH(BM_Query_JoinGeneral)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+// Full sort vs top-100, thread sweep at the full-sort point.
+CODS_QUERY_BENCH(BM_Query_OrderByLimit)
+    ->ArgNames({"limit", "threads"})
+    ->Args({-1, 1})
+    ->Args({100, 1})
+    ->Args({-1, 2})
+    ->Args({-1, 4})
+    ->Args({-1, 8});
 
 }  // namespace
 }  // namespace cods

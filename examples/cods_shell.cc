@@ -136,7 +136,7 @@ class Shell {
       case QueryRequest::Verb::kCount:
         std::cout << result.count << "\n";
         break;
-      case QueryRequest::Verb::kGroupBySum:
+      case QueryRequest::Verb::kGroupBy:
         std::cout << result.ToString();
         break;
     }
@@ -321,12 +321,15 @@ class Shell {
       "Statements end with ';'. SMOs: CREATE/DROP/RENAME/COPY TABLE, UNION\n"
       "TABLES, PARTITION TABLE, DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/\n"
       "RENAME COLUMN. Queries:\n"
-      "  SELECT <cols|*> FROM t [WHERE expr];\n"
-      "  SELECT COUNT(*) FROM t [WHERE expr];\n"
-      "  SELECT g, SUM(m) FROM t [WHERE expr] GROUP BY g;\n"
-      "WHERE expressions nest: =, !=, <, <=, >, >=, IN (..), BETWEEN a\n"
-      "AND b, NOT, AND, OR, parentheses — e.g.\n"
-      "  SELECT * FROM R WHERE a = 'x' AND (b > 3 OR NOT c IN (1, 2));\n"
+      "  SELECT <cols|*> FROM t [JOIN u ON x = y] [WHERE expr]\n"
+      "    [ORDER BY c [DESC]] [LIMIT n];\n"
+      "  SELECT COUNT(*) FROM t [JOIN u ON x = y] [WHERE expr];\n"
+      "  SELECT g, SUM(m), COUNT(*), MIN(m), MAX(m), AVG(m) FROM t\n"
+      "    [WHERE expr] GROUP BY g;\n"
+      "Joined columns are qualified (t.c); WHERE expressions nest: =, !=,\n"
+      "<, <=, >, >=, IN (..), BETWEEN a AND b, NOT, AND, OR, parens — e.g.\n"
+      "  SELECT * FROM R JOIN U ON R.k = U.k WHERE a = 'x' AND (b > 3 OR\n"
+      "    NOT c IN (1, 2)) ORDER BY b DESC LIMIT 10;\n"
       "Dot commands:\n"
       "  .load <csv> <table>   .tables   .show <t>   .stats <t>\n"
       "  .count <t> <col> <op> <lit>     .advise decompose <t> (c,..) (c,..)\n"

@@ -41,6 +41,11 @@ PARTITION TABLE S INTO Cleaners, Others
 UNION TABLES Cleaners, Others INTO S;       -- ...and put it back
 SELECT Employee FROM S WHERE Skill = 'Light Cleaning'
   AND NOT Employee IN ('Nobody');           -- ...and query the new shape
+SELECT S.Employee, Skill, Address FROM S JOIN T ON S.Employee = T.Employee
+  WHERE AddressVerified = 0
+  ORDER BY Skill DESC LIMIT 4;              -- cross-table, still compressed
+SELECT Address, COUNT(*) FROM S JOIN T ON Employee = Employee
+  GROUP BY Address;                         -- skills on file per address
 )";
 
 const char kSampleData[] =

@@ -243,7 +243,9 @@ Result<WahBitmap> EvalLeafBitmap(const Table& table, const Expr& leaf) {
     negate = true;
     inner = leaf.children[0].get();
   }
-  CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByName(inner->column));
+  // References bind loosely: exact name, unique qualified suffix, or
+  // `<table>.<col>` of the probed table (cross-table WHERE clauses).
+  CODS_ASSIGN_OR_RETURN(auto col, table.ColumnByRef(inner->column));
   if (col->encoding() != ColumnEncoding::kWahBitmap) {
     return Status::InvalidArgument(
         "predicates require a WAH-encoded column; re-encode '" +

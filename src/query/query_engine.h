@@ -1,13 +1,20 @@
 // The unified query front door. A QueryRequest is the typed form of a
-// SELECT statement — projection / COUNT(*) / SUM(c) GROUP BY g over one
-// table with an optional predicate AST (query/expr.h) — and QueryEngine
-// executes it against the TableStore interface (storage/catalog.h). The
-// same request therefore runs on the live Catalog or on a
+// SELECT statement — projection / COUNT(*) / multi-aggregate GROUP BY
+// over one table or an equi-join of two — and QueryEngine executes it
+// against the TableStore interface (storage/catalog.h). The same
+// request therefore runs on the live Catalog or on a
 // StagedCatalog::View mid-script: queries and schema evolution share one
 // storage contract, one statement parser (smo/parser.h), and the same
 // compressed-domain WAH kernels (PAPER.md Figure 2).
 //
 // Execution shape:
+//   * JOIN runs compressed-to-compressed through CompressedEquiJoin
+//     (query/join.h): a dictionary vid-intersection classifies the join,
+//     the key–FK shape shrinks the scanning side with the PARTITION
+//     position-filter builders, the general shape lays value-clustered
+//     blocks out as fill runs. The join result carries qualified
+//     `<table>.<column>` names; references in the rest of the statement
+//     resolve through Schema::ResolveColumnRef.
 //   * WHERE compiles through EvalExpr / EvalExprCount — leaves in
 //     parallel on the ExecContext, k-way AND/OR combines, count-only
 //     kernels when no rows are materialized.
@@ -15,9 +22,13 @@
 //     same position-filter machinery as PARTITION TABLE; a request with
 //     no WHERE shares the input's column pointers outright (the §2.4
 //     "reuse unchanged columns" move, one pointer copy per column).
-//   * SUM(c) GROUP BY g runs as compressed AND-counts between group and
-//     measure bitmaps, one task per group, never materializing rows; a
-//     WHERE narrows each group bitmap with one compressed AND first.
+//   * GROUP BY runs every aggregate (SUM/COUNT/MIN/MAX/AVG) off ONE
+//     compressed AND per (group, measure-value) pair, never
+//     materializing rows; a WHERE narrows each group bitmap with one
+//     compressed AND first.
+//   * ORDER BY sorts on the total Value order (NaN after every real
+//     number) with a stable tiebreak on row position; LIMIT truncates
+//     before the output columns are built.
 //
 // Results are bit-identical at every thread count (the determinism
 // contract of src/exec/).
@@ -36,26 +47,66 @@
 
 namespace cods {
 
+/// One aggregate of a GROUP BY select list. `column` is empty only for
+/// COUNT(*).
+struct AggregateSpec {
+  enum class Kind { kSum, kCount, kMin, kMax, kAvg };
+  Kind kind = Kind::kSum;
+  std::string column;
+
+  static AggregateSpec Sum(std::string column);
+  static AggregateSpec Count(std::string column = "");  // "" = COUNT(*)
+  static AggregateSpec Min(std::string column);
+  static AggregateSpec Max(std::string column);
+  static AggregateSpec Avg(std::string column);
+
+  /// "SUM(Salary)", "COUNT(*)" — the statement-grammar rendering.
+  std::string ToString() const;
+};
+
+bool operator==(const AggregateSpec& a, const AggregateSpec& b);
+
 /// One query, in the shape the statement grammar produces:
 ///
-///   SELECT <columns|*>        FROM t [WHERE e]              -> kSelect
-///   SELECT COUNT(*)           FROM t [WHERE e]              -> kCount
-///   SELECT [g,] SUM(m)        FROM t [WHERE e] GROUP BY g   -> kGroupBySum
+///   SELECT <columns|*> FROM t [JOIN u ON x = y] [WHERE e]
+///     [ORDER BY c [DESC]] [LIMIT n]                        -> kSelect
+///   SELECT COUNT(*) FROM t [JOIN u ON x = y] [WHERE e]     -> kCount
+///   SELECT [g,] agg, ... FROM t [JOIN u ON x = y] [WHERE e]
+///     GROUP BY g                                           -> kGroupBy
 struct QueryRequest {
-  enum class Verb { kSelect, kCount, kGroupBySum };
+  enum class Verb { kSelect, kCount, kGroupBy };
 
   Verb verb = Verb::kSelect;
   std::string table;
 
-  /// kSelect: projected columns in request order; empty means all.
+  /// Optional equi-join: `table JOIN join_table ON join_left =
+  /// join_right`. The two references may be qualified (`t.c`); sides
+  /// are matched to tables at execution time.
+  std::string join_table;
+  std::string join_left;
+  std::string join_right;
+
+  /// kSelect: projected column references in request order; empty means
+  /// all. Duplicates (after resolution) are an error naming the
+  /// position.
   std::vector<std::string> columns;
 
   /// Optional predicate; null selects every row.
   ExprPtr where;
 
-  /// kGroupBySum: the grouping column and the summed measure.
+  /// kGroupBy: the grouping column and the aggregate list (request
+  /// order).
   std::string group_by;
-  std::string sum_column;
+  std::vector<AggregateSpec> aggregates;
+
+  /// kSelect: optional sort column and direction; rows order on the
+  /// total Value order (NaN last ascending), ties broken by input row
+  /// position (stable at every thread count).
+  std::string order_by;
+  bool order_desc = false;
+
+  /// kSelect: maximum rows of the result; negative = no limit.
+  int64_t limit = -1;
 
   /// kSelect: name of the result table.
   std::string out_name = "result";
@@ -66,23 +117,49 @@ struct QueryRequest {
                              ExprPtr where = nullptr,
                              std::string out_name = "result");
   static QueryRequest Count(std::string table, ExprPtr where = nullptr);
+  /// The single-aggregate back-compat shape: SELECT g, SUM(m) ... .
   static QueryRequest GroupBySum(std::string table, std::string group_by,
                                  std::string sum_column,
                                  ExprPtr where = nullptr);
+  static QueryRequest GroupBy(std::string table, std::string group_by,
+                              std::vector<AggregateSpec> aggregates,
+                              ExprPtr where = nullptr);
+
+  /// Adds the join clause to any request shape.
+  QueryRequest& JoinOn(std::string join_table, std::string left_ref,
+                       std::string right_ref);
+  /// Adds ORDER BY / LIMIT to a kSelect request.
+  QueryRequest& OrderBy(std::string column, bool desc = false);
+  QueryRequest& Limit(int64_t n);
 
   /// Renders the request in the statement grammar; re-parses to an
   /// equivalent request (the Statement round-trip contract).
   std::string ToString() const;
 };
 
+/// One output row of a GROUP BY query: the group value plus one Value
+/// per aggregate, in request order. SUM/AVG are doubles, COUNT is an
+/// int64, MIN/MAX carry the measure column's type — or NULL for a
+/// dictionary value with no rows (only possible without a WHERE, which
+/// keeps dictionary-complete output).
+struct GroupRow {
+  Value group;
+  std::vector<Value> aggregates;
+};
+
+bool operator==(const GroupRow& a, const GroupRow& b);
+
 /// The result of one request; the member matching the verb is set.
 struct QueryResult {
   QueryRequest::Verb verb = QueryRequest::Verb::kSelect;
   std::shared_ptr<const Table> table;                // kSelect
   uint64_t count = 0;                                // kCount
-  std::vector<std::pair<Value, double>> groups;      // kGroupBySum
+  std::vector<GroupRow> groups;                      // kGroupBy
+  std::vector<AggregateSpec> aggregates;             // kGroupBy header
 
-  /// Short human-readable rendering (the shell's default display).
+  /// Short human-readable rendering (the shell's default display). A
+  /// 0-row SELECT renders its schema header — an empty result is
+  /// distinguishable from a failed query.
   std::string ToString() const;
 };
 
@@ -93,20 +170,23 @@ class QueryEngine {
   /// `store` is not owned and must outlive the engine.
   explicit QueryEngine(const TableStore* store) : store_(store) {}
 
-  /// Resolves the request's table in the store and executes. The
-  /// request's WHERE binds (column lookup) at execution time, so an
+  /// Resolves the request's table(s) in the store and executes. The
+  /// request's references bind (column lookup) at execution time, so an
   /// unknown column is a KeyError naming the column.
   Result<QueryResult> Execute(const QueryRequest& request,
                               const ExecContext* ctx = nullptr) const;
 
   // ---- Table-level entry points ------------------------------------------
   //
-  // Execute() resolves the table and dispatches here; the legacy
+  // Execute() resolves the table(s) and dispatches here; the legacy
   // column_select.h shims call these directly with a table in hand.
 
   /// SELECT <columns> FROM table WHERE where. Null `where` selects all
-  /// rows; empty `columns` projects all. The key declaration survives
-  /// when every key column is retained.
+  /// rows; empty `columns` projects all. A column listed twice (after
+  /// reference resolution) is an error naming both positions; the key
+  /// declaration survives when every key column is retained — whether
+  /// implicitly or listed explicitly, a key column is projected exactly
+  /// once.
   static Result<std::shared_ptr<const Table>> SelectRows(
       const Table& table, const std::vector<std::string>& columns,
       const ExprPtr& where, const std::string& out_name,
@@ -116,15 +196,31 @@ class QueryEngine {
   static Result<uint64_t> CountRows(const Table& table, const ExprPtr& where,
                                     const ExecContext* ctx = nullptr);
 
-  /// SELECT group_by, SUM(sum_column) FROM table WHERE where GROUP BY
+  /// SELECT group_by, <aggregates> FROM table WHERE where GROUP BY
   /// group_by. Results are in dictionary (first-appearance) order of
   /// the group column. Without a WHERE every distinct value gets an
   /// entry (zero-count dictionary values included, as GroupByCount
-  /// does); with a WHERE, groups left without qualifying rows are
-  /// omitted (SQL GROUP BY semantics).
+  /// does; their MIN/MAX/AVG are NULL); with a WHERE, groups left
+  /// without qualifying rows are omitted (SQL GROUP BY semantics).
+  static Result<std::vector<GroupRow>> GroupByRows(
+      const Table& table, const std::string& group_by,
+      const std::vector<AggregateSpec>& aggregates, const ExprPtr& where,
+      const ExecContext* ctx = nullptr);
+
+  /// The single-SUM back-compat wrapper over GroupByRows.
   static Result<std::vector<std::pair<Value, double>>> GroupBySumRows(
       const Table& table, const std::string& group_by,
       const std::string& sum_column, const ExprPtr& where,
+      const ExecContext* ctx = nullptr);
+
+  /// ORDER BY order_by [DESC] LIMIT limit over `table`: rows reorder on
+  /// the total Value order of the sort column (NaN after every real
+  /// number), stable on input row position; a negative limit keeps
+  /// everything. `order_by` may be empty (pure LIMIT). Output columns
+  /// are rebuilt compressed from row → vid gathers.
+  static Result<std::shared_ptr<const Table>> SortRows(
+      const Table& table, const std::string& order_by, bool desc,
+      int64_t limit, const std::string& out_name,
       const ExecContext* ctx = nullptr);
 
  private:

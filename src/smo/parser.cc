@@ -19,9 +19,29 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;
-  int line = 0;
-  int column = 0;
+  // Byte offset of the token's first character in the SOURCE text. The
+  // single source of truth for positions: token text is DECODED (a
+  // doubled quote collapses to one character), so counting token
+  // characters would drift from the source — line/column are derived
+  // from this offset at report time instead.
+  size_t offset = 0;
 };
+
+// "line L, column C: " (1-based) of the byte at `offset`, derived by
+// scanning the source prefix — only ever paid on the error path.
+std::string FormatPosition(const std::string& text, size_t offset) {
+  size_t line = 1, column = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return "line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ": ";
+}
 
 class Lexer {
  public:
@@ -34,8 +54,7 @@ class Lexer {
       if (pos_ >= text_.size()) break;
       char c = text_[pos_];
       Token tok;
-      tok.line = line_;
-      tok.column = column_;
+      tok.offset = pos_;
       if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         tok.kind = TokenKind::kIdent;
         while (pos_ < text_.size() &&
@@ -64,7 +83,7 @@ class Lexer {
             tok.text += Advance();
           }
           if (pos_ >= text_.size()) {
-            return Status::InvalidArgument(Where(tok) +
+            return Status::InvalidArgument(FormatPosition(text_, tok.offset) +
                                            "unterminated string literal");
           }
           Advance();  // closing quote...
@@ -81,45 +100,28 @@ class Lexer {
           tok.text += Advance();
         }
         if (tok.text == "!") {
-          return Status::InvalidArgument(Where(tok) + "stray '!'");
+          return Status::InvalidArgument(FormatPosition(text_, tok.offset) +
+                                         "stray '!'");
         }
       } else if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=' ||
-                 c == '*') {
+                 c == '*' || c == '.') {
         tok.kind = TokenKind::kSymbol;
         tok.text += Advance();
       } else {
-        Token bad;
-        bad.line = line_;
-        bad.column = column_;
-        return Status::InvalidArgument(Where(bad) +
+        return Status::InvalidArgument(FormatPosition(text_, pos_) +
                                        std::string("unexpected character '") +
                                        c + "'");
       }
       out.push_back(std::move(tok));
     }
     Token end;
-    end.line = line_;
-    end.column = column_;
+    end.offset = pos_;
     out.push_back(end);
     return out;
   }
 
-  static std::string Where(const Token& tok) {
-    return "line " + std::to_string(tok.line + 1) + ", column " +
-           std::to_string(tok.column + 1) + ": ";
-  }
-
  private:
-  char Advance() {
-    char c = text_[pos_++];
-    if (c == '\n') {
-      ++line_;
-      column_ = 0;
-    } else {
-      ++column_;
-    }
-    return c;
-  }
+  char Advance() { return text_[pos_++]; }
 
   void SkipWhitespaceAndComments() {
     while (pos_ < text_.size()) {
@@ -137,13 +139,14 @@ class Lexer {
 
   const std::string& text_;
   size_t pos_ = 0;
-  int line_ = 0;
-  int column_ = 0;
 };
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  // `text` is the source the tokens were lexed from (positions in error
+  // messages derive from token byte offsets into it); not owned.
+  Parser(const std::string& text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
 
   // Parses the whole script. `where` (if given) receives one source-
   // position prefix ("line L, column C: ") per statement, so callers
@@ -154,7 +157,7 @@ class Parser {
     std::vector<Statement> out;
     while (!AtEnd()) {
       if (AcceptSymbol(";")) continue;
-      std::string position = Lexer::Where(Peek());
+      std::string position = FormatPosition(text_, Peek().offset);
       CODS_ASSIGN_OR_RETURN(Statement stmt, ParseOneStatement());
       out.push_back(std::move(stmt));
       if (where != nullptr) where->push_back(std::move(position));
@@ -295,58 +298,144 @@ class Parser {
 
   // ---- SELECT statements ---------------------------------------------------
   //
-  //   SELECT <*|cols|COUNT(*)|[g,] SUM(m)> FROM t [WHERE expr] [GROUP BY g]
+  //   SELECT <*|items> FROM t [JOIN u ON x = y] [WHERE expr]
+  //     [GROUP BY g] [ORDER BY c [ASC|DESC]] [LIMIT n]
+  //
+  // where an item is a (possibly qualified) column reference or an
+  // aggregate SUM/COUNT/MIN/MAX/AVG(col) / COUNT(*). A lone COUNT(*)
+  // without GROUP BY is the count verb; any aggregate list under a
+  // GROUP BY is the group-by verb; plain columns are the select verb.
+
+  // True iff the next tokens are `<agg-name> (` — an identifier alone
+  // may still be a column named "sum".
+  bool PeekAggregate(AggregateSpec::Kind* kind) const {
+    if (Peek().kind != TokenKind::kIdent) return false;
+    const Token& next = tokens_[pos_ + 1];
+    if (next.kind != TokenKind::kSymbol || next.text != "(") return false;
+    const std::string& name = Peek().text;
+    if (EqualsIgnoreCase(name, "SUM")) {
+      *kind = AggregateSpec::Kind::kSum;
+    } else if (EqualsIgnoreCase(name, "COUNT")) {
+      *kind = AggregateSpec::Kind::kCount;
+    } else if (EqualsIgnoreCase(name, "MIN")) {
+      *kind = AggregateSpec::Kind::kMin;
+    } else if (EqualsIgnoreCase(name, "MAX")) {
+      *kind = AggregateSpec::Kind::kMax;
+    } else if (EqualsIgnoreCase(name, "AVG")) {
+      *kind = AggregateSpec::Kind::kAvg;
+    } else {
+      return false;
+    }
+    return true;
+  }
 
   Result<QueryRequest> ParseSelect() {
     QueryRequest req;
-    bool saw_sum = false;
-    if (AcceptKeyword("COUNT")) {
-      CODS_RETURN_NOT_OK(ExpectSymbol("("));
-      CODS_RETURN_NOT_OK(ExpectSymbol("*"));
-      CODS_RETURN_NOT_OK(ExpectSymbol(")"));
-      req.verb = QueryRequest::Verb::kCount;
-    } else if (!AcceptSymbol("*")) {
+    std::vector<std::string> bare;           // plain column references
+    std::vector<AggregateSpec> aggs;
+    if (!AcceptSymbol("*")) {
       while (true) {
-        if (AcceptKeyword("SUM")) {
-          if (saw_sum) return Error("only one SUM(column) per query");
-          saw_sum = true;
+        const Token& item_start = Peek();
+        AggregateSpec::Kind kind;
+        if (PeekAggregate(&kind)) {
+          ++pos_;  // the aggregate name
           CODS_RETURN_NOT_OK(ExpectSymbol("("));
-          CODS_ASSIGN_OR_RETURN(req.sum_column, ExpectIdent("column name"));
+          AggregateSpec agg;
+          agg.kind = kind;
+          if (kind == AggregateSpec::Kind::kCount && AcceptSymbol("*")) {
+            // COUNT(*): empty column.
+          } else {
+            CODS_ASSIGN_OR_RETURN(agg.column, ParseColumnRef());
+          }
           CODS_RETURN_NOT_OK(ExpectSymbol(")"));
+          aggs.push_back(std::move(agg));
         } else {
-          CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
-          req.columns.push_back(std::move(col));
+          CODS_ASSIGN_OR_RETURN(std::string col, ParseColumnRef());
+          for (const std::string& prev : bare) {
+            if (prev == col) {
+              return ErrorAt(item_start, "duplicate column '" + col +
+                                             "' in the select list");
+            }
+          }
+          bare.push_back(std::move(col));
         }
         if (AcceptSymbol(",")) continue;
         break;
       }
-      if (saw_sum) req.verb = QueryRequest::Verb::kGroupBySum;
     }
     CODS_RETURN_NOT_OK(ExpectKeyword("FROM"));
     CODS_ASSIGN_OR_RETURN(req.table, ExpectIdent("table name"));
+    if (AcceptKeyword("JOIN")) {
+      CODS_ASSIGN_OR_RETURN(req.join_table, ExpectIdent("table name"));
+      CODS_RETURN_NOT_OK(ExpectKeyword("ON"));
+      CODS_ASSIGN_OR_RETURN(req.join_left, ParseColumnRef());
+      CODS_RETURN_NOT_OK(ExpectSymbol("="));
+      CODS_ASSIGN_OR_RETURN(req.join_right, ParseColumnRef());
+    }
     if (AcceptKeyword("WHERE")) {
       CODS_ASSIGN_OR_RETURN(req.where, ParseExpr());
     }
+    bool has_group = false;
     if (AcceptKeyword("GROUP")) {
       CODS_RETURN_NOT_OK(ExpectKeyword("BY"));
-      if (req.verb != QueryRequest::Verb::kGroupBySum) {
-        return Error("GROUP BY needs SUM(column) in the select list");
-      }
-      CODS_ASSIGN_OR_RETURN(req.group_by, ExpectIdent("column name"));
+      has_group = true;
+      CODS_ASSIGN_OR_RETURN(req.group_by, ParseColumnRef());
     }
-    if (req.verb == QueryRequest::Verb::kGroupBySum) {
-      if (req.group_by.empty()) {
-        return Error("SUM(column) needs a GROUP BY clause");
+    // Resolve the verb from the select-list shape.
+    if (aggs.size() == 1 && bare.empty() && !has_group &&
+        aggs[0].kind == AggregateSpec::Kind::kCount && aggs[0].column.empty()) {
+      req.verb = QueryRequest::Verb::kCount;
+    } else if (!aggs.empty()) {
+      req.verb = QueryRequest::Verb::kGroupBy;
+      if (!has_group) {
+        return Error("aggregates need a GROUP BY clause");
       }
       // The select list may additionally name only the group column;
       // the canonical (ToString) form always prints it.
-      for (const std::string& col : req.columns) {
+      for (const std::string& col : bare) {
         if (col != req.group_by) {
           return Error("the select list of a GROUP BY query may only name "
                        "the grouping column; got '" + col + "'");
         }
       }
-      req.columns.clear();
+      req.aggregates = std::move(aggs);
+    } else {
+      if (has_group) {
+        return Error("GROUP BY needs at least one aggregate in the select "
+                     "list");
+      }
+      req.verb = QueryRequest::Verb::kSelect;
+      req.columns = std::move(bare);
+    }
+    if (AcceptKeyword("ORDER")) {
+      CODS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (req.verb != QueryRequest::Verb::kSelect) {
+        return Error("ORDER BY applies to row-returning SELECTs only");
+      }
+      CODS_ASSIGN_OR_RETURN(req.order_by, ParseColumnRef());
+      if (AcceptKeyword("DESC")) {
+        req.order_desc = true;
+      } else {
+        (void)AcceptKeyword("ASC");
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (req.verb != QueryRequest::Verb::kSelect) {
+        return Error("LIMIT applies to row-returning SELECTs only");
+      }
+      const Token& tok = Peek();
+      Result<Value> n = tok.kind == TokenKind::kNumber &&
+                                tok.text.find_first_of(".eE") ==
+                                    std::string::npos
+                            ? Value::Parse(tok.text, DataType::kInt64)
+                            : Result<Value>(Status::InvalidArgument(""));
+      // Out-of-range literals fail Value::Parse; keep the positioned
+      // diagnostic uniform with every other parser error.
+      if (!n.ok() || n.ValueOrDie().int64() < 0) {
+        return Error("LIMIT wants a non-negative integer");
+      }
+      ++pos_;
+      req.limit = n.ValueOrDie().int64();
     }
     // Queries end hard at ';' (or end of input) — anything trailing is
     // noise worth a precise message, e.g. an over-closed parenthesis.
@@ -399,7 +488,7 @@ class Parser {
       CODS_RETURN_NOT_OK(ExpectSymbol(")"));
       return inner;
     }
-    CODS_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column name"));
+    CODS_ASSIGN_OR_RETURN(std::string column, ParseColumnRef());
     bool negate = AcceptKeyword("NOT");
     if (AcceptKeyword("IN")) {
       CODS_RETURN_NOT_OK(ExpectSymbol("("));
@@ -462,6 +551,17 @@ class Parser {
       CODS_ASSIGN_OR_RETURN(spec.key, ParseNameList());
     }
     return spec;
+  }
+
+  // A column reference: `col` or the qualified `table.col` (the shape
+  // Schema::ResolveColumnRef / Table::ResolveColumnRef understand).
+  Result<std::string> ParseColumnRef() {
+    CODS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("column name"));
+    if (AcceptSymbol(".")) {
+      CODS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      name += "." + col;
+    }
+    return name;
   }
 
   Result<std::vector<std::string>> ParseNameList() {
@@ -571,14 +671,16 @@ class Parser {
 
   // Builds an error Status carrying source position; convertible to any
   // Result<T> via the implicit Status constructor.
-  Status Error(const std::string& msg) const {
-    const Token& tok = Peek();
-    return Status::InvalidArgument(Lexer::Where(tok) + msg +
+  Status Error(const std::string& msg) const { return ErrorAt(Peek(), msg); }
+
+  Status ErrorAt(const Token& tok, const std::string& msg) const {
+    return Status::InvalidArgument(FormatPosition(text_, tok.offset) + msg +
                                    (tok.text.empty()
                                         ? std::string(" (at end of input)")
                                         : " (got '" + tok.text + "')"));
   }
 
+  const std::string& text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -606,7 +708,7 @@ std::string Statement::ToString() const {
 Result<std::vector<Statement>> ParseStatementScript(const std::string& text) {
   Lexer lexer(text);
   CODS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.ParseScript();
 }
 
@@ -623,7 +725,7 @@ Result<Statement> ParseStatement(const std::string& text) {
 Result<std::vector<Smo>> ParseSmoScript(const std::string& text) {
   Lexer lexer(text);
   CODS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   std::vector<std::string> where;
   CODS_ASSIGN_OR_RETURN(std::vector<Statement> script,
                         parser.ParseScript(&where));

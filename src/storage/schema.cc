@@ -47,6 +47,33 @@ bool Schema::HasColumn(const std::string& name) const {
   return ColumnIndex(name).ok();
 }
 
+Result<size_t> Schema::ResolveColumnRef(const std::string& ref) const {
+  if (auto exact = ColumnIndex(ref); exact.ok()) return exact;
+  // A plain reference may name a qualified column `t.c` by its suffix,
+  // provided exactly one column matches.
+  if (ref.find('.') == std::string::npos) {
+    const std::string suffix = "." + ref;
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& name = columns_[i].name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.size() == 1) return candidates[0];
+    if (candidates.size() > 1) {
+      std::string msg = "ambiguous column '" + ref + "': candidates";
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        msg += (i == 0 ? " " : ", ") + columns_[candidates[i]].name;
+      }
+      return Status::InvalidArgument(msg);
+    }
+  }
+  return Status::KeyError("no column named '" + ref + "'");
+}
+
 Result<std::vector<size_t>> Schema::KeyIndices() const {
   std::vector<size_t> out;
   out.reserve(key_.size());

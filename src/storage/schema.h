@@ -45,6 +45,13 @@ class Schema {
   Result<size_t> ColumnIndex(const std::string& name) const;
   bool HasColumn(const std::string& name) const;
 
+  /// Resolves a column REFERENCE, which is looser than an exact name:
+  /// an exact match wins; otherwise a plain reference `c` matches a
+  /// uniquely-determined qualified column `t.c` (the naming scheme of
+  /// cross-table query results). Ambiguous plain references error
+  /// naming every candidate.
+  Result<size_t> ResolveColumnRef(const std::string& ref) const;
+
   /// Indices of the declared key columns, in declaration order.
   Result<std::vector<size_t>> KeyIndices() const;
 

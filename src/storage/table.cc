@@ -44,6 +44,26 @@ Result<std::shared_ptr<const Column>> Table::ColumnByName(
   return columns_[idx];
 }
 
+Result<size_t> Table::ResolveColumnRef(const std::string& ref) const {
+  Result<size_t> direct = schema_.ResolveColumnRef(ref);
+  if (direct.ok()) return direct;
+  // `<this table>.<col>` strips the qualifier and retries, so the same
+  // reference shape works on a plain table and on a join result.
+  const std::string prefix = name_ + ".";
+  if (ref.size() > prefix.size() && ref.compare(0, prefix.size(), prefix) == 0) {
+    Result<size_t> stripped =
+        schema_.ResolveColumnRef(ref.substr(prefix.size()));
+    if (stripped.ok()) return stripped;
+  }
+  return direct;
+}
+
+Result<std::shared_ptr<const Column>> Table::ColumnByRef(
+    const std::string& ref) const {
+  CODS_ASSIGN_OR_RETURN(size_t idx, ResolveColumnRef(ref));
+  return columns_[idx];
+}
+
 Value Table::GetValue(uint64_t row, size_t col) const {
   CODS_CHECK(col < columns_.size());
   return columns_[col]->GetValue(row);

@@ -39,6 +39,14 @@ class Table {
   Result<std::shared_ptr<const Column>> ColumnByName(
       const std::string& name) const;
 
+  /// Resolves a column REFERENCE (Schema::ResolveColumnRef semantics),
+  /// additionally accepting `<table name>.<col>` for this table's own
+  /// columns — so `SELECT R.Employee FROM R` binds on a plain table and
+  /// qualified references bind on cross-table result schemas alike.
+  Result<size_t> ResolveColumnRef(const std::string& ref) const;
+  Result<std::shared_ptr<const Column>> ColumnByRef(
+      const std::string& ref) const;
+
   /// Value at (row, column); point lookup, O(compressed words).
   Value GetValue(uint64_t row, size_t col) const;
 

@@ -15,6 +15,7 @@
 #include "gtest/gtest.h"
 #include "query/column_executor.h"
 #include "query/column_select.h"
+#include "query/join.h"
 #include "query/query_engine.h"
 #include "workload/generator.h"
 
@@ -246,6 +247,79 @@ TEST(ParallelDeterminismTest, NestedExpressionEvaluation) {
       // order per group.
       EXPECT_EQ((*ref_group)[i], (*group)[i])
           << "expr group " << i << " @" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CompressedJoinPaths) {
+  // Both join shapes must be code-word identical at every thread
+  // count: the key-FK shape (position filters + gathered payload) and
+  // the general value-clustered shape.
+  WorkloadSpec spec;
+  spec.num_rows = 30'000;
+  spec.num_distinct = 500;
+  auto fk_pair = GenerateMergePair(spec);
+  ASSERT_TRUE(fk_pair.ok());
+  auto general_pair = GenerateGeneralMergePair(200, 6, 4);
+  ASSERT_TRUE(general_pair.ok());
+  ExecContext serial(1);
+  JoinStats ref_fk_stats, ref_gen_stats;
+  auto ref_fk = CompressedEquiJoin(*fk_pair->s, *fk_pair->t, 0, 0, "J",
+                                   &serial, &ref_fk_stats);
+  auto ref_gen = CompressedEquiJoin(*general_pair->s, *general_pair->t, 0, 0,
+                                    "J", &serial, &ref_gen_stats);
+  ASSERT_TRUE(ref_fk.ok()) << ref_fk.status().ToString();
+  ASSERT_TRUE(ref_gen.ok()) << ref_gen.status().ToString();
+  EXPECT_EQ(ref_fk_stats.path, "fk-right");
+  EXPECT_EQ(ref_gen_stats.path, "general");
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    JoinStats stats;
+    auto fk = CompressedEquiJoin(*fk_pair->s, *fk_pair->t, 0, 0, "J", &ctx,
+                                 &stats);
+    ASSERT_TRUE(fk.ok()) << fk.status().ToString();
+    EXPECT_EQ(stats.path, ref_fk_stats.path) << threads;
+    ExpectTablesIdentical(**ref_fk, **fk,
+                          "join fk @" + std::to_string(threads));
+    auto gen = CompressedEquiJoin(*general_pair->s, *general_pair->t, 0, 0,
+                                  "J", &ctx);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+    ExpectTablesIdentical(**ref_gen, **gen,
+                          "join general @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, OrderByLimitAndMultiAggregate) {
+  auto r = TestTable();
+  ExprPtr where = Expr::Compare(kKeyColumn, CompareOp::kLt,
+                                Value(static_cast<int64_t>(300)));
+  std::vector<AggregateSpec> aggs{
+      AggregateSpec::Sum(kPayloadColumn), AggregateSpec::Count(),
+      AggregateSpec::Min(kPayloadColumn), AggregateSpec::Max(kPayloadColumn),
+      AggregateSpec::Avg(kPayloadColumn)};
+  ExecContext serial(1);
+  auto ref_sorted = QueryEngine::SortRows(*r, kPayloadColumn, true, 5'000,
+                                          "sorted", &serial);
+  auto ref_group = QueryEngine::GroupByRows(*r, kDependentColumn, aggs,
+                                            where, &serial);
+  ASSERT_TRUE(ref_sorted.ok()) << ref_sorted.status().ToString();
+  ASSERT_TRUE(ref_group.ok()) << ref_group.status().ToString();
+  for (int threads : kThreadCounts) {
+    ExecContext ctx(threads);
+    auto sorted = QueryEngine::SortRows(*r, kPayloadColumn, true, 5'000,
+                                        "sorted", &ctx);
+    ASSERT_TRUE(sorted.ok());
+    ExpectTablesIdentical(**ref_sorted, **sorted,
+                          "order-by @" + std::to_string(threads));
+    auto group = QueryEngine::GroupByRows(*r, kDependentColumn, aggs, where,
+                                          &ctx);
+    ASSERT_TRUE(group.ok());
+    ASSERT_EQ(ref_group->size(), group->size());
+    for (size_t i = 0; i < group->size(); ++i) {
+      // Bit-identical Values: same AND-count sequence, same summation
+      // order per group, at every thread count.
+      EXPECT_TRUE((*ref_group)[i] == (*group)[i])
+          << "multi-agg group " << i << " @" << threads;
     }
   }
 }

@@ -311,6 +311,51 @@ TEST(Parser, LexerErrors) {
             std::string::npos);
 }
 
+TEST(Parser, ErrorPositionsAreExactSourceOffsets) {
+  // Positions derive from byte offsets into the SOURCE, so decoded
+  // token text (a doubled quote collapsing to one character) cannot
+  // skew the reported column of anything after it.
+  struct Case {
+    const char* text;
+    const char* position;  // expected "line L, column C" prefix
+  };
+  for (const Case& c : {
+           // 'it''s' spans source columns 27-33; FROBNICATE starts at 35.
+           Case{"SELECT * FROM t WHERE x = 'it''s' FROBNICATE;",
+                "line 1, column 35"},
+           // Two doubled quotes: 'a''b''c' is source columns 39-47.
+           Case{"PARTITION TABLE R INTO A, B WHERE x = 'a''b''c' ~;",
+                "line 1, column 49"},
+           // A doubled quote inside a multi-line script must not shift
+           // positions on LATER lines either.
+           Case{"SELECT COUNT(*) FROM t WHERE x = 'it''s';\n"
+                "DROP TABLE;",
+                "line 2, column 11"},
+           // The unterminated-string error points at the opening quote.
+           Case{"SELECT * FROM t WHERE x = 'oops;", "line 1, column 27"},
+           // Statement-mix errors (SMO-only surface) report the
+           // statement start, after a doubled-quote literal.
+           Case{"PARTITION TABLE R INTO A, B WHERE x = 'it''s';\n"
+                "  SELECT * FROM B;",
+                "line 2, column 3"},
+       }) {
+    Status st = ParseSmoScript(c.text).status();
+    ASSERT_FALSE(st.ok()) << c.text;
+    EXPECT_NE(st.message().find(c.position), std::string::npos)
+        << c.text << " -> " << st.ToString();
+  }
+}
+
+TEST(Parser, DuplicateSelectColumnErrorCarriesPosition) {
+  // The duplicate occurrence's own position is reported (satellite:
+  // duplicate projection columns are an error WITH a position).
+  Status st = ParseStatementScript("SELECT aa, b,\n  aa FROM t;").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2, column 3"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("duplicate column 'aa'"), std::string::npos);
+}
+
 TEST(Parser, ErrorAtEndOfInputSaysSo) {
   Status st = ParseSmoScript("COPY TABLE A TO").status();
   ASSERT_FALSE(st.ok());
@@ -352,13 +397,70 @@ TEST(Parser, SelectCountStar) {
 TEST(Parser, SelectGroupBySumForms) {
   QueryRequest q =
       ParseQuery("SELECT g, SUM(m) FROM T WHERE m > 0 GROUP BY g;");
-  EXPECT_EQ(q.verb, QueryRequest::Verb::kGroupBySum);
+  EXPECT_EQ(q.verb, QueryRequest::Verb::kGroupBy);
   EXPECT_EQ(q.group_by, "g");
-  EXPECT_EQ(q.sum_column, "m");
+  ASSERT_EQ(q.aggregates.size(), 1u);
+  EXPECT_EQ(q.aggregates[0], AggregateSpec::Sum("m"));
   // The bare-SUM form is the same query.
   QueryRequest bare = ParseQuery("SELECT SUM(m) FROM T GROUP BY g;");
-  EXPECT_EQ(bare.verb, QueryRequest::Verb::kGroupBySum);
+  EXPECT_EQ(bare.verb, QueryRequest::Verb::kGroupBy);
   EXPECT_EQ(bare.group_by, "g");
+}
+
+TEST(Parser, SelectMultiAggregateList) {
+  QueryRequest q = ParseQuery(
+      "SELECT g, SUM(m), COUNT(*), MIN(m), MAX(n), AVG(m) FROM T "
+      "GROUP BY g;");
+  EXPECT_EQ(q.verb, QueryRequest::Verb::kGroupBy);
+  EXPECT_EQ(q.group_by, "g");
+  ASSERT_EQ(q.aggregates.size(), 5u);
+  EXPECT_EQ(q.aggregates[0], AggregateSpec::Sum("m"));
+  EXPECT_EQ(q.aggregates[1], AggregateSpec::Count());
+  EXPECT_EQ(q.aggregates[2], AggregateSpec::Min("m"));
+  EXPECT_EQ(q.aggregates[3], AggregateSpec::Max("n"));
+  EXPECT_EQ(q.aggregates[4], AggregateSpec::Avg("m"));
+  // COUNT(*) under GROUP BY is the group-by verb, not the count verb.
+  QueryRequest counts = ParseQuery("SELECT g, COUNT(*) FROM T GROUP BY g;");
+  EXPECT_EQ(counts.verb, QueryRequest::Verb::kGroupBy);
+  ASSERT_EQ(counts.aggregates.size(), 1u);
+  EXPECT_EQ(counts.aggregates[0], AggregateSpec::Count());
+  // COUNT(col) names its column.
+  QueryRequest named = ParseQuery("SELECT COUNT(m) FROM T GROUP BY g;");
+  ASSERT_EQ(named.aggregates.size(), 1u);
+  EXPECT_EQ(named.aggregates[0], AggregateSpec::Count("m"));
+}
+
+TEST(Parser, SelectJoinClause) {
+  QueryRequest q = ParseQuery(
+      "SELECT a.x, b.z FROM a JOIN b ON a.x = b.y WHERE b.z > 3;");
+  EXPECT_EQ(q.verb, QueryRequest::Verb::kSelect);
+  EXPECT_EQ(q.table, "a");
+  EXPECT_EQ(q.join_table, "b");
+  EXPECT_EQ(q.join_left, "a.x");
+  EXPECT_EQ(q.join_right, "b.y");
+  EXPECT_EQ(q.columns, (std::vector<std::string>{"a.x", "b.z"}));
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->column, "b.z");
+  // Unqualified ON references parse too.
+  QueryRequest plain = ParseQuery("SELECT * FROM a JOIN b ON x = y;");
+  EXPECT_EQ(plain.join_left, "x");
+  EXPECT_EQ(plain.join_right, "y");
+}
+
+TEST(Parser, SelectOrderByAndLimit) {
+  QueryRequest q = ParseQuery(
+      "SELECT a, b FROM t WHERE a > 1 ORDER BY b DESC LIMIT 10;");
+  EXPECT_EQ(q.order_by, "b");
+  EXPECT_TRUE(q.order_desc);
+  EXPECT_EQ(q.limit, 10);
+  // ASC is the (explicit) default; LIMIT works alone.
+  QueryRequest asc = ParseQuery("SELECT * FROM t ORDER BY a ASC;");
+  EXPECT_EQ(asc.order_by, "a");
+  EXPECT_FALSE(asc.order_desc);
+  EXPECT_EQ(asc.limit, -1);
+  QueryRequest lim = ParseQuery("SELECT * FROM t LIMIT 0;");
+  EXPECT_TRUE(lim.order_by.empty());
+  EXPECT_EQ(lim.limit, 0);
 }
 
 TEST(Parser, NestedWhereExpression) {
@@ -449,18 +551,34 @@ TEST(Parser, SelectErrorPaths) {
            // FROM lexes as an identifier, so it is eaten as a column
            // name and the real FROM is found missing.
            Case{"SELECT FROM t;", "expected keyword 'FROM'"},
-           Case{"SELECT COUNT(x) FROM t;", "expected '*'"},
+           Case{"SELECT COUNT(x) FROM t;",
+                "aggregates need a GROUP BY clause"},
            Case{"SELECT a FROM;", "expected table name"},
            Case{"SELECT a, SUM(m) FROM t;",
-                "SUM(column) needs a GROUP BY clause"},
+                "aggregates need a GROUP BY clause"},
            Case{"SELECT a, SUM(m) FROM t GROUP BY g;",
                 "may only name the grouping column"},
            Case{"SELECT a FROM t GROUP BY a;",
-                "GROUP BY needs SUM(column)"},
-           Case{"SELECT SUM(a), SUM(b) FROM t GROUP BY g;",
-                "only one SUM(column)"},
-           Case{"SELECT COUNT(*) FROM t GROUP BY g;",
-                "GROUP BY needs SUM(column)"},
+                "GROUP BY needs at least one aggregate"},
+           Case{"SELECT SUM(*) FROM t GROUP BY g;", "expected column name"},
+           Case{"SELECT a, a FROM t;", "duplicate column 'a'"},
+           Case{"SELECT b.x, b.x FROM a JOIN b ON k = k;",
+                "duplicate column 'b.x'"},
+           Case{"SELECT * FROM a JOIN b;", "expected keyword 'ON'"},
+           Case{"SELECT * FROM a JOIN b ON x;", "expected '='"},
+           Case{"SELECT * FROM a JOIN b ON x = ;", "expected column name"},
+           Case{"SELECT * FROM t ORDER a;", "expected keyword 'BY'"},
+           Case{"SELECT * FROM t ORDER BY;", "expected column name"},
+           Case{"SELECT COUNT(*) FROM t ORDER BY a;",
+                "ORDER BY applies to row-returning SELECTs"},
+           Case{"SELECT g, SUM(m) FROM t GROUP BY g LIMIT 3;",
+                "LIMIT applies to row-returning SELECTs"},
+           Case{"SELECT * FROM t LIMIT -1;", "non-negative integer"},
+           Case{"SELECT * FROM t LIMIT 2.5;", "non-negative integer"},
+           Case{"SELECT * FROM t LIMIT x;", "non-negative integer"},
+           // Out-of-range literals keep the positioned diagnostic.
+           Case{"SELECT * FROM t LIMIT 99999999999999999999;",
+                "column 23: LIMIT wants a non-negative integer"},
        }) {
     Status st = ParseStatementScript(c.text).status();
     ASSERT_FALSE(st.ok()) << c.text;
@@ -485,7 +603,16 @@ TEST(Parser, SelectRoundTripThroughToString) {
         "SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y NOT BETWEEN 2.5 AND 3",
         "SELECT * FROM t WHERE NOT (a = 1 OR b != 2) AND c IN ('a', 'b')",
         "SELECT * FROM t WHERE NOT NOT a < 1e25",
-        "SELECT * FROM t WHERE (a = 1 AND b = 2) OR (a = 3 AND b = 4)"}) {
+        "SELECT * FROM t WHERE (a = 1 AND b = 2) OR (a = 3 AND b = 4)",
+        "SELECT * FROM a JOIN b ON a.x = b.y",
+        "SELECT a.x, b.z FROM a JOIN b ON x = y WHERE b.z > 3",
+        "SELECT COUNT(*) FROM a JOIN b ON a.x = b.y WHERE z = 1",
+        "SELECT g, SUM(m), COUNT(*), MIN(m), MAX(m), AVG(m) FROM T "
+        "GROUP BY g",
+        "SELECT g, COUNT(m) FROM a JOIN b ON x = y GROUP BY g",
+        "SELECT a, b FROM t ORDER BY b DESC LIMIT 10",
+        "SELECT * FROM t WHERE a > 1 ORDER BY a LIMIT 0",
+        "SELECT * FROM t LIMIT 7"}) {
     Statement first = ParseStatement(stmt).ValueOrDie();
     auto reparsed = ParseStatement(first.ToString());
     ASSERT_TRUE(reparsed.ok())
@@ -498,7 +625,13 @@ TEST(Parser, SelectRoundTripThroughToString) {
     EXPECT_EQ(first.query.table, second.query.table);
     EXPECT_EQ(first.query.columns, second.query.columns);
     EXPECT_EQ(first.query.group_by, second.query.group_by);
-    EXPECT_EQ(first.query.sum_column, second.query.sum_column);
+    EXPECT_TRUE(first.query.aggregates == second.query.aggregates) << stmt;
+    EXPECT_EQ(first.query.join_table, second.query.join_table);
+    EXPECT_EQ(first.query.join_left, second.query.join_left);
+    EXPECT_EQ(first.query.join_right, second.query.join_right);
+    EXPECT_EQ(first.query.order_by, second.query.order_by);
+    EXPECT_EQ(first.query.order_desc, second.query.order_desc);
+    EXPECT_EQ(first.query.limit, second.query.limit);
     ASSERT_EQ(first.query.where == nullptr, second.query.where == nullptr)
         << stmt;
     if (first.query.where != nullptr) {

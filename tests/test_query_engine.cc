@@ -8,6 +8,7 @@
 #include "evolution/engine.h"
 #include "gtest/gtest.h"
 #include "plan/staged_catalog.h"
+#include "query/join.h"
 #include "test_util.h"
 
 namespace cods {
@@ -114,17 +115,17 @@ TEST(QueryEngine, GroupBySumWithAndWithoutWhere) {
   auto all = engine.Execute(QueryRequest::GroupBySum("T", "g", "m"));
   ASSERT_TRUE(all.ok()) << all.status().ToString();
   ASSERT_EQ(all->groups.size(), 3u);
-  EXPECT_EQ(all->groups[0], (std::pair<Value, double>{Value("a"), 3.0}));
-  EXPECT_EQ(all->groups[1], (std::pair<Value, double>{Value("b"), 30.0}));
-  EXPECT_EQ(all->groups[2], (std::pair<Value, double>{Value("c"), 5.0}));
+  EXPECT_EQ(all->groups[0], (GroupRow{Value("a"), {Value(3.0)}}));
+  EXPECT_EQ(all->groups[1], (GroupRow{Value("b"), {Value(30.0)}}));
+  EXPECT_EQ(all->groups[2], (GroupRow{Value("c"), {Value(5.0)}}));
   // WHERE narrows each group: only m >= 2 rows contribute.
   auto narrowed = engine.Execute(QueryRequest::GroupBySum(
       "T", "g", "m",
       Expr::Compare("m", CompareOp::kGe, Value(int64_t{2}))));
   ASSERT_TRUE(narrowed.ok());
-  EXPECT_EQ(narrowed->groups[0].second, 2.0);
-  EXPECT_EQ(narrowed->groups[1].second, 30.0);
-  EXPECT_EQ(narrowed->groups[2].second, 5.0);
+  EXPECT_EQ(narrowed->groups[0].aggregates[0], Value(2.0));
+  EXPECT_EQ(narrowed->groups[1].aggregates[0], Value(30.0));
+  EXPECT_EQ(narrowed->groups[2].aggregates[0], Value(5.0));
   // A WHERE that leaves a group no qualifying rows drops the group
   // entirely (SQL GROUP BY semantics), rather than reporting a
   // phantom 0.
@@ -133,11 +134,155 @@ TEST(QueryEngine, GroupBySumWithAndWithoutWhere) {
       Expr::Compare("m", CompareOp::kGe, Value(int64_t{10}))));
   ASSERT_TRUE(only_b.ok());
   ASSERT_EQ(only_b->groups.size(), 1u);
-  EXPECT_EQ(only_b->groups[0], (std::pair<Value, double>{Value("b"), 30.0}));
+  EXPECT_EQ(only_b->groups[0], (GroupRow{Value("b"), {Value(30.0)}}));
   // String measures are a type error.
   EXPECT_TRUE(engine.Execute(QueryRequest::GroupBySum("T", "g", "g"))
                   .status()
                   .IsTypeError());
+}
+
+TEST(QueryEngine, GroupByMultiAggregate) {
+  Schema schema({{"g", DataType::kString, false},
+                 {"m", DataType::kInt64, false}},
+                {});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "T", schema,
+      {{Value("a"), Value(int64_t{1})},
+       {Value("a"), Value(int64_t{2})},
+       {Value("b"), Value(int64_t{10})},
+       {Value("b"), Value(int64_t{20})},
+       {Value("b"), Value(int64_t{30})},
+       {Value("c"), Value(int64_t{5})}})));
+  QueryEngine engine(&catalog);
+  auto result = engine.Execute(QueryRequest::GroupBy(
+      "T", "g",
+      {AggregateSpec::Sum("m"), AggregateSpec::Count(), AggregateSpec::Min("m"),
+       AggregateSpec::Max("m"), AggregateSpec::Avg("m")}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->groups.size(), 3u);
+  EXPECT_EQ(result->groups[0],
+            (GroupRow{Value("a"),
+                      {Value(3.0), Value(int64_t{2}), Value(int64_t{1}),
+                       Value(int64_t{2}), Value(1.5)}}));
+  EXPECT_EQ(result->groups[1],
+            (GroupRow{Value("b"),
+                      {Value(60.0), Value(int64_t{3}), Value(int64_t{10}),
+                       Value(int64_t{30}), Value(20.0)}}));
+  EXPECT_EQ(result->groups[2],
+            (GroupRow{Value("c"),
+                      {Value(5.0), Value(int64_t{1}), Value(int64_t{5}),
+                       Value(int64_t{5}), Value(5.0)}}));
+  // MIN/MAX run on strings too (total Value order); SUM on a string is
+  // still a type error; COUNT(col) equals COUNT(*) (no NULLs).
+  auto strings = engine.Execute(QueryRequest::GroupBy(
+      "T", "m", {AggregateSpec::Min("g"), AggregateSpec::Count("g")},
+      Expr::Compare("m", CompareOp::kLe, Value(int64_t{2}))));
+  ASSERT_TRUE(strings.ok()) << strings.status().ToString();
+  ASSERT_EQ(strings->groups.size(), 2u);
+  EXPECT_EQ(strings->groups[0],
+            (GroupRow{Value(int64_t{1}), {Value("a"), Value(int64_t{1})}}));
+  EXPECT_TRUE(engine
+                  .Execute(QueryRequest::GroupBy("T", "m",
+                                                 {AggregateSpec::Avg("g")}))
+                  .status()
+                  .IsTypeError());
+  // An aggregate-free request is rejected.
+  EXPECT_FALSE(engine.Execute(QueryRequest::GroupBy("T", "g", {})).ok());
+}
+
+TEST(QueryEngine, GroupByDictionaryCompleteGroupsAggregateToNull) {
+  // Without a WHERE, output is dictionary-complete: a value with no
+  // rows (possible after evolution shares dictionaries) keeps SUM=0 /
+  // COUNT=0 — and MIN/MAX/AVG are NULL, not a fabricated value.
+  Schema schema({{"g", DataType::kString, false},
+                 {"m", DataType::kInt64, false}},
+                {});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "T", schema,
+      {{Value("a"), Value(int64_t{4})}, {Value("b"), Value(int64_t{7})}})));
+  QueryEngine engine(&catalog);
+  auto filtered = QueryEngine::SelectRows(
+      *catalog.GetTable("T").ValueOrDie(), {},
+      Expr::Compare("g", CompareOp::kNe, Value("b")), "T2");
+  ASSERT_TRUE(filtered.ok());
+  auto groups = QueryEngine::GroupByRows(
+      **filtered, "g",
+      {AggregateSpec::Sum("m"), AggregateSpec::Count(), AggregateSpec::Min("m"),
+       AggregateSpec::Avg("m")},
+      nullptr);
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  ASSERT_EQ(groups->size(), 2u);
+  EXPECT_EQ((*groups)[0],
+            (GroupRow{Value("a"),
+                      {Value(4.0), Value(int64_t{1}), Value(int64_t{4}),
+                       Value(4.0)}}));
+  EXPECT_EQ((*groups)[1],
+            (GroupRow{Value("b"),
+                      {Value(0.0), Value(int64_t{0}), Value::Null(),
+                       Value::Null()}}));
+}
+
+TEST(QueryEngine, DuplicateProjectionColumnsAreAnErrorWithPositions) {
+  // Defined behavior: a column named twice in the projection — under
+  // any pair of references resolving to the same column — errors with
+  // both positions, instead of surfacing a schema-construction failure.
+  Catalog catalog = MakeCatalogWithR();
+  QueryEngine engine(&catalog);
+  auto dup = engine.Execute(
+      QueryRequest::Select("R", {"Skill", "Employee", "Skill"}, nullptr, "d"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate column 'Skill'"),
+            std::string::npos)
+      << dup.status().ToString();
+  EXPECT_NE(dup.status().message().find("positions 1 and 3"),
+            std::string::npos)
+      << dup.status().ToString();
+  // A qualified and a plain reference to the same column also collide.
+  auto mixed = engine.Execute(
+      QueryRequest::Select("R", {"R.Skill", "Skill"}, nullptr, "d2"));
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_NE(mixed.status().message().find("duplicate column 'Skill'"),
+            std::string::npos);
+}
+
+TEST(QueryEngine, ExplicitlyListedKeyIsProjectedExactlyOnce) {
+  Schema schema({{"k", DataType::kInt64, false},
+                 {"v", DataType::kInt64, false}},
+                {"k"});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 6; ++i) rows.push_back({Value(i), Value(i % 2)});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable("T", schema, rows)));
+  QueryEngine engine(&catalog);
+  // Naming the key explicitly (even via a qualified reference) yields
+  // exactly one key column and keeps the key declaration.
+  auto keyed = engine.Execute(
+      QueryRequest::Select("T", {"T.k", "v"}, nullptr, "p"));
+  ASSERT_TRUE(keyed.ok()) << keyed.status().ToString();
+  ASSERT_EQ(keyed->table->num_columns(), 2u);
+  EXPECT_EQ(keyed->table->schema().column(0).name, "k");
+  EXPECT_EQ(keyed->table->schema().key(), std::vector<std::string>{"k"});
+}
+
+TEST(QueryEngine, EmptySelectResultIsARealTableWithSchema) {
+  // A filtered-to-empty SELECT returns a real 0-row table whose
+  // rendering includes the schema header — distinguishable from a
+  // failed query (which returns a Status, never a table).
+  Catalog catalog = MakeCatalogWithR();
+  QueryEngine engine(&catalog);
+  auto empty = engine.Execute(QueryRequest::Select(
+      "R", {"Employee"},
+      Expr::Compare("Employee", CompareOp::kEq, Value("Nobody")), "none"));
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  ASSERT_NE(empty->table, nullptr);
+  EXPECT_EQ(empty->table->rows(), 0u);
+  EXPECT_EQ(empty->table->num_columns(), 1u);
+  std::string rendered = empty->ToString();
+  EXPECT_NE(rendered.find("none"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("Employee"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("0 rows"), std::string::npos) << rendered;
 }
 
 TEST(QueryEngine, ErrorsNameTheMissingPiece) {
@@ -199,6 +344,263 @@ TEST(QueryEngine, QueryAfterEvolutionSeesNewSchema) {
   ASSERT_TRUE(addresses.ok()) << addresses.status().ToString();
   EXPECT_EQ(addresses->table->rows(), 1u);
   EXPECT_EQ(addresses->table->GetValue(0, 0), Value("425 Grant Ave"));
+}
+
+Catalog MakeJoinCatalog() {
+  Catalog catalog;
+  Schema emp({{"Employee", DataType::kString, false},
+              {"Skill", DataType::kString, false}},
+             {});
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "S", emp,
+      {{Value("Jones"), Value("Typing")},
+       {Value("Jones"), Value("Shorthand")},
+       {Value("Ellis"), Value("Alchemy")},
+       {Value("Nobody"), Value("Idling")}})));
+  Schema addr({{"Employee", DataType::kString, false},
+               {"Address", DataType::kString, false}},
+              {"Employee"});
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "T", addr,
+      {{Value("Jones"), Value("425 Grant Ave")},
+       {Value("Ellis"), Value("747 Industrial Way")},
+       {Value("Harrison"), Value("425 Grant Ave")}})));
+  return catalog;
+}
+
+TEST(QueryEngine, JoinSelectQualifiesColumnsAndDropsUnmatchedRows) {
+  Catalog catalog = MakeJoinCatalog();
+  QueryEngine engine(&catalog);
+  QueryRequest req = QueryRequest::Select("S", {}, nullptr, "joined");
+  req.JoinOn("T", "S.Employee", "T.Employee");
+  auto result = engine.Execute(req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& j = *result->table;
+  // S's 'Nobody' has no address: inner-join semantics drop the row
+  // (MERGE TABLES would raise a foreign-key violation instead).
+  EXPECT_EQ(j.rows(), 3u);
+  ASSERT_EQ(j.num_columns(), 3u);
+  EXPECT_EQ(j.schema().column(0).name, "S.Employee");
+  EXPECT_EQ(j.schema().column(1).name, "S.Skill");
+  EXPECT_EQ(j.schema().column(2).name, "T.Address");
+  EXPECT_TRUE(j.ValidateInvariants().ok());
+  EXPECT_EQ(j.GetValue(0, 0), Value("Jones"));
+  EXPECT_EQ(j.GetValue(0, 2), Value("425 Grant Ave"));
+  EXPECT_EQ(j.GetValue(2, 0), Value("Ellis"));
+  EXPECT_EQ(j.GetValue(2, 2), Value("747 Industrial Way"));
+}
+
+TEST(QueryEngine, JoinWhereMixesBothSidesAndAliasesTheJoinColumn) {
+  Catalog catalog = MakeJoinCatalog();
+  QueryEngine engine(&catalog);
+  // WHERE references columns of both sides; projection references the
+  // ELIDED right join column (T.Employee), which aliases onto
+  // S.Employee.
+  QueryRequest req = QueryRequest::Select(
+      "S", {"T.Employee", "Skill"},
+      Expr::And({Expr::Compare("T.Address", CompareOp::kEq,
+                               Value("425 Grant Ave")),
+                 Expr::Compare("S.Skill", CompareOp::kNe, Value("Typing"))}),
+      "mixed");
+  req.JoinOn("T", "Employee", "Employee");
+  auto result = engine.Execute(req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table->rows(), 1u);
+  EXPECT_EQ(result->table->GetValue(0, 0), Value("Jones"));
+  EXPECT_EQ(result->table->GetValue(0, 1), Value("Shorthand"));
+  // COUNT and GROUP BY run over the join too.
+  QueryRequest count = QueryRequest::Count(
+      "S", Expr::Compare("T.Address", CompareOp::kEq,
+                         Value("425 Grant Ave")));
+  count.JoinOn("T", "Employee", "Employee");
+  EXPECT_EQ(engine.Execute(count).ValueOrDie().count, 2u);
+  QueryRequest grouped = QueryRequest::GroupBy(
+      "S", "T.Address", {AggregateSpec::Count()});
+  grouped.JoinOn("T", "Employee", "Employee");
+  auto groups = engine.Execute(grouped);
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  ASSERT_EQ(groups->groups.size(), 2u);
+  EXPECT_EQ(groups->groups[0],
+            (GroupRow{Value("425 Grant Ave"), {Value(int64_t{2})}}));
+  EXPECT_EQ(groups->groups[1],
+            (GroupRow{Value("747 Industrial Way"), {Value(int64_t{1})}}));
+}
+
+TEST(QueryEngine, JoinRejectsAmbiguityAndSelfJoin) {
+  Catalog catalog = MakeJoinCatalog();
+  QueryEngine engine(&catalog);
+  // Plain 'Employee' is ambiguous across the two sides of the join
+  // result — the elided right column aliases, but a plain reference to
+  // a column BOTH sides kept must error.
+  Schema extra({{"Employee", DataType::kString, false},
+                {"Skill", DataType::kString, false}},
+               {});
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "U", extra, {{Value("Jones"), Value("Typing")}})));
+  QueryRequest req = QueryRequest::Select("S", {"Skill"}, nullptr, "x");
+  req.JoinOn("U", "S.Employee", "U.Employee");
+  auto ambiguous = engine.Execute(req);
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_NE(ambiguous.status().message().find("ambiguous column 'Skill'"),
+            std::string::npos)
+      << ambiguous.status().ToString();
+  QueryRequest self = QueryRequest::Count("S");
+  self.JoinOn("S", "Employee", "Employee");
+  EXPECT_FALSE(engine.Execute(self).ok());
+}
+
+TEST(QueryEngine, BareReferenceToElidedJoinColumnIsAmbiguousWhenShadowed) {
+  // O(id, customer_id) JOIN C(id, city) ON O.customer_id = C.id: C.id
+  // is elided from the join result, so a bare 'id' would silently
+  // suffix-bind to O.id — a DIFFERENT column. SQL semantics: error as
+  // ambiguous; qualified references stay exact.
+  Schema orders({{"id", DataType::kInt64, false},
+                 {"customer_id", DataType::kInt64, false}},
+                {"id"});
+  Schema customers({{"id", DataType::kInt64, false},
+                    {"city", DataType::kString, false}},
+                   {"id"});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "O", orders,
+      {{Value(int64_t{100}), Value(int64_t{10})},
+       {Value(int64_t{101}), Value(int64_t{20})},
+       {Value(int64_t{102}), Value(int64_t{10})}})));
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "C", customers,
+      {{Value(int64_t{10}), Value("NY")}, {Value(int64_t{20}), Value("SF")}})));
+  QueryEngine engine(&catalog);
+  QueryRequest bare = QueryRequest::Count(
+      "O", Expr::Compare("id", CompareOp::kEq, Value(int64_t{10})));
+  bare.JoinOn("C", "O.customer_id", "C.id");
+  auto ambiguous = engine.Execute(bare);
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_NE(ambiguous.status().message().find("ambiguous column 'id'"),
+            std::string::npos)
+      << ambiguous.status().ToString();
+  // Qualified: C.id aliases onto the kept join column (= customer_id).
+  QueryRequest qualified = QueryRequest::Count(
+      "C", Expr::Compare("C.id", CompareOp::kEq, Value(int64_t{10})));
+  qualified.JoinOn("O", "C.id", "O.customer_id");
+  EXPECT_EQ(engine.Execute(qualified).ValueOrDie().count, 2u);
+  // COUNT(*) with no WHERE takes the count-only path: no columns are
+  // built, and the answer matches the materializing plan.
+  QueryRequest count_all = QueryRequest::Count("O");
+  count_all.JoinOn("C", "O.customer_id", "C.id");
+  EXPECT_EQ(engine.Execute(count_all).ValueOrDie().count, 3u);
+  JoinStats stats;
+  EXPECT_EQ(CompressedEquiJoinCount(*catalog.GetTable("O").ValueOrDie(),
+                                    *catalog.GetTable("C").ValueOrDie(), 1, 0,
+                                    &stats)
+                .ValueOrDie(),
+            3u);
+  EXPECT_EQ(stats.path, "count-only");
+}
+
+TEST(QueryEngine, OrderByAndLimit) {
+  Schema schema({{"k", DataType::kInt64, false},
+                 {"v", DataType::kInt64, false}},
+                {});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "T", schema,
+      {{Value(int64_t{0}), Value(int64_t{3})},
+       {Value(int64_t{1}), Value(int64_t{1})},
+       {Value(int64_t{2}), Value(int64_t{3})},
+       {Value(int64_t{3}), Value(int64_t{2})},
+       {Value(int64_t{4}), Value(int64_t{1})}})));
+  QueryEngine engine(&catalog);
+  // Ascending, stable on row position within equal keys.
+  QueryRequest asc = QueryRequest::Select("T");
+  asc.OrderBy("v");
+  auto up = engine.Execute(asc);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  std::vector<int64_t> ks;
+  for (const Row& row : up->table->Materialize()) {
+    ks.push_back(row[0].int64());
+  }
+  EXPECT_EQ(ks, (std::vector<int64_t>{1, 4, 3, 0, 2}));
+  // Descending reverses value buckets, not the tiebreak inside them.
+  QueryRequest desc = QueryRequest::Select("T");
+  desc.OrderBy("v", /*desc=*/true);
+  auto down = engine.Execute(desc);
+  ASSERT_TRUE(down.ok());
+  ks.clear();
+  for (const Row& row : down->table->Materialize()) {
+    ks.push_back(row[0].int64());
+  }
+  EXPECT_EQ(ks, (std::vector<int64_t>{0, 2, 3, 1, 4}));
+  // LIMIT truncates after the sort; a sort column outside the
+  // projection orders the rows but is not part of the result.
+  QueryRequest top = QueryRequest::Select("T", {"k"});
+  top.OrderBy("v", true).Limit(2);
+  auto limited = engine.Execute(top);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  ASSERT_EQ(limited->table->num_columns(), 1u);
+  ASSERT_EQ(limited->table->rows(), 2u);
+  EXPECT_EQ(limited->table->GetValue(0, 0), Value(int64_t{0}));
+  EXPECT_EQ(limited->table->GetValue(1, 0), Value(int64_t{2}));
+  // Pure LIMIT keeps input order; LIMIT past the row count is benign;
+  // ORDER BY on a count is rejected.
+  QueryRequest head = QueryRequest::Select("T");
+  head.Limit(3);
+  EXPECT_EQ(engine.Execute(head).ValueOrDie().table->rows(), 3u);
+  QueryRequest all = QueryRequest::Select("T");
+  all.Limit(99);
+  EXPECT_EQ(engine.Execute(all).ValueOrDie().table->rows(), 5u);
+  QueryRequest bad = QueryRequest::Count("T");
+  bad.OrderBy("v");
+  EXPECT_FALSE(engine.Execute(bad).ok());
+  // A QUALIFIED sort reference binds against the queried table, even
+  // though the filtered intermediate is renamed to the output name —
+  // with the sort column inside and outside the projection.
+  QueryRequest qualified = QueryRequest::Select("T", {"k", "v"});
+  qualified.OrderBy("T.v", true).Limit(1);
+  auto q = engine.Execute(qualified);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->table->GetValue(0, 0), Value(int64_t{0}));
+  QueryRequest qualified_out = QueryRequest::Select("T", {"k"});
+  qualified_out.OrderBy("T.v", true).Limit(1);
+  auto q2 = engine.Execute(qualified_out);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  ASSERT_EQ(q2->table->num_columns(), 1u);
+  EXPECT_EQ(q2->table->GetValue(0, 0), Value(int64_t{0}));
+}
+
+TEST(QueryEngine, OrderByNaNSortsLastAndMixedNumericsInterleave) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema({{"x", DataType::kDouble, false},
+                 {"tag", DataType::kInt64, false}},
+                {});
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(MakeTable(
+      "T", schema,
+      {{Value(2.5), Value(int64_t{0})},
+       {Value(nan), Value(int64_t{1})},
+       {Value(-1.0), Value(int64_t{2})},
+       {Value(nan), Value(int64_t{3})},
+       {Value(0.5), Value(int64_t{4})}})));
+  QueryEngine engine(&catalog);
+  QueryRequest asc = QueryRequest::Select("T");
+  asc.OrderBy("x");
+  auto up = engine.Execute(asc);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  std::vector<int64_t> tags;
+  for (const Row& row : up->table->Materialize()) {
+    tags.push_back(row[1].int64());
+  }
+  // NaNs order after every real number, stable among themselves.
+  EXPECT_EQ(tags, (std::vector<int64_t>{2, 4, 0, 1, 3}));
+  // DESC: NaNs first (bucket order reversed), tiebreak still by
+  // position.
+  QueryRequest desc = QueryRequest::Select("T");
+  desc.OrderBy("x", true);
+  tags.clear();
+  for (const Row& row :
+       engine.Execute(desc).ValueOrDie().table->Materialize()) {
+    tags.push_back(row[1].int64());
+  }
+  EXPECT_EQ(tags, (std::vector<int64_t>{1, 3, 0, 4, 2}));
 }
 
 TEST(QueryEngine, RequestToStringRoundTripsShape) {
