@@ -4,8 +4,18 @@
 // dot-commands for loading data, displaying tables, persistence,
 // versioning, and the cost advisor.
 //
-//   $ ./build/examples/cods_shell            # interactive
+//   $ ./build/examples/cods_shell            # interactive, in-memory
+//   $ ./build/examples/cods_shell --db mydb  # crash-safe directory
 //   $ echo 'LOAD r.csv INTO R; ...' | ./build/examples/cods_shell
+//
+// With --db <dir> the shell opens a durable database directory
+// (durability/db.h): recovery replays the WAL onto the last good
+// checkpoint at startup, every SMO script and .commit is WAL-logged and
+// fsync'd before being acknowledged, and the log auto-checkpoints as it
+// grows. `.checkpoint` forces a checkpoint; `.wal` shows durability
+// status. `.open`/`.checkout` are refused in --db mode because they
+// replace the catalog wholesale, which the statement WAL cannot
+// capture.
 //
 // Commands (';'-terminated SMO or SELECT statements, or one of):
 //   .load <csv-path> <table>     load a CSV file (schema inferred)
@@ -16,6 +26,7 @@
 //   .advise decompose <t> (cols) (cols)  cost advisor
 //   .save <path> / .open <path>  persist / load the whole catalog
 //   .commit <msg> / .log / .checkout <v>  versioning
+//   .checkpoint / .wal           durability (--db mode)
 //   .undo                        undo the last invertible operator
 //   .plan <file|script>          EXPLAIN a script's dependency DAG
 //   .runplan <file|script>       execute a script via the planner
@@ -23,13 +34,17 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <system_error>
 
 #include "common/string_util.h"
+#include "durability/db.h"
 #include "evolution/advisor.h"
 #include "evolution/engine.h"
 #include "evolution/inverse.h"
@@ -67,9 +82,27 @@ std::vector<std::string> ParseNameGroup(const std::string& group) {
   return names;
 }
 
+// Reads a whole file through std::ifstream with errno detail on failure.
+Result<std::string> SlurpFile(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path);
+  if (!in) {
+    std::string detail =
+        errno != 0 ? ": " + std::generic_category().message(errno) : "";
+    return Status::IOError("cannot open '" + path + "'" + detail);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 class Shell {
  public:
-  Shell() : engine_(versions_.working(), &observer_) {}
+  // `db` non-null switches the shell to durable (--db) mode; the plain
+  // members stay around but unused so both modes share one code path
+  // through versions()/ApplySmo().
+  explicit Shell(std::unique_ptr<DurableDb> db = nullptr)
+      : db_(std::move(db)), engine_(local_versions_.working(), &observer_) {}
 
   int Run(std::istream& in, bool interactive) {
     std::string line;
@@ -94,6 +127,17 @@ class Shell {
   }
 
  private:
+  VersionedCatalog& versions() {
+    return db_ != nullptr ? *db_->versions() : local_versions_;
+  }
+
+  // One SMO through whichever engine is live: the durable db's (logged,
+  // fsync'd) or the plain in-memory one.
+  Status ApplySmo(const Smo& smo) {
+    if (db_ != nullptr) return db_->ApplyScript({smo});
+    return engine_.Apply(smo);
+  }
+
   void RunScript(const std::string& text) {
     auto script = ParseStatementScript(text);
     if (!script.ok()) {
@@ -112,9 +156,9 @@ class Shell {
       const Smo& smo = stmt.smo;
       if (IsInvertible(smo.kind)) {
         // Best-effort logging; lossy ops simply are not undoable.
-        (void)log_.Record(smo, *versions_.working());
+        (void)log_.Record(smo, *versions().working());
       }
-      Status st = engine_.Apply(smo);
+      Status st = ApplySmo(smo);
       if (!st.ok()) {
         std::cout << "error: " << st.ToString() << "\n";
         return;
@@ -127,7 +171,7 @@ class Shell {
   // result: the table itself for a projection, the number for COUNT(*),
   // value/sum lines for GROUP BY.
   Status RunQuery(const QueryRequest& request) {
-    QueryEngine engine(versions_.working());
+    QueryEngine engine(versions().working());
     CODS_ASSIGN_OR_RETURN(QueryResult result, engine.Execute(request));
     switch (result.verb) {
       case QueryRequest::Verb::kSelect:
@@ -147,7 +191,7 @@ class Shell {
   bool DotCommand(const std::string& line) {
     std::vector<std::string> w = Words(line);
     const std::string& cmd = w[0];
-    Catalog& catalog = *versions_.working();
+    Catalog& catalog = *versions().working();
     if (cmd == ".quit" || cmd == ".exit") return false;
     if (cmd == ".help") {
       std::cout << kHelp;
@@ -176,20 +220,49 @@ class Shell {
     } else if (cmd == ".save" && w.size() == 2) {
       Report(SaveCatalog(catalog, w[1]));
     } else if (cmd == ".open" && w.size() == 2) {
-      Report(Open(w[1]));
+      if (db_ != nullptr) {
+        Report(Status::InvalidArgument(
+            ".open replaces the catalog outside the WAL; not available "
+            "in --db mode"));
+      } else {
+        Report(Open(w[1]));
+      }
     } else if (cmd == ".commit") {
       std::string msg = w.size() > 1 ? line.substr(line.find(w[1])) : "";
-      uint64_t v = versions_.Commit(msg);
-      std::cout << "committed version " << v << "\n";
+      Report(Commit(msg));
     } else if (cmd == ".log") {
-      for (const auto& info : versions_.History()) {
+      for (const auto& info : versions().History()) {
         std::cout << "  v" << info.id << ": " << info.message << " ("
                   << info.table_names.size() << " tables, "
                   << info.total_rows << " rows)\n";
       }
     } else if (cmd == ".checkout" && w.size() == 2) {
-      Report(versions_.Checkout(std::strtoull(w[1].c_str(), nullptr, 10)));
-      log_.Clear();  // the undo log refers to the abandoned timeline
+      if (db_ != nullptr) {
+        Report(Status::InvalidArgument(
+            ".checkout replaces the catalog outside the WAL; not "
+            "available in --db mode"));
+      } else {
+        Report(local_versions_.Checkout(
+            std::strtoull(w[1].c_str(), nullptr, 10)));
+        log_.Clear();  // the undo log refers to the abandoned timeline
+      }
+    } else if (cmd == ".checkpoint") {
+      if (db_ == nullptr) {
+        Report(Status::InvalidArgument(".checkpoint requires --db <dir>"));
+      } else {
+        Status st = db_->Checkpoint();
+        Report(st);
+        if (st.ok()) {
+          std::cout << "checkpointed at LSN "
+                    << db_->GetStats().checkpoint_lsn << "\n";
+        }
+      }
+    } else if (cmd == ".wal") {
+      if (db_ == nullptr) {
+        Report(Status::InvalidArgument(".wal requires --db <dir>"));
+      } else {
+        PrintWalStats();
+      }
     } else if (cmd == ".undo") {
       Report(Undo());
     } else if ((cmd == ".plan" || cmd == ".runplan") && w.size() >= 2) {
@@ -201,22 +274,50 @@ class Shell {
     return true;
   }
 
+  Status Commit(const std::string& msg) {
+    uint64_t v;
+    if (db_ != nullptr) {
+      CODS_ASSIGN_OR_RETURN(v, db_->CommitVersion(msg));
+    } else {
+      v = local_versions_.Commit(msg);
+    }
+    std::cout << "committed version " << v << "\n";
+    return Status::OK();
+  }
+
+  void PrintWalStats() {
+    DurableDbStats s = db_->GetStats();
+    std::cout << "wal: " << s.wal_bytes << " bytes, next LSN " << s.next_lsn
+              << ", durable LSN " << s.durable_lsn << "\n";
+    if (s.checkpoint_exists) {
+      std::cout << "checkpoint: covers LSN " << s.checkpoint_lsn << "\n";
+    } else {
+      std::cout << "checkpoint: none\n";
+    }
+    std::cout << "recovered at open: " << s.replayed_scripts << " scripts, "
+              << s.replayed_version_marks << " version marks"
+              << (s.recovered_torn_tail ? ", torn tail truncated" : "")
+              << "\n";
+    std::cout << "health: " << (s.healthy ? "ok" : s.health_message) << "\n";
+  }
+
   Status LoadCsv(const std::string& path, const std::string& table) {
-    CODS_ASSIGN_OR_RETURN(auto t, [&]() -> Result<std::shared_ptr<const Table>> {
-      std::ifstream in(path);
-      if (!in) return Status::IOError("cannot open '" + path + "'");
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      return CsvToTableInferred(buf.str(), table);
-    }());
-    CODS_RETURN_NOT_OK(versions_.working()->AddTable(t));
+    CODS_ASSIGN_OR_RETURN(std::string text, SlurpFile(path));
+    CODS_ASSIGN_OR_RETURN(auto t, CsvToTableInferred(text, table));
+    CODS_RETURN_NOT_OK(versions().working()->AddTable(t));
     std::cout << "loaded " << t->rows() << " rows into " << table << "\n";
+    // CSV loads are raw data, not statements — the WAL cannot replay
+    // them, so capture the new table in a checkpoint right away.
+    if (db_ != nullptr) {
+      CODS_RETURN_NOT_OK(db_->Checkpoint());
+      std::cout << "checkpointed (loads are not WAL-replayable)\n";
+    }
     return Status::OK();
   }
 
   Status Count(const std::string& table, const std::string& column,
                const std::string& op_text, const std::string& literal) {
-    CODS_ASSIGN_OR_RETURN(auto t, versions_.working()->GetTable(table));
+    CODS_ASSIGN_OR_RETURN(auto t, versions().working()->GetTable(table));
     CompareOp op;
     if (op_text == "=") {
       op = CompareOp::kEq;
@@ -244,7 +345,7 @@ class Shell {
 
   Status Advise(const std::string& table, const std::string& group1,
                 const std::string& group2) {
-    CODS_ASSIGN_OR_RETURN(auto t, versions_.working()->GetTable(table));
+    CODS_ASSIGN_OR_RETURN(auto t, versions().working()->GetTable(table));
     CODS_ASSIGN_OR_RETURN(auto est,
                           EstimateDecompose(*t, ParseNameGroup(group1),
                                             ParseNameGroup(group2)));
@@ -254,10 +355,10 @@ class Shell {
 
   Status Open(const std::string& path) {
     CODS_ASSIGN_OR_RETURN(Catalog loaded, LoadCatalog(path));
-    *versions_.working() = std::move(loaded);
+    *local_versions_.working() = std::move(loaded);
     log_.Clear();
     std::cout << "opened " << path << " ("
-              << versions_.working()->size() << " tables)\n";
+              << local_versions_.working()->size() << " tables)\n";
     return Status::OK();
   }
 
@@ -268,11 +369,7 @@ class Shell {
   Status Plan(const std::string& arg, bool run) {
     std::string text = arg;
     if (arg.find(';') == std::string::npos) {
-      std::ifstream in(arg);
-      if (!in) return Status::IOError("cannot open '" + arg + "'");
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      text = buf.str();
+      CODS_ASSIGN_OR_RETURN(text, SlurpFile(arg));
     }
     CODS_ASSIGN_OR_RETURN(std::vector<Smo> script, ParseSmoScript(text));
     ScriptPlan plan = PlanScript(script);
@@ -283,7 +380,11 @@ class Shell {
     // before executing, not only on success.
     log_.Clear();
     TaskGraphStats stats;
-    CODS_RETURN_NOT_OK(engine_.ApplyAllPlanned(script, &stats));
+    if (db_ != nullptr) {
+      CODS_RETURN_NOT_OK(db_->ApplyScriptPlanned(script, &stats));
+    } else {
+      CODS_RETURN_NOT_OK(engine_.ApplyAllPlanned(script, &stats));
+    }
     std::cout << "ok: " << stats.ran << " SMOs on " << stats.threads
               << " threads, peak " << stats.max_parallel
               << " in flight\n";
@@ -295,7 +396,7 @@ class Shell {
       return Status::InvalidArgument("nothing to undo");
     }
     Smo inverse = log_.UndoScript().front();
-    CODS_RETURN_NOT_OK(engine_.Apply(inverse));
+    CODS_RETURN_NOT_OK(ApplySmo(inverse));
     std::cout << "undid via: " << inverse.ToString() << "\n";
     // One-shot undo: recording deeper history would need the pre-states
     // of earlier operators, which are gone once undone.
@@ -305,7 +406,7 @@ class Shell {
 
   template <typename Fn>
   void WithTable(const std::string& name, Fn&& fn) {
-    auto t = versions_.working()->GetTable(name);
+    auto t = versions().working()->GetTable(name);
     if (!t.ok()) {
       std::cout << "error: " << t.status().ToString() << "\n";
       return;
@@ -334,11 +435,16 @@ class Shell {
       "  .load <csv> <table>   .tables   .show <t>   .stats <t>\n"
       "  .count <t> <col> <op> <lit>     .advise decompose <t> (c,..) (c,..)\n"
       "  .save <path>  .open <path>  .commit <msg>  .log  .checkout <v>\n"
+      "  .checkpoint             force a checkpoint + WAL reset (--db)\n"
+      "  .wal                    durability status: LSNs, sizes (--db)\n"
       "  .plan <file|script>     show a script's dependency-DAG plan\n"
       "  .runplan <file|script>  execute via planner (overlaps SMOs)\n"
-      "  .undo  .help  .quit\n";
+      "  .undo  .help  .quit\n"
+      "Started with --db <dir>, every statement is WAL-logged and fsync'd\n"
+      "before 'ok'; reopening the directory recovers the committed state.\n";
 
-  VersionedCatalog versions_;
+  std::unique_ptr<DurableDb> db_;
+  VersionedCatalog local_versions_;
   LoggingObserver observer_;
   EvolutionEngine engine_;
   EvolutionLog log_;
@@ -347,28 +453,52 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --threads N / --threads=N: worker count for the parallel execution
-  // layer (default: CODS_THREADS env var, else hardware concurrency).
+  // --threads N: worker count for the parallel execution layer (default:
+  // CODS_THREADS env var, else hardware concurrency).
+  // --db <dir>: open a crash-safe database directory (WAL + checkpoint).
+  std::string db_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    int threads = 0;
-    if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 10);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+    if (arg.rfind("--threads=", 0) == 0 || arg == "--threads") {
+      int threads = 0;
+      if (arg == "--threads" && i + 1 < argc) {
+        threads = std::atoi(argv[++i]);
+      } else if (arg != "--threads") {
+        threads = std::atoi(arg.c_str() + 10);
+      }
+      if (threads <= 0) {
+        std::cerr << "--threads wants a positive integer\n";
+        return 2;
+      }
+      SetDefaultThreads(threads);
+    } else if (arg.rfind("--db=", 0) == 0) {
+      db_dir = arg.substr(5);
+    } else if (arg == "--db" && i + 1 < argc) {
+      db_dir = argv[++i];
     } else {
-      std::cerr << "usage: cods_shell [--threads N]\n";
+      std::cerr << "usage: cods_shell [--threads N] [--db <dir>]\n";
       return 2;
     }
-    if (threads <= 0) {
-      std::cerr << "--threads wants a positive integer\n";
-      return 2;
+  }
+  std::unique_ptr<DurableDb> db;
+  if (!db_dir.empty()) {
+    auto opened = DurableDb::Open(Env::Default(), db_dir);
+    if (!opened.ok()) {
+      std::cerr << "cannot open database '" << db_dir
+                << "': " << opened.status().ToString() << "\n";
+      return 1;
     }
-    SetDefaultThreads(threads);
+    db = std::move(opened).ValueOrDie();
+    DurableDbStats s = db->GetStats();
+    std::cout << "opened durable db '" << db_dir << "' (recovered "
+              << s.replayed_scripts << " scripts, "
+              << s.replayed_version_marks << " version marks"
+              << (s.recovered_torn_tail ? ", torn tail truncated" : "")
+              << ")\n";
   }
   bool interactive = isatty(0);
   std::cout << "CODS shell — column-oriented database schema evolution\n"
             << "type .help for commands\n";
-  Shell shell;
+  Shell shell(std::move(db));
   return shell.Run(std::cin, interactive);
 }

@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace cods::crc32c {
+
+namespace {
+
+// Slice-by-4 lookup tables for the reflected Castagnoli polynomial,
+// generated once at startup (cheap: 4 KiB).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xFF] ^ tb.t[2][(c >> 8) & 0xFF] ^
+        tb.t[1][(c >> 16) & 0xFF] ^ tb.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p) & 0xFF];
+    ++p;
+    --n;
+  }
+  return ~c;
+}
+
+}  // namespace cods::crc32c

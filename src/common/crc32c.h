@@ -1,0 +1,43 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every WAL record and the v2 database-image footer.
+// Software slice-by-4 table implementation — no SSE4.2 dependency, same
+// results everywhere. Single-bit errors are always detected, which the
+// serde/WAL corruption sweeps rely on.
+
+#ifndef CODS_COMMON_CRC32C_H_
+#define CODS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cods::crc32c {
+
+/// Extends `crc` (the CRC32C of some prior byte string A) with the bytes
+/// of B, returning the CRC32C of A ++ B.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Value(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+// Stored CRCs are masked (LevelDB-style rotate-and-add) so a payload
+// that itself embeds CRC-carrying records — a WAL statement quoting WAL
+// bytes, a checkpoint of a catalog holding log text — cannot reproduce
+// its own stored checksum ("CRC of a CRC" degeneracy).
+inline constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+/// Masked form for storing in files.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask.
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace cods::crc32c
+
+#endif  // CODS_COMMON_CRC32C_H_

@@ -1,0 +1,386 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "common/logging.h"
+
+namespace cods {
+
+namespace {
+
+// "cannot open 'x': No such file or directory" — every POSIX failure
+// surfaces its errno this way.
+Status ErrnoStatus(const std::string& context, int err) {
+  return Status::IOError(context + ": " +
+                         std::generic_category().message(err));
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Fsyncs a directory so a rename/unlink inside it is durable.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("cannot open directory '" + dir + "'", errno);
+  Status st;
+  if (::fsync(fd) != 0) {
+    // Some file systems refuse fsync on directories (EINVAL); treat
+    // only real errors as failures.
+    if (errno != EINVAL) {
+      st = ErrnoStatus("cannot sync directory '" + dir + "'", errno);
+    }
+  }
+  ::close(fd);
+  return st;
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write to '" + path_ + "' failed", errno);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync of '" + path_ + "' failed", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus("close of '" + path_ + "' failed", errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override {
+    int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return ErrnoStatus("cannot open '" + path + "' for write", errno);
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("cannot open '" + path + "'", errno);
+    std::vector<uint8_t> data;
+    uint8_t buf[1 << 16];
+    for (;;) {
+      ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        Status st = ErrnoStatus("read of '" + path + "' failed", errno);
+        ::close(fd);
+        return st;
+      }
+      if (r == 0) break;
+      data.insert(data.end(), buf, buf + r);
+    }
+    ::close(fd);
+    return data;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("cannot stat '" + path + "'", errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus(
+          "cannot rename '" + from + "' to '" + to + "'", errno);
+    }
+    return SyncDir(ParentDir(to));
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("cannot delete '" + path + "'", errno);
+    }
+    return SyncDir(ParentDir(path));
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("cannot truncate '" + path + "'", errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+    if (errno == EEXIST) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        return Status::OK();
+      }
+      return Status::IOError("'" + path + "' exists and is not a directory");
+    }
+    return ErrnoStatus("cannot create directory '" + path + "'", errno);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return ErrnoStatus("cannot open directory '" + path + "'", errno);
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status WriteFile(Env* env, const std::string& path,
+                 const std::vector<uint8_t>& data) {
+  CODS_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path, false));
+  CODS_RETURN_NOT_OK(file->Append(data.data(), data.size()));
+  CODS_RETURN_NOT_OK(file->Sync());
+  return file->Close();
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::vector<uint8_t>& data) {
+  std::string tmp = path + ".tmp";
+  CODS_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(tmp, false));
+  CODS_RETURN_NOT_OK(file->Append(data.data(), data.size()));
+  CODS_RETURN_NOT_OK(file->Sync());
+  CODS_RETURN_NOT_OK(file->Close());
+  return env->RenameFile(tmp, path);
+}
+
+// ---- FaultInjectionEnv ------------------------------------------------------
+
+/// WritableFile decorator reporting every append/sync/close to the env.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env,
+                             std::unique_ptr<WritableFile> base,
+                             std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t n) override {
+    // Order matters: the bytes land in the base file first, THEN the
+    // crash may trip — so a crash "during" this append sees the bytes as
+    // part of the un-synced (droppable, tearable) suffix.
+    Status st = base_->Append(data, n);
+    if (st.ok()) env_->files_[path_].size += n;
+    Status fault = env_->MaybeFault();
+    if (!fault.ok()) return fault;
+    return st;
+  }
+
+  Status Sync() override {
+    if (env_->crashed_) return env_->MaybeFault();
+    if (env_->fail_syncs_ > 0) {
+      --env_->fail_syncs_;
+      ++env_->ops_;
+      return Status::IOError("injected fsync failure on '" + path_ + "'");
+    }
+    CODS_RETURN_NOT_OK(env_->MaybeFault());
+    CODS_RETURN_NOT_OK(base_->Sync());
+    FaultInjectionEnv::FileState& fs = env_->files_[path_];
+    fs.synced_size = fs.size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    CODS_RETURN_NOT_OK(env_->MaybeFault());
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed) {
+  CODS_CHECK(base_ != nullptr);
+}
+
+Status FaultInjectionEnv::MaybeFault() {
+  if (crashed_) return Status::IOError("simulated crash");
+  ++ops_;
+  if (crash_at_op_ != 0 && ops_ >= crash_at_op_) {
+    crashed_ = true;
+    ApplyCrash();
+    return Status::IOError("simulated crash");
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::ApplyCrash() {
+  // std::map iteration order is deterministic, so a given seed + crash
+  // point always produces the same post-crash disk.
+  for (const auto& [path, fs] : files_) {
+    if (fs.size <= fs.synced_size) continue;
+    uint64_t unsynced = fs.size - fs.synced_size;
+    uint64_t kept;
+    switch (rng_.Uniform(0, 2)) {
+      case 0:
+        kept = 0;  // whole un-synced suffix lost
+        break;
+      case 1:
+        kept = unsynced;  // suffix happened to reach disk
+        break;
+      default:
+        kept = static_cast<uint64_t>(rng_.Uniform(
+            0, static_cast<int64_t>(unsynced)));  // torn mid-suffix
+        break;
+    }
+    (void)base_->TruncateFile(path, fs.synced_size + kept);
+    // A torn sector may carry garbage: sometimes flip one bit inside the
+    // surviving un-synced part.
+    if (kept > 0 && rng_.NextBool(0.25)) {
+      auto data = base_->ReadFile(path);
+      if (data.ok()) {
+        uint64_t pos = fs.synced_size + static_cast<uint64_t>(rng_.Uniform(
+                                            0, static_cast<int64_t>(kept) - 1));
+        data.ValueOrDie()[pos] ^=
+            static_cast<uint8_t>(1u << rng_.Uniform(0, 7));
+        (void)WriteFile(base_, path, data.ValueOrDie());
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  CODS_RETURN_NOT_OK(MaybeFault());
+  CODS_ASSIGN_OR_RETURN(auto base, base_->NewWritableFile(path, append));
+  FileState fs;
+  if (append && base_->FileExists(path)) {
+    CODS_ASSIGN_OR_RETURN(uint64_t size, base_->GetFileSize(path));
+    // Pre-existing content is treated as already durable.
+    fs.synced_size = fs.size = size;
+  }
+  files_[path] = fs;
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(this, std::move(base),
+                                                   path));
+}
+
+Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFile(
+    const std::string& path) {
+  if (crashed_) return Status::IOError("simulated crash");
+  return base_->ReadFile(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  if (crashed_) return Status::IOError("simulated crash");
+  return base_->GetFileSize(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return !crashed_ && base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  CODS_RETURN_NOT_OK(MaybeFault());
+  CODS_RETURN_NOT_OK(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  } else {
+    files_.erase(to);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  CODS_RETURN_NOT_OK(MaybeFault());
+  CODS_RETURN_NOT_OK(base_->DeleteFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  CODS_RETURN_NOT_OK(MaybeFault());
+  CODS_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.size = std::min(it->second.size, size);
+    it->second.synced_size = std::min(it->second.synced_size, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& path) {
+  CODS_RETURN_NOT_OK(MaybeFault());
+  return base_->CreateDirIfMissing(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  if (crashed_) return Status::IOError("simulated crash");
+  return base_->ListDir(path);
+}
+
+}  // namespace cods

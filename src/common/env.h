@@ -1,0 +1,170 @@
+// Env: the file-system boundary of the durability subsystem, in the
+// style of RocksDB's Env. All durable I/O (WAL appends, checkpoint
+// images, SaveCatalog) goes through this interface so that
+//   * every failure carries errno detail in its Status, and
+//   * a FaultInjectionEnv decorator can deterministically simulate
+//     crashes, torn writes, dropped un-synced data, failed fsyncs, and
+//     bit flips — the recovery test harness (tests/test_recovery.cc)
+//     proves crash safety against exactly this model.
+//
+// Durability model (what PosixEnv guarantees, what FaultInjectionEnv
+// simulates):
+//   * WritableFile::Append buffers in the OS — data is durable only
+//     after a successful Sync (fsync).
+//   * RenameFile is atomic with respect to crashes and, because the
+//     parent directory is fsync'd, durable once it returns OK. The same
+//     holds for DeleteFile.
+//   * A crash loses any suffix of un-synced appends (possibly torn mid-
+//     record, possibly with garbage bits in the torn part); synced data
+//     and completed renames/deletes survive.
+
+#ifndef CODS_COMMON_ENV_H_
+#define CODS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace cods {
+
+/// An open file being appended to. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes. Durable only after Sync().
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Forces appended data to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Does NOT imply Sync.
+  virtual Status Close() = 0;
+};
+
+/// File-system operations. Implementations: PosixEnv (Env::Default())
+/// and FaultInjectionEnv.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens a file for writing: truncated to empty, or positioned at the
+  /// end when `append` is set (creating it either way).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) = 0;
+
+  /// Reads a whole file.
+  virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path) = 0;
+
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`; durable on OK return (the
+  /// parent directory is fsync'd).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes a file; durable on OK return.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Truncates (or extends with zeros) a closed file to `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+
+  /// Names of directory entries, sorted ("." and ".." excluded).
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Writes `data` to `path` non-atomically (open-truncate, append, sync,
+/// close). Harness helper; durable paths want WriteFileAtomic.
+Status WriteFile(Env* env, const std::string& path,
+                 const std::vector<uint8_t>& data);
+
+/// Writes `data` via temp file + Sync + atomic rename, so a crash at any
+/// point leaves either the old file or the complete new one — never a
+/// partial image. The temp file is `path` + ".tmp".
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::vector<uint8_t>& data);
+
+// ---- Fault injection --------------------------------------------------------
+
+/// Decorates a base Env with a deterministic (seeded) crash model for
+/// the recovery harness. Every fault-relevant operation (append, sync,
+/// close, rename, delete, truncate, open-for-write, mkdir) increments an
+/// operation counter; when the counter reaches `crash_at_op`, the env
+/// "crashes":
+///   * the tripping operation fails (a rename/delete does not happen; an
+///     append's bytes count as un-synced),
+///   * every file's un-synced suffix is — per seeded draw — dropped
+///     entirely, kept entirely, or torn at a random byte, optionally
+///     with a bit flipped inside the surviving un-synced part, and
+///   * all subsequent operations fail with "simulated crash".
+/// Re-opening the directory with a fresh env then sees exactly what a
+/// real post-crash mount would. Independently, FailNextSyncs(n) makes
+/// the next n Sync() calls fail with IOError *without* crashing, to
+/// exercise fsync-failure handling.
+///
+/// Model simplifications (documented contract, matching PosixEnv's
+/// guarantees): RenameFile and DeleteFile are atomic + immediately
+/// durable; directory creation is durable.
+class FaultInjectionEnv : public Env {
+ public:
+  FaultInjectionEnv(Env* base, uint64_t seed);
+  ~FaultInjectionEnv() override = default;
+
+  /// Arms the crash at the op with 1-based index `op` (0 disarms).
+  void SetCrashAtOp(uint64_t op) { crash_at_op_ = op; }
+  /// Makes the next `n` Sync() calls fail without crashing.
+  void FailNextSyncs(int n) { fail_syncs_ = n; }
+
+  bool crashed() const { return crashed_; }
+  /// Fault-relevant operations seen so far.
+  uint64_t op_count() const { return ops_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t synced_size = 0;  // bytes guaranteed to survive a crash
+    uint64_t size = 0;         // bytes written so far
+  };
+
+  /// Counts one fault-relevant op. Returns non-OK if the env already
+  /// crashed or if this op trips the crash.
+  Status MaybeFault();
+  /// Applies the data-loss model to the real file system.
+  void ApplyCrash();
+
+  Env* base_;
+  Rng rng_;
+  uint64_t ops_ = 0;
+  uint64_t crash_at_op_ = 0;
+  int fail_syncs_ = 0;
+  bool crashed_ = false;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace cods
+
+#endif  // CODS_COMMON_ENV_H_

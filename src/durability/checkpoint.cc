@@ -1,0 +1,24 @@
+#include "durability/checkpoint.h"
+
+#include "storage/serde.h"
+
+namespace cods {
+
+Status WriteCheckpoint(Env* env, const std::string& dir,
+                       const Catalog& catalog, uint64_t wal_lsn) {
+  return WriteFileAtomic(env, dir + "/" + kCheckpointFileName,
+                         SerializeCatalogV2(catalog, wal_lsn))
+      .WithContext("writing checkpoint");
+}
+
+Result<CheckpointContents> ReadCheckpoint(Env* env, const std::string& dir) {
+  CODS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> image,
+      env->ReadFile(dir + "/" + kCheckpointFileName));
+  CheckpointContents out;
+  CODS_ASSIGN_OR_RETURN(out.catalog,
+                        DeserializeCatalog(image, &out.wal_lsn));
+  return out;
+}
+
+}  // namespace cods

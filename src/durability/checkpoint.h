@@ -1,0 +1,45 @@
+// Checksummed catalog checkpoints: the durable base image the WAL suffix
+// replays onto. A checkpoint is a serde v2 database image (CRC32C
+// footer, storage/serde.h) recording the WAL LSN it covers, written
+// temp-file → fsync → atomic rename — a crash at any point leaves either
+// the previous good checkpoint or the complete new one, never a partial
+// image.
+//
+// Recovery contract: load the last good checkpoint (its covering LSN is
+// in the footer), then replay every WAL entry with a commit LSN greater
+// than it. By the engine's determinism contract the result is
+// bit-identical — per-column WAH code words included — to the catalog
+// at the committed-WAL-prefix state.
+
+#ifndef CODS_DURABILITY_CHECKPOINT_H_
+#define CODS_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/env.h"
+#include "storage/catalog.h"
+
+namespace cods {
+
+/// File names inside a database directory.
+inline constexpr const char* kCheckpointFileName = "CHECKPOINT";
+inline constexpr const char* kWalFileName = "wal.log";
+
+/// A loaded checkpoint.
+struct CheckpointContents {
+  Catalog catalog;
+  /// WAL LSN the image covers; entries with commit LSN > this replay.
+  uint64_t wal_lsn = 0;
+};
+
+/// Atomically (re)writes `dir`/CHECKPOINT covering `wal_lsn`.
+Status WriteCheckpoint(Env* env, const std::string& dir,
+                       const Catalog& catalog, uint64_t wal_lsn);
+
+/// Loads `dir`/CHECKPOINT, verifying its checksum and table invariants.
+Result<CheckpointContents> ReadCheckpoint(Env* env, const std::string& dir);
+
+}  // namespace cods
+
+#endif  // CODS_DURABILITY_CHECKPOINT_H_

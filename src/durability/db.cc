@@ -1,0 +1,204 @@
+#include "durability/db.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "durability/checkpoint.h"
+#include "smo/parser.h"
+
+namespace cods {
+
+namespace {
+
+// Replays one committed script entry against `catalog`. The statements
+// were parsed from engine-produced `Smo::ToString` text and succeeded
+// once, so any parse or apply failure here means the log (or the code)
+// no longer matches the catalog — a hard corruption, not a user error.
+Status ReplayScript(const WalEntry& entry, Catalog* catalog,
+                    const EngineOptions& engine_options) {
+  EngineOptions opts = engine_options;
+  opts.wal = nullptr;  // replay must not re-log
+  EvolutionEngine engine(catalog, /*observer=*/nullptr, opts);
+  for (uint32_t i = 0; i < entry.applied; ++i) {
+    CODS_ASSIGN_OR_RETURN(Smo smo, ParseSmoStatement(entry.statements[i]));
+    Status st = engine.Apply(smo);
+    if (!st.ok()) {
+      return Status::Corruption(
+          "WAL replay diverged at LSN " + std::to_string(entry.begin_lsn) +
+          ", statement " + std::to_string(i) + ": " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableDb>> DurableDb::Open(Env* env,
+                                                   const std::string& dir,
+                                                   DurableDbOptions options) {
+  CODS_RETURN_NOT_OK(
+      env->CreateDirIfMissing(dir).WithContext("opening database directory"));
+  std::unique_ptr<DurableDb> db(
+      new DurableDb(env, dir, std::move(options)));
+
+  // A crash during WriteCheckpoint can leave its temp file behind; the
+  // rename never happened, so it is garbage.
+  const std::string stale_tmp = db->CheckpointPath() + ".tmp";
+  if (env->FileExists(stale_tmp)) {
+    CODS_RETURN_NOT_OK(
+        env->DeleteFile(stale_tmp).WithContext("removing stale checkpoint"));
+  }
+
+  if (env->FileExists(db->CheckpointPath())) {
+    CODS_ASSIGN_OR_RETURN(CheckpointContents ckpt,
+                          ReadCheckpoint(env, db->dir_));
+    *db->versions_.working() = std::move(ckpt.catalog);
+    db->checkpoint_lsn_ = ckpt.wal_lsn;
+  }
+
+  uint64_t max_lsn = db->checkpoint_lsn_;
+  if (env->FileExists(db->WalPath())) {
+    CODS_ASSIGN_OR_RETURN(WalContents wal, ReadWal(env, db->WalPath()));
+    if (wal.tail_dropped) {
+      // Physically discard the torn/uncommitted tail so the reopened
+      // writer appends after the last committed record.
+      CODS_RETURN_NOT_OK(
+          env->TruncateFile(db->WalPath(), wal.committed_bytes)
+              .WithContext("truncating torn WAL tail"));
+      db->recovered_torn_tail_ = true;
+    }
+    for (const WalEntry& entry : wal.entries) {
+      if (entry.commit_lsn <= db->checkpoint_lsn_) {
+        if (entry.begin_lsn > db->checkpoint_lsn_) {
+          return Status::Corruption(
+              "checkpoint LSN " + std::to_string(db->checkpoint_lsn_) +
+              " falls inside WAL entry [" +
+              std::to_string(entry.begin_lsn) + ", " +
+              std::to_string(entry.commit_lsn) + "]");
+        }
+        continue;  // already covered by the checkpoint image
+      }
+      if (entry.kind == WalEntry::Kind::kVersionMark) {
+        db->versions_.Commit(entry.message);
+        ++db->replayed_marks_;
+      } else {
+        CODS_RETURN_NOT_OK(ReplayScript(entry, db->versions_.working(),
+                                        db->options_.engine));
+        ++db->replayed_scripts_;
+      }
+    }
+    max_lsn = std::max(max_lsn, wal.max_lsn);
+  }
+
+  CODS_ASSIGN_OR_RETURN(db->wal_,
+                        WalWriter::Open(env, db->WalPath(), max_lsn + 1));
+  db->RebuildEngine();
+  return db;
+}
+
+std::string DurableDb::WalPath() const {
+  return dir_ + "/" + kWalFileName;
+}
+
+std::string DurableDb::CheckpointPath() const {
+  return dir_ + "/" + kCheckpointFileName;
+}
+
+Status DurableDb::Healthy() const {
+  CODS_RETURN_NOT_OK(failed_);
+  return wal_->health();
+}
+
+void DurableDb::RebuildEngine() {
+  EngineOptions opts = options_.engine;
+  opts.wal = wal_.get();
+  engine_ = std::make_unique<EvolutionEngine>(versions_.working(),
+                                              /*observer=*/nullptr, opts);
+}
+
+Status DurableDb::ApplyScript(const std::vector<Smo>& script) {
+  CODS_RETURN_NOT_OK(Healthy());
+  Status st = engine_->ApplyAll(script);
+  MaybeAutoCheckpoint();
+  return st;
+}
+
+Status DurableDb::ApplyScriptPlanned(const std::vector<Smo>& script,
+                                     TaskGraphStats* stats) {
+  CODS_RETURN_NOT_OK(Healthy());
+  Status st = engine_->ApplyAllPlanned(script, stats);
+  MaybeAutoCheckpoint();
+  return st;
+}
+
+Result<uint64_t> DurableDb::CommitVersion(const std::string& message) {
+  CODS_RETURN_NOT_OK(Healthy());
+  // Mark first: if the append or its fsync fails, the in-memory history
+  // is untouched and the writer is poisoned.
+  CODS_RETURN_NOT_OK(wal_->AppendVersionMark(message));
+  return versions_.Commit(message);
+}
+
+Status DurableDb::Checkpoint() {
+  CODS_RETURN_NOT_OK(Healthy());
+  // Scripts commit at record boundaries and every committed record is
+  // fsync'd, so everything up to next_lsn-1 is durable and reflected in
+  // the working catalog.
+  const uint64_t covering_lsn = wal_->next_lsn() - 1;
+  CODS_RETURN_NOT_OK(
+      WriteCheckpoint(env_, dir_, *versions_.working(), covering_lsn));
+  checkpoint_lsn_ = covering_lsn;
+  // Reset the WAL: its entries are all covered now. A crash between the
+  // checkpoint rename and the reopen below is safe — recovery skips
+  // entries with commit LSN <= the checkpoint's covering LSN.
+  const uint64_t next_lsn = wal_->next_lsn();
+  wal_.reset();
+  Status st = env_->DeleteFile(WalPath()).WithContext("resetting WAL");
+  if (st.ok()) {
+    Result<std::unique_ptr<WalWriter>> reopened =
+        WalWriter::Open(env_, WalPath(), next_lsn);
+    if (reopened.ok()) {
+      wal_ = std::move(reopened).ValueOrDie();
+    } else {
+      st = reopened.status();
+    }
+  }
+  if (!st.ok()) {
+    // The db has no log to write to; poison it. The directory itself is
+    // consistent — reopening recovers from the checkpoint.
+    failed_ = st;
+    return st;
+  }
+  RebuildEngine();
+  return Status::OK();
+}
+
+void DurableDb::MaybeAutoCheckpoint() {
+  if (options_.auto_checkpoint_wal_bytes == 0) return;
+  if (failed_.ok() && wal_ != nullptr && wal_->health().ok() &&
+      wal_->size_bytes() >= options_.auto_checkpoint_wal_bytes) {
+    // Best-effort: a failure poisons the db via failed_, and the next
+    // mutation reports it.
+    (void)Checkpoint();
+  }
+}
+
+DurableDbStats DurableDb::GetStats() const {
+  DurableDbStats s;
+  s.checkpoint_lsn = checkpoint_lsn_;
+  s.replayed_scripts = replayed_scripts_;
+  s.replayed_version_marks = replayed_marks_;
+  s.recovered_torn_tail = recovered_torn_tail_;
+  s.checkpoint_exists = env_->FileExists(CheckpointPath());
+  if (wal_ != nullptr) {
+    s.next_lsn = wal_->next_lsn();
+    s.durable_lsn = wal_->durable_lsn();
+    s.wal_bytes = wal_->size_bytes();
+  }
+  Status health = Healthy();
+  s.healthy = health.ok();
+  if (!s.healthy) s.health_message = health.message();
+  return s;
+}
+
+}  // namespace cods

@@ -1,0 +1,290 @@
+#include "durability/wal.h"
+
+#include "common/crc32c.h"
+#include "storage/serde.h"  // BinaryWriter / BinaryReader
+
+namespace cods {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;  // length:u32 crc:u32
+// Sanity cap against corrupted length prefixes (cf. serde.cc).
+constexpr uint32_t kMaxRecordLen = 1u << 28;
+
+uint32_t ReadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+struct ParsedRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kBegin;
+  std::string text;     // kStatement / kVersionMark
+  uint32_t applied = 0;  // kCommit
+};
+
+enum class ParseOutcome {
+  kOk,
+  kIncomplete,  // ran off the end of the file (torn append)
+  kBad,         // checksum or structure mismatch
+};
+
+ParseOutcome TryParseRecord(const uint8_t* data, size_t size, size_t pos,
+                            ParsedRecord* rec, size_t* end) {
+  if (pos + kHeaderSize > size) return ParseOutcome::kIncomplete;
+  uint32_t len = ReadLE32(data + pos);
+  uint32_t stored_crc = ReadLE32(data + pos + 4);
+  if (len > kMaxRecordLen) return ParseOutcome::kBad;
+  if (pos + kHeaderSize + len > size) return ParseOutcome::kIncomplete;
+  const uint8_t* payload = data + pos + kHeaderSize;
+  if (crc32c::Mask(crc32c::Value(payload, len)) != stored_crc) {
+    return ParseOutcome::kBad;
+  }
+  BinaryReader in(payload, len);
+  auto lsn = in.U64();
+  auto type_byte = in.U8();
+  if (!lsn.ok() || !type_byte.ok()) return ParseOutcome::kBad;
+  rec->lsn = lsn.ValueOrDie();
+  switch (type_byte.ValueOrDie()) {
+    case static_cast<uint8_t>(WalRecordType::kBegin):
+      rec->type = WalRecordType::kBegin;
+      break;
+    case static_cast<uint8_t>(WalRecordType::kStatement): {
+      rec->type = WalRecordType::kStatement;
+      auto text = in.Str();
+      if (!text.ok()) return ParseOutcome::kBad;
+      rec->text = std::move(text).ValueOrDie();
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kCommit): {
+      rec->type = WalRecordType::kCommit;
+      auto applied = in.U32();
+      if (!applied.ok()) return ParseOutcome::kBad;
+      rec->applied = applied.ValueOrDie();
+      break;
+    }
+    case static_cast<uint8_t>(WalRecordType::kVersionMark): {
+      rec->type = WalRecordType::kVersionMark;
+      auto text = in.Str();
+      if (!text.ok()) return ParseOutcome::kBad;
+      rec->text = std::move(text).ValueOrDie();
+      break;
+    }
+    default:
+      return ParseOutcome::kBad;
+  }
+  if (!in.AtEnd()) return ParseOutcome::kBad;
+  *end = pos + kHeaderSize + len;
+  return ParseOutcome::kOk;
+}
+
+// The torn-tail / hard-corruption distinction. The writer fsyncs after
+// every COMMIT and VERSION record before the next entry may start, so
+// the un-synced suffix a crash can damage never holds the start of a
+// SECOND entry — at most the one in-flight entry's records (whose own
+// intact COMMIT may survive a bit flip earlier in the entry). A valid
+// BEGIN or VERSION record past the bad bytes therefore proves the
+// damage sits in fsynced, committed history: hard corruption. A bare
+// STMT/COMMIT tail is the in-flight entry's remnant: torn tail.
+bool NewEntryFollows(const uint8_t* data, size_t size, size_t from) {
+  ParsedRecord rec;
+  size_t end;
+  for (size_t pos = from; pos + kHeaderSize <= size; ++pos) {
+    if (TryParseRecord(data, size, pos, &rec, &end) == ParseOutcome::kOk &&
+        (rec.type == WalRecordType::kBegin ||
+         rec.type == WalRecordType::kVersionMark)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<WalContents> ReadWal(Env* env, const std::string& path) {
+  CODS_ASSIGN_OR_RETURN(std::vector<uint8_t> data, env->ReadFile(path));
+  WalContents out;
+  const uint8_t* bytes = data.data();
+  const size_t size = data.size();
+
+  size_t pos = 0;
+  bool have_prev_lsn = false;
+  uint64_t prev_lsn = 0;
+  bool pending = false;
+  WalEntry script;
+  bool bad_tail = false;
+
+  while (pos < size) {
+    ParsedRecord rec;
+    size_t end = 0;
+    ParseOutcome outcome = TryParseRecord(bytes, size, pos, &rec, &end);
+    if (outcome != ParseOutcome::kOk) {
+      if (NewEntryFollows(bytes, size, pos + 1)) {
+        return Status::Corruption(
+            "WAL '" + path + "' corrupt at offset " + std::to_string(pos) +
+            ", before a later entry");
+      }
+      bad_tail = true;
+      break;
+    }
+    // Valid checksums with broken sequencing mean the log was assembled
+    // wrong (mixed files, writer bug) — never a crash artifact.
+    if (have_prev_lsn && rec.lsn != prev_lsn + 1) {
+      return Status::Corruption(
+          "WAL '" + path + "' LSN discontinuity at offset " +
+          std::to_string(pos) + ": " + std::to_string(prev_lsn) + " -> " +
+          std::to_string(rec.lsn));
+    }
+    switch (rec.type) {
+      case WalRecordType::kBegin:
+        if (pending) {
+          return Status::Corruption("WAL '" + path +
+                                    "': BEGIN inside an open script");
+        }
+        pending = true;
+        script = WalEntry{};
+        script.begin_lsn = rec.lsn;
+        break;
+      case WalRecordType::kStatement:
+        if (!pending) {
+          return Status::Corruption("WAL '" + path +
+                                    "': STATEMENT outside a script");
+        }
+        script.statements.push_back(std::move(rec.text));
+        break;
+      case WalRecordType::kCommit:
+        if (!pending) {
+          return Status::Corruption("WAL '" + path +
+                                    "': COMMIT outside a script");
+        }
+        if (rec.applied > script.statements.size()) {
+          return Status::Corruption(
+              "WAL '" + path + "': COMMIT applied count " +
+              std::to_string(rec.applied) + " exceeds its " +
+              std::to_string(script.statements.size()) + " statements");
+        }
+        script.commit_lsn = rec.lsn;
+        script.applied = rec.applied;
+        script.end_offset = end;
+        out.entries.push_back(std::move(script));
+        out.max_lsn = rec.lsn;
+        out.committed_bytes = end;
+        pending = false;
+        break;
+      case WalRecordType::kVersionMark: {
+        if (pending) {
+          return Status::Corruption("WAL '" + path +
+                                    "': version mark inside an open script");
+        }
+        WalEntry mark;
+        mark.kind = WalEntry::Kind::kVersionMark;
+        mark.begin_lsn = mark.commit_lsn = rec.lsn;
+        mark.message = std::move(rec.text);
+        mark.end_offset = end;
+        out.entries.push_back(std::move(mark));
+        out.max_lsn = rec.lsn;
+        out.committed_bytes = end;
+        break;
+      }
+    }
+    have_prev_lsn = true;
+    prev_lsn = rec.lsn;
+    pos = end;
+  }
+  // An uncommitted trailing script (valid records, no COMMIT) is not
+  // durable state either — same clean truncation as a torn tail.
+  out.tail_dropped = bad_tail || pending || out.committed_bytes < size;
+  return out;
+}
+
+// ---- WalWriter --------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path,
+                                                   uint64_t next_lsn) {
+  uint64_t existing = 0;
+  if (env->FileExists(path)) {
+    CODS_ASSIGN_OR_RETURN(existing, env->GetFileSize(path));
+  }
+  CODS_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path, true));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), next_lsn, existing));
+}
+
+Status WalWriter::Sticky(Status st) {
+  if (!st.ok() && state_.ok()) state_ = st;
+  return st;
+}
+
+Status WalWriter::AppendRecord(WalRecordType type,
+                               const std::vector<uint8_t>& body) {
+  if (!state_.ok()) return state_;
+  BinaryWriter payload;
+  payload.U64(next_lsn_);
+  payload.U8(static_cast<uint8_t>(type));
+  BinaryWriter rec;
+  rec.U32(static_cast<uint32_t>(payload.buffer().size() + body.size()));
+  uint32_t crc = crc32c::Value(payload.buffer().data(),
+                               payload.buffer().size());
+  crc = crc32c::Extend(crc, body.data(), body.size());
+  rec.U32(crc32c::Mask(crc));
+  CODS_RETURN_NOT_OK(Sticky(
+      file_->Append(rec.buffer().data(), rec.buffer().size())));
+  CODS_RETURN_NOT_OK(Sticky(
+      file_->Append(payload.buffer().data(), payload.buffer().size())));
+  if (!body.empty()) {
+    CODS_RETURN_NOT_OK(Sticky(file_->Append(body.data(), body.size())));
+  }
+  size_bytes_ += rec.buffer().size() + payload.buffer().size() + body.size();
+  ++next_lsn_;
+  return Status::OK();
+}
+
+Status WalWriter::BeginScript() {
+  if (in_script_) {
+    return Status::InvalidArgument("WAL script already open");
+  }
+  CODS_RETURN_NOT_OK(AppendRecord(WalRecordType::kBegin, {}));
+  in_script_ = true;
+  return Status::OK();
+}
+
+Status WalWriter::AppendStatement(const std::string& text) {
+  if (!in_script_) {
+    return Status::InvalidArgument("no open WAL script");
+  }
+  BinaryWriter body;
+  body.Str(text);
+  return AppendRecord(WalRecordType::kStatement, body.buffer());
+}
+
+Status WalWriter::CommitScript(uint32_t applied) {
+  if (!in_script_) {
+    return Status::InvalidArgument("no open WAL script");
+  }
+  BinaryWriter body;
+  body.U32(applied);
+  CODS_RETURN_NOT_OK(AppendRecord(WalRecordType::kCommit, body.buffer()));
+  // The script leaves the open state even if the fsync below fails: the
+  // writer is poisoned then, and recovery decides from the file.
+  in_script_ = false;
+  CODS_RETURN_NOT_OK(Sticky(file_->Sync()));
+  durable_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+Status WalWriter::AppendVersionMark(const std::string& message) {
+  if (in_script_) {
+    return Status::InvalidArgument(
+        "version mark inside an open WAL script");
+  }
+  BinaryWriter body;
+  body.Str(message);
+  CODS_RETURN_NOT_OK(AppendRecord(WalRecordType::kVersionMark, body.buffer()));
+  CODS_RETURN_NOT_OK(Sticky(file_->Sync()));
+  durable_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+}  // namespace cods

@@ -1,0 +1,142 @@
+// The logical write-ahead log: crash durability for statement scripts.
+// Because every Smo re-parses from Smo::ToString and the engine is
+// deterministic (bit-identical WAH code words for a given statement
+// sequence), logging the statement TEXT is a complete redo log: recovery
+// replays the committed suffix and lands on exactly the catalog the
+// crashed process had acknowledged.
+//
+// File layout (all integers little-endian, same style as serde.h):
+//   wal     := record*
+//   record  := length:u32 crc:u32 payload[length]
+//   payload := lsn:u64 type:u8 body
+//   body    :=                          (type 1, BEGIN — opens a script)
+//            | text:str                 (type 2, STATEMENT)
+//            | applied:u32              (type 3, COMMIT — closes a script)
+//            | message:str              (type 4, VERSION mark)
+//   str     := len:u32 byte*
+//
+// `crc` is the MASKED CRC32C of the payload (common/crc32c.h), so a
+// statement that itself quotes WAL bytes cannot reproduce its own stored
+// checksum. LSNs increase by exactly 1 per record.
+//
+// Commit protocol: a script is BEGIN, its STATEMENTs, then COMMIT; the
+// writer fsyncs once, after appending COMMIT — the script is committed
+// iff its COMMIT record is durable. COMMIT carries `applied`, the number
+// of statements that succeeded in memory (< the statement count when the
+// script failed mid-way), so replay reproduces failure prefixes without
+// re-running the failing statement. A VERSION record is a self-committing
+// VersionedCatalog commit mark (also fsync'd).
+//
+// Reader contract (ReadWal):
+//   * A torn or corrupt TAIL — bytes after the last committed record
+//     that do not parse, plus any trailing uncommitted script records —
+//     is cleanly ignored; `committed_bytes` is the truncation point.
+//   * Corruption BEFORE a later entry (a valid BEGIN/VERSION record
+//     exists beyond the bad bytes) is a hard kCorruption: the writer
+//     fsyncs before each new entry may start, so such damage sits in
+//     synced history, and silently dropping it would lose committed
+//     scripts. Damage whose only valid successors are the in-flight
+//     entry's own STMT/COMMIT records is crash debris — torn tail.
+
+#ifndef CODS_DURABILITY_WAL_H_
+#define CODS_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace cods {
+
+/// Record types (the `type` byte).
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kStatement = 2,
+  kCommit = 3,
+  kVersionMark = 4,
+};
+
+/// One committed unit read back from the log: a statement script or a
+/// version mark.
+struct WalEntry {
+  enum class Kind { kScript, kVersionMark };
+  Kind kind = Kind::kScript;
+  uint64_t begin_lsn = 0;   // BEGIN record (scripts) or the mark itself
+  uint64_t commit_lsn = 0;  // COMMIT record (scripts) or the mark itself
+  uint32_t applied = 0;               // kScript: statements that succeeded
+  std::vector<std::string> statements;  // kScript
+  std::string message;                  // kVersionMark
+  uint64_t end_offset = 0;  // file offset just past this entry's records
+};
+
+/// Everything committed in a WAL file.
+struct WalContents {
+  std::vector<WalEntry> entries;
+  /// LSN of the last committed record; 0 when the log is empty.
+  uint64_t max_lsn = 0;
+  /// Clean truncation point: the offset just past the last committed
+  /// entry. Bytes beyond it (torn tail, uncommitted script) are not
+  /// durable state.
+  uint64_t committed_bytes = 0;
+  /// True when bytes beyond committed_bytes were ignored.
+  bool tail_dropped = false;
+};
+
+/// Parses a WAL file under the reader contract above.
+Result<WalContents> ReadWal(Env* env, const std::string& path);
+
+/// Appends records to a WAL file. Any I/O failure is sticky: the writer
+/// poisons itself and every later call returns the original error, so a
+/// half-appended (torn) record can never be followed by more records —
+/// the tail stays cleanly truncatable.
+class WalWriter {
+ public:
+  /// Opens `path` for appending; new records start at `next_lsn`.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& path,
+                                                 uint64_t next_lsn);
+
+  /// Opens a script. No fsync (the commit carries it).
+  Status BeginScript();
+  /// Logs one statement of the open script. No fsync.
+  Status AppendStatement(const std::string& text);
+  /// Closes the open script and makes it durable (append + fsync).
+  /// `applied` = statements that succeeded in memory.
+  Status CommitScript(uint32_t applied);
+  /// Logs a self-committing VersionedCatalog mark (append + fsync).
+  Status AppendVersionMark(const std::string& message);
+
+  /// Next LSN to be assigned.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// LSN of the last fsync'd record (0 if none this session).
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  /// Bytes appended to the file, including pre-existing ones.
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// Sticky health: OK until the first I/O failure.
+  const Status& health() const { return state_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, uint64_t next_lsn,
+            uint64_t existing_bytes)
+      : file_(std::move(file)),
+        next_lsn_(next_lsn),
+        size_bytes_(existing_bytes) {}
+
+  Status AppendRecord(WalRecordType type,
+                      const std::vector<uint8_t>& body);
+  Status Sticky(Status st);
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_lsn_;
+  uint64_t durable_lsn_ = 0;
+  uint64_t size_bytes_;
+  bool in_script_ = false;
+  Status state_;  // sticky
+};
+
+}  // namespace cods
+
+#endif  // CODS_DURABILITY_WAL_H_

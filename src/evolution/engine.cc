@@ -1,5 +1,6 @@
 #include "evolution/engine.h"
 
+#include "durability/wal.h"
 #include "plan/script_planner.h"
 #include "plan/staged_catalog.h"
 
@@ -22,6 +23,9 @@ Status EvolutionEngine::MaybeValidate(const Table& table) {
 }
 
 Status EvolutionEngine::Apply(const Smo& smo) {
+  if (options_.wal != nullptr) {
+    return RunLogged({smo}, nullptr, /*planned=*/false);
+  }
   return ApplyTo(*catalog_, smo, observer_);
 }
 
@@ -57,15 +61,55 @@ Status EvolutionEngine::ApplyTo(TableStore& store, const Smo& smo,
 }
 
 Status EvolutionEngine::ApplyAll(const std::vector<Smo>& script) {
+  if (options_.wal != nullptr) {
+    return RunLogged(script, nullptr, options_.plan_scripts);
+  }
   if (options_.plan_scripts) return ApplyAllPlanned(script);
+  return RunSerial(script, nullptr);
+}
+
+Status EvolutionEngine::RunSerial(const std::vector<Smo>& script,
+                                  size_t* applied) {
   for (const Smo& smo : script) {
-    CODS_RETURN_NOT_OK(Apply(smo).WithContext(smo.ToString()));
+    CODS_RETURN_NOT_OK(
+        ApplyTo(*catalog_, smo, observer_).WithContext(smo.ToString()));
+    if (applied != nullptr) ++*applied;
   }
   return Status::OK();
 }
 
+Status EvolutionEngine::RunLogged(const std::vector<Smo>& script,
+                                  TaskGraphStats* stats, bool planned) {
+  if (script.empty()) return Status::OK();
+  WalWriter& wal = *options_.wal;
+  // Log the whole script before touching the catalog: an I/O failure
+  // here aborts with the catalog untouched, and the torn record tail is
+  // exactly what recovery truncates away.
+  CODS_RETURN_NOT_OK(wal.BeginScript());
+  for (const Smo& smo : script) {
+    CODS_RETURN_NOT_OK(wal.AppendStatement(smo.ToString()));
+  }
+  size_t applied = 0;
+  Status run = planned ? RunPlanned(script, stats, &applied)
+                       : RunSerial(script, &applied);
+  // Commit (append + fsync) even when the script failed mid-way: the
+  // catalog holds the prefix, and the commit's applied count makes
+  // recovery reproduce exactly that prefix. A durability failure
+  // outranks the script's own status — the caller must not treat the
+  // result as acknowledged.
+  CODS_RETURN_NOT_OK(
+      wal.CommitScript(static_cast<uint32_t>(applied)));
+  return run;
+}
+
 Status EvolutionEngine::ApplyAllPlanned(const std::vector<Smo>& script,
                                         TaskGraphStats* stats) {
+  if (options_.wal != nullptr) return RunLogged(script, stats, true);
+  return RunPlanned(script, stats, nullptr);
+}
+
+Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
+                                   TaskGraphStats* stats, size_t* applied) {
   if (stats != nullptr) *stats = {};
   if (script.empty()) return Status::OK();
   const size_t n = script.size();
@@ -119,6 +163,7 @@ Status EvolutionEngine::ApplyAllPlanned(const std::vector<Smo>& script,
     for (const CatalogEffect& effect : effects[i]) {
       CODS_RETURN_NOT_OK(ApplyEffect(effect, catalog_));
     }
+    if (applied != nullptr) ++*applied;
   }
   return Status::OK();
 }

@@ -29,6 +29,8 @@
 
 namespace cods {
 
+class WalWriter;  // durability/wal.h
+
 /// Engine options.
 struct EngineOptions {
   /// Check lossless-join / key preconditions on the data before running
@@ -48,6 +50,15 @@ struct EngineOptions {
   /// else hardware concurrency); 1: strictly serial. Results are
   /// bit-identical at every thread count.
   int num_threads = 0;
+  /// Log-before-apply: when set, Apply / ApplyAll / ApplyAllPlanned wrap
+  /// every script in WAL BEGIN / STATEMENT* / COMMIT records (the
+  /// statements logged BEFORE any catalog mutation, the commit fsync'd
+  /// after), so a crash-recovered catalog replays to exactly the
+  /// committed prefix. The commit record counts the statements that
+  /// succeeded, which keeps mid-script failures replayable. A WAL write
+  /// failure outranks the script's own status. Owned by the caller
+  /// (durability/db.h).
+  WalWriter* wal = nullptr;
 };
 
 /// Applies SMOs to a catalog.
@@ -86,6 +97,14 @@ class EvolutionEngine {
   Catalog* catalog() { return catalog_; }
 
  private:
+  // Unlogged execution cores; `applied` (optional) receives the number
+  // of operators whose effects reached the catalog.
+  Status RunSerial(const std::vector<Smo>& script, size_t* applied);
+  Status RunPlanned(const std::vector<Smo>& script, TaskGraphStats* stats,
+                    size_t* applied);
+  // The log-before-apply wrapper around either core.
+  Status RunLogged(const std::vector<Smo>& script, TaskGraphStats* stats,
+                   bool planned);
   // Operator interpreters, parameterized over the table store so the
   // same code runs directly on the catalog (Apply) and on a staged
   // overlay (ApplyAllPlanned). `observer` rather than the member so

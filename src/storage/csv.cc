@@ -1,13 +1,22 @@
 #include "storage/csv.h"
 
+#include <cerrno>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/string_util.h"
 
 namespace cods {
 
 namespace {
+
+// "cannot open 'x'" alone is useless in production logs; append the
+// errno reason the stream left behind ("No such file or directory",
+// "Permission denied", ...).
+std::string ErrnoDetail() {
+  return errno != 0 ? ": " + std::generic_category().message(errno) : "";
+}
 
 // Splits CSV text into non-empty lines (no quoting support: the demo data
 // and workload generator never emit embedded delimiters).
@@ -118,8 +127,9 @@ Result<std::shared_ptr<const Table>> LoadCsvFile(const std::string& path,
                                                  const std::string& table_name,
                                                  const Schema& schema,
                                                  const CsvOptions& options) {
+  errno = 0;
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
+  if (!in) return Status::IOError("cannot open '" + path + "'" + ErrnoDetail());
   std::ostringstream buf;
   buf << in.rdbuf();
   return CsvToTable(buf.str(), table_name, schema, options);
@@ -146,10 +156,17 @@ std::string TableToCsv(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for write" +
+                           ErrnoDetail());
+  }
+  errno = 0;
   out << TableToCsv(table, options);
-  if (!out) return Status::IOError("write to '" + path + "' failed");
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed" + ErrnoDetail());
+  }
   return Status::OK();
 }
 

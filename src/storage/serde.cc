@@ -1,7 +1,9 @@
 #include "storage/serde.h"
 
 #include <cstring>
-#include <fstream>
+
+#include "common/crc32c.h"
+#include "common/env.h"
 
 namespace cods {
 
@@ -328,10 +330,13 @@ Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in) {
 
 // ---- Whole database -------------------------------------------------------------
 
-std::vector<uint8_t> SerializeCatalog(const Catalog& catalog) {
+namespace {
+
+std::vector<uint8_t> SerializeCatalogBody(const Catalog& catalog,
+                                          uint32_t version) {
   BinaryWriter out;
   out.U32(kCodsFileMagic);
-  out.U32(kCodsFileVersion);
+  out.U32(version);
   std::vector<std::string> names = catalog.TableNames();
   out.U32(static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
@@ -340,17 +345,58 @@ std::vector<uint8_t> SerializeCatalog(const Catalog& catalog) {
   return out.TakeBuffer();
 }
 
-Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image) {
-  BinaryReader in(image);
-  CODS_ASSIGN_OR_RETURN(uint32_t magic, in.U32());
+}  // namespace
+
+std::vector<uint8_t> SerializeCatalog(const Catalog& catalog) {
+  return SerializeCatalogBody(catalog, kCodsFileVersion);
+}
+
+std::vector<uint8_t> SerializeCatalogV2(const Catalog& catalog,
+                                        uint64_t wal_lsn) {
+  std::vector<uint8_t> image =
+      SerializeCatalogBody(catalog, kCodsFileVersionV2);
+  BinaryWriter footer;
+  footer.U64(wal_lsn);
+  image.insert(image.end(), footer.buffer().begin(), footer.buffer().end());
+  // The CRC covers everything before it, LSN included.
+  BinaryWriter crc;
+  crc.U32(crc32c::Mask(crc32c::Value(image.data(), image.size())));
+  image.insert(image.end(), crc.buffer().begin(), crc.buffer().end());
+  return image;
+}
+
+Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
+                                   uint64_t* wal_lsn) {
+  if (wal_lsn != nullptr) *wal_lsn = 0;
+  BinaryReader header(image.data(), image.size());
+  CODS_ASSIGN_OR_RETURN(uint32_t magic, header.U32());
   if (magic != kCodsFileMagic) {
     return Status::Corruption("not a CODS database image (bad magic)");
   }
-  CODS_ASSIGN_OR_RETURN(uint32_t version, in.U32());
-  if (version != kCodsFileVersion) {
+  CODS_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+  size_t body_size = image.size();
+  if (version == kCodsFileVersionV2) {
+    // Verify the whole-image checksum before trusting any length field.
+    if (image.size() < 8 + kCodsFooterSize) {
+      return Status::Corruption("v2 image too short for its footer");
+    }
+    BinaryReader footer(image.data() + image.size() - kCodsFooterSize,
+                        kCodsFooterSize);
+    uint64_t lsn = footer.U64().ValueOrDie();
+    uint32_t stored_crc = footer.U32().ValueOrDie();
+    uint32_t actual = crc32c::Value(image.data(), image.size() - 4);
+    if (crc32c::Mask(actual) != stored_crc) {
+      return Status::Corruption("database image checksum mismatch");
+    }
+    if (wal_lsn != nullptr) *wal_lsn = lsn;
+    body_size = image.size() - kCodsFooterSize;
+  } else if (version != kCodsFileVersion) {
     return Status::Corruption("unsupported format version " +
                               std::to_string(version));
   }
+  BinaryReader in(image.data(), body_size);
+  (void)in.U32();  // magic, re-consumed
+  (void)in.U32();  // version
   CODS_ASSIGN_OR_RETURN(uint32_t table_count, in.U32());
   if (table_count > kMaxReasonableCount) {
     return Status::Corruption("implausible table count");
@@ -367,20 +413,15 @@ Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image) {
 }
 
 Status SaveCatalog(const Catalog& catalog, const std::string& path) {
-  std::vector<uint8_t> image = SerializeCatalog(catalog);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for write");
-  out.write(reinterpret_cast<const char*>(image.data()),
-            static_cast<std::streamsize>(image.size()));
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Checkpoint-style crash safety: the image lands under a temp name, is
+  // fsync'd, and only then atomically replaces any previous good image.
+  return WriteFileAtomic(Env::Default(), path,
+                         SerializeCatalogV2(catalog, /*wal_lsn=*/0));
 }
 
 Result<Catalog> LoadCatalog(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::vector<uint8_t> image((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
+  CODS_ASSIGN_OR_RETURN(std::vector<uint8_t> image,
+                        Env::Default()->ReadFile(path));
   return DeserializeCatalog(image);
 }
 

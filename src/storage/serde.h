@@ -6,7 +6,8 @@
 // Status::Corruption instead of undefined behavior.
 //
 // Layout (all integers little-endian):
-//   file   := magic:u32 version:u32 table_count:u32 table*
+//   file   := magic:u32 version:u32 table_count:u32 table* footer?
+//   footer := wal_lsn:u64 crc:u32          (version >= 2 only)
 //   table  := name:str rows:u64 schema column*
 //   schema := key_count:u32 key_name* column_count:u32 colspec*
 //   colspec:= name:str type:u8 sorted:u8
@@ -16,6 +17,12 @@
 //   payload(WAH) := bitmap_count:u32 bitmap*
 //   bitmap := num_bits:u64 tail:u64 tail_bits:u8 word_count:u32 word*
 //   payload(RLE) := run_count:u32 (vid:u32 len:u64)*
+//
+// Version 2 (the checkpoint format, durability/checkpoint.h) appends a
+// 12-byte footer: the WAL LSN the image covers, then the MASKED CRC32C
+// (common/crc32c.h) of every preceding byte — so any single bit flip
+// anywhere in a v2 image is detected, not just structurally implausible
+// ones. Version 1 images (no footer) remain readable.
 
 #ifndef CODS_STORAGE_SERDE_H_
 #define CODS_STORAGE_SERDE_H_
@@ -32,6 +39,9 @@ namespace cods {
 /// Format identification.
 inline constexpr uint32_t kCodsFileMagic = 0x434F4453;  // "CODS"
 inline constexpr uint32_t kCodsFileVersion = 1;
+inline constexpr uint32_t kCodsFileVersionV2 = 2;  // + checksummed footer
+/// Footer size of a v2 image: wal_lsn:u64 crc:u32.
+inline constexpr size_t kCodsFooterSize = 12;
 
 /// Append-only binary encoder.
 class BinaryWriter {
@@ -101,16 +111,27 @@ Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in);
 
 // ---- Whole-database round trips. -------------------------------------------
 
-/// Serializes a catalog into a database image.
+/// Serializes a catalog into a v1 database image (no footer).
 std::vector<uint8_t> SerializeCatalog(const Catalog& catalog);
 
-/// Parses a database image. Each loaded table's invariants are verified.
-Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image);
+/// Serializes a catalog into a v2 image whose footer records the WAL
+/// LSN the image covers and a CRC32C over the whole image.
+std::vector<uint8_t> SerializeCatalogV2(const Catalog& catalog,
+                                        uint64_t wal_lsn);
 
-/// Writes a catalog to a database file.
+/// Parses a database image of either version. Each loaded table's
+/// invariants are verified; a v2 footer checksum mismatch is
+/// Status::Corruption. `wal_lsn` (optional) receives the footer LSN
+/// (0 for v1 images).
+Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
+                                   uint64_t* wal_lsn = nullptr);
+
+/// Writes a catalog to a database file crash-safely: temp file + fsync +
+/// atomic rename, so a failure mid-save never destroys a previous good
+/// image. Thin shim over the checkpoint write path (v2 image, LSN 0).
 Status SaveCatalog(const Catalog& catalog, const std::string& path);
 
-/// Reads a catalog from a database file.
+/// Reads a catalog from a database file (either format version).
 Result<Catalog> LoadCatalog(const std::string& path);
 
 }  // namespace cods

@@ -1,0 +1,189 @@
+// Env tests: the POSIX implementation's contract (errno detail in
+// Statuses, atomic WriteFileAtomic, append mode, truncate, dir listing)
+// and the FaultInjectionEnv crash model the recovery harness builds on —
+// crash-at-op sweeps, un-synced data loss, torn writes, failed fsyncs.
+
+#include "common/env.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string Text(const std::vector<uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "cods_env_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir_).ok());
+    // Named, not a temporary: ValueOrDie()&& returns a reference into
+    // the Result, which a range-for over a temporary would leave
+    // dangling.
+    Result<std::vector<std::string>> names = Env::Default()->ListDir(dir_);
+    ASSERT_TRUE(names.ok());
+    for (const std::string& name : names.ValueOrDie()) {
+      ASSERT_TRUE(Env::Default()->DeleteFile(dir_ + "/" + name).ok());
+    }
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteFile(env, Path("f"), Bytes("hello world")).ok());
+  EXPECT_TRUE(env->FileExists(Path("f")));
+  EXPECT_EQ(env->GetFileSize(Path("f")).ValueOrDie(), 11u);
+  EXPECT_EQ(Text(env->ReadFile(Path("f")).ValueOrDie()), "hello world");
+}
+
+TEST_F(EnvTest, MissingFileErrorsCarryErrnoDetail) {
+  Env* env = Env::Default();
+  Result<std::vector<uint8_t>> r = env->ReadFile(Path("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  // strerror(ENOENT) in some locale spelling — the point is that the
+  // message says more than just the path.
+  EXPECT_NE(r.status().message().find("No such file"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_FALSE(env->FileExists(Path("nope")));
+  EXPECT_FALSE(env->GetFileSize(Path("nope")).ok());
+  EXPECT_FALSE(env->DeleteFile(Path("nope")).ok());
+}
+
+TEST_F(EnvTest, AppendModeContinuesExistingFile) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteFile(env, Path("log"), Bytes("abc")).ok());
+  {
+    auto f = env->NewWritableFile(Path("log"), /*append=*/true).ValueOrDie();
+    ASSERT_TRUE(f->Append("def", 3).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  EXPECT_EQ(Text(env->ReadFile(Path("log")).ValueOrDie()), "abcdef");
+  {
+    // Non-append mode truncates.
+    auto f = env->NewWritableFile(Path("log"), /*append=*/false).ValueOrDie();
+    ASSERT_TRUE(f->Append("x", 1).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  EXPECT_EQ(Text(env->ReadFile(Path("log")).ValueOrDie()), "x");
+}
+
+TEST_F(EnvTest, TruncateAndRename) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteFile(env, Path("a"), Bytes("0123456789")).ok());
+  ASSERT_TRUE(env->TruncateFile(Path("a"), 4).ok());
+  EXPECT_EQ(Text(env->ReadFile(Path("a")).ValueOrDie()), "0123");
+  ASSERT_TRUE(env->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env->FileExists(Path("a")));
+  EXPECT_EQ(Text(env->ReadFile(Path("b")).ValueOrDie()), "0123");
+}
+
+TEST_F(EnvTest, ListDirSorted) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteFile(env, Path("zz"), Bytes("1")).ok());
+  ASSERT_TRUE(WriteFile(env, Path("aa"), Bytes("1")).ok());
+  EXPECT_EQ(env->ListDir(dir_).ValueOrDie(),
+            (std::vector<std::string>{"aa", "zz"}));
+  EXPECT_FALSE(env->ListDir(Path("missing")).ok());
+}
+
+TEST_F(EnvTest, WriteFileAtomicReplacesAndCleansUp) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(WriteFile(env, Path("db"), Bytes("old")).ok());
+  ASSERT_TRUE(WriteFileAtomic(env, Path("db"), Bytes("new image")).ok());
+  EXPECT_EQ(Text(env->ReadFile(Path("db")).ValueOrDie()), "new image");
+  EXPECT_FALSE(env->FileExists(Path("db.tmp")));
+}
+
+// ---- FaultInjectionEnv -------------------------------------------------------
+
+TEST_F(EnvTest, FaultInjectionPassesThroughWhenDisarmed) {
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/1);
+  ASSERT_TRUE(WriteFile(&fenv, Path("f"), Bytes("data")).ok());
+  EXPECT_EQ(Text(fenv.ReadFile(Path("f")).ValueOrDie()), "data");
+  EXPECT_FALSE(fenv.crashed());
+  EXPECT_GT(fenv.op_count(), 0u);
+}
+
+TEST_F(EnvTest, CrashDropsUnsyncedSuffixButKeepsSyncedPrefix) {
+  // Byte counts differ per seed (drop-all / keep-all / tear), but the
+  // synced prefix must survive under every seed.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultInjectionEnv fenv(Env::Default(), seed);
+    auto f = fenv.NewWritableFile(Path("f"), /*append=*/false).ValueOrDie();
+    ASSERT_TRUE(f->Append("SYNCED", 6).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Append("unsynced", 8).ok());
+    fenv.SetCrashAtOp(fenv.op_count() + 1);  // next op crashes
+    EXPECT_FALSE(f->Append("x", 1).ok());
+    EXPECT_TRUE(fenv.crashed());
+    // Everything after the crash fails.
+    EXPECT_FALSE(f->Sync().ok());
+    EXPECT_FALSE(fenv.ReadFile(Path("f")).ok());
+    EXPECT_FALSE(WriteFile(&fenv, Path("g"), Bytes("y")).ok());
+
+    // A fresh env models the post-crash remount.
+    std::vector<uint8_t> back =
+        Env::Default()->ReadFile(Path("f")).ValueOrDie();
+    ASSERT_GE(back.size(), 6u) << "seed " << seed;
+    ASSERT_LE(back.size(), 15u) << "seed " << seed;
+    EXPECT_EQ(Text(back).substr(0, 6), "SYNCED") << "seed " << seed;
+  }
+}
+
+TEST_F(EnvTest, CrashAtOpSweepIsDeterministic) {
+  // The same seed + crash point must leave the identical file behind.
+  for (int round = 0; round < 2; ++round) {
+    FaultInjectionEnv fenv(Env::Default(), /*seed=*/33);
+    fenv.SetCrashAtOp(4);
+    auto f =
+        fenv.NewWritableFile(Path("det" + std::to_string(round)), false)
+            .ValueOrDie();                       // op 1
+    ASSERT_TRUE(f->Append("aaaa", 4).ok());      // op 2
+    ASSERT_TRUE(f->Sync().ok());                 // op 3
+    EXPECT_FALSE(f->Append("bbbb", 4).ok());     // op 4: crash
+    EXPECT_TRUE(fenv.crashed());
+  }
+  EXPECT_EQ(Env::Default()->ReadFile(Path("det0")).ValueOrDie(),
+            Env::Default()->ReadFile(Path("det1")).ValueOrDie());
+}
+
+TEST_F(EnvTest, CrashedRenameDoesNotHappen) {
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/5);
+  ASSERT_TRUE(WriteFile(&fenv, Path("src"), Bytes("payload")).ok());
+  fenv.SetCrashAtOp(fenv.op_count() + 1);
+  EXPECT_FALSE(fenv.RenameFile(Path("src"), Path("dst")).ok());
+  EXPECT_TRUE(Env::Default()->FileExists(Path("src")));
+  EXPECT_FALSE(Env::Default()->FileExists(Path("dst")));
+}
+
+TEST_F(EnvTest, FailNextSyncsInjectsErrorsWithoutCrashing) {
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/9);
+  auto f = fenv.NewWritableFile(Path("f"), false).ValueOrDie();
+  ASSERT_TRUE(f->Append("abc", 3).ok());
+  fenv.FailNextSyncs(2);
+  EXPECT_TRUE(f->Sync().IsIOError());
+  EXPECT_TRUE(f->Sync().IsIOError());
+  EXPECT_FALSE(fenv.crashed());
+  EXPECT_TRUE(f->Sync().ok());  // third one goes through
+  EXPECT_TRUE(f->Close().ok());
+  EXPECT_EQ(Text(fenv.ReadFile(Path("f")).ValueOrDie()), "abc");
+}
+
+}  // namespace
+}  // namespace cods

@@ -226,6 +226,59 @@ TEST(CatalogSerde, RandomBitFlipsNeverCrash) {
   EXPECT_LT(parsed_ok, 100);
 }
 
+// ---- Version 2: the checksummed checkpoint format ---------------------------
+
+TEST(CatalogSerdeV2, RoundTripCarriesWalLsn) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Figure1TableR()).ok());
+  std::vector<uint8_t> v2 = SerializeCatalogV2(catalog, /*wal_lsn=*/4242);
+  uint64_t lsn = 0;
+  Catalog back = DeserializeCatalog(v2, &lsn).ValueOrDie();
+  EXPECT_EQ(lsn, 4242u);
+  ExpectSameContent(*catalog.GetTable("R").ValueOrDie(),
+                    *back.GetTable("R").ValueOrDie());
+
+  // A v1 image reads through the same entry point and reports LSN 0.
+  std::vector<uint8_t> v1 = SerializeCatalog(catalog);
+  lsn = 77;
+  EXPECT_TRUE(DeserializeCatalog(v1, &lsn).ok());
+  EXPECT_EQ(lsn, 0u);
+  // The two formats differ exactly by the footer.
+  EXPECT_EQ(v2.size(), v1.size() + kCodsFooterSize);
+}
+
+TEST(CatalogSerdeV2, EveryTruncationFailsCleanly) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Figure1TableR()).ok());
+  std::vector<uint8_t> image = SerializeCatalogV2(catalog, 9);
+  // Every strict prefix — including cuts inside the footer — must fail
+  // with a Status, never crash or parse.
+  for (size_t cut = 0; cut < image.size(); cut += 7) {
+    std::vector<uint8_t> prefix(image.begin(),
+                                image.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DeserializeCatalog(prefix).ok())
+        << "v2 prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(CatalogSerdeV2, SingleBitFlipsAlwaysDetected) {
+  // The whole point of the v2 footer: unlike v1 (where a flip in value
+  // payload bytes can survive structural checks), EVERY single-bit flip
+  // anywhere in a v2 image — header, payload, footer — must error.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Figure1TableR()).ok());
+  std::vector<uint8_t> image = SerializeCatalogV2(catalog, 123);
+  for (size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = image;
+      bad[byte] ^= static_cast<uint8_t>(1u << bit);
+      Result<Catalog> r = DeserializeCatalog(bad);
+      EXPECT_FALSE(r.ok()) << "flip at byte " << byte << " bit " << bit
+                           << " parsed";
+    }
+  }
+}
+
 TEST(SerdeAfterEvolution, EvolvedCatalogSurvivesPersistence) {
   // Evolution outputs share column storage across tables (e.g. a shallow
   // COPY aliases every column of the original); serialization must

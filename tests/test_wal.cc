@@ -1,0 +1,282 @@
+// WAL tests: write/read round trips, the commit protocol (applied
+// counts, uncommitted trailing scripts), the reader contract — torn or
+// corrupt tails truncate cleanly, corruption before the last commit
+// point is a hard kCorruption — LSN discipline, sticky writer
+// poisoning, and version marks replaying into a VersionedCatalog.
+
+#include "durability/wal.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "evolution/versioned_catalog.h"
+#include "gtest/gtest.h"
+
+namespace cods {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "cods_wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir_).ok());
+    path_ = dir_ + "/wal.log";
+    if (Env::Default()->FileExists(path_)) {
+      ASSERT_TRUE(Env::Default()->DeleteFile(path_).ok());
+    }
+  }
+
+  std::vector<uint8_t> RawBytes() {
+    return Env::Default()->ReadFile(path_).ValueOrDie();
+  }
+
+  void WriteRaw(const std::vector<uint8_t>& data) {
+    ASSERT_TRUE(WriteFile(Env::Default(), path_, data).ok());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, EmptyAndMissingLogs) {
+  EXPECT_FALSE(ReadWal(Env::Default(), path_).ok());  // missing: IOError
+  WriteRaw({});
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  EXPECT_TRUE(wal.entries.empty());
+  EXPECT_EQ(wal.max_lsn, 0u);
+  EXPECT_EQ(wal.committed_bytes, 0u);
+  EXPECT_FALSE(wal.tail_dropped);
+}
+
+TEST_F(WalTest, ScriptsAndMarksRoundTrip) {
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+    ASSERT_TRUE(w->AppendStatement("DROP TABLE R").ok());
+    ASSERT_TRUE(w->CommitScript(2).ok());
+    ASSERT_TRUE(w->AppendVersionMark("v1: empty again").ok());
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("CREATE TABLE S (b STRING)").ok());
+    ASSERT_TRUE(w->CommitScript(0).ok());  // failed before any applied
+    EXPECT_EQ(w->next_lsn(), 9u);  // 8 records written
+    EXPECT_EQ(w->durable_lsn(), 8u);
+    EXPECT_TRUE(w->health().ok());
+  }
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  ASSERT_EQ(wal.entries.size(), 3u);
+  EXPECT_FALSE(wal.tail_dropped);
+  EXPECT_EQ(wal.max_lsn, 8u);
+  EXPECT_EQ(wal.committed_bytes, RawBytes().size());
+
+  const WalEntry& script = wal.entries[0];
+  EXPECT_EQ(script.kind, WalEntry::Kind::kScript);
+  EXPECT_EQ(script.begin_lsn, 1u);
+  EXPECT_EQ(script.commit_lsn, 4u);
+  EXPECT_EQ(script.applied, 2u);
+  EXPECT_EQ(script.statements,
+            (std::vector<std::string>{"CREATE TABLE R (a INT64)",
+                                      "DROP TABLE R"}));
+
+  const WalEntry& mark = wal.entries[1];
+  EXPECT_EQ(mark.kind, WalEntry::Kind::kVersionMark);
+  EXPECT_EQ(mark.begin_lsn, 5u);
+  EXPECT_EQ(mark.commit_lsn, 5u);
+  EXPECT_EQ(mark.message, "v1: empty again");
+
+  EXPECT_EQ(wal.entries[2].applied, 0u);
+  EXPECT_EQ(wal.entries[2].statements.size(), 1u);
+}
+
+TEST_F(WalTest, ReopenContinuesLsnSequence) {
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    ASSERT_TRUE(w->AppendVersionMark("one").ok());
+  }
+  {
+    WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+    auto w = WalWriter::Open(Env::Default(), path_, wal.max_lsn + 1)
+                 .ValueOrDie();
+    EXPECT_EQ(w->size_bytes(), RawBytes().size());
+    ASSERT_TRUE(w->AppendVersionMark("two").ok());
+  }
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  ASSERT_EQ(wal.entries.size(), 2u);
+  EXPECT_EQ(wal.entries[1].begin_lsn, 2u);
+}
+
+TEST_F(WalTest, UncommittedTrailingScriptIsDroppedCleanly) {
+  uint64_t committed_size = 0;
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+    ASSERT_TRUE(w->CommitScript(1).ok());
+    committed_size = w->size_bytes();
+    // A script that never commits (crash before COMMIT).
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("DROP TABLE R").ok());
+  }
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  ASSERT_EQ(wal.entries.size(), 1u);
+  EXPECT_TRUE(wal.tail_dropped);
+  EXPECT_EQ(wal.committed_bytes, committed_size);
+  EXPECT_EQ(wal.max_lsn, 3u);
+}
+
+TEST_F(WalTest, EveryTruncationPointRecoversThePrefix) {
+  // Build a log of 6 committed entries, then cut it at EVERY byte
+  // length. The reader must come back with exactly the entries whose
+  // end_offset fits the cut — never an error, never a partial entry.
+  std::vector<uint64_t> end_offsets;
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    for (int i = 0; i < 6; ++i) {
+      if (i % 2 == 0) {
+        ASSERT_TRUE(w->BeginScript().ok());
+        ASSERT_TRUE(w->AppendStatement("CREATE TABLE T" + std::to_string(i) +
+                                       " (a INT64)")
+                        .ok());
+        ASSERT_TRUE(w->CommitScript(1).ok());
+      } else {
+        ASSERT_TRUE(w->AppendVersionMark("mark " + std::to_string(i)).ok());
+      }
+      end_offsets.push_back(w->size_bytes());
+    }
+  }
+  std::vector<uint8_t> full = RawBytes();
+  {
+    WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+    ASSERT_EQ(wal.entries.size(), 6u);
+    for (size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(wal.entries[i].end_offset, end_offsets[i]);
+    }
+  }
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteRaw(std::vector<uint8_t>(full.begin(),
+                                  full.begin() + static_cast<ptrdiff_t>(cut)));
+    Result<WalContents> r = ReadWal(Env::Default(), path_);
+    ASSERT_TRUE(r.ok()) << "cut at " << cut << ": " << r.status().ToString();
+    size_t expect = 0;
+    while (expect < end_offsets.size() && end_offsets[expect] <= cut) {
+      ++expect;
+    }
+    EXPECT_EQ(r.ValueOrDie().entries.size(), expect) << "cut at " << cut;
+    EXPECT_EQ(r.ValueOrDie().tail_dropped,
+              cut != 0 && cut != full.size() &&
+                  (expect == 0 || end_offsets[expect - 1] != cut))
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(WalTest, CorruptionBeforeLastCommitIsHardError) {
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+    ASSERT_TRUE(w->CommitScript(1).ok());
+    ASSERT_TRUE(w->AppendVersionMark("later commit point").ok());
+  }
+  std::vector<uint8_t> full = RawBytes();
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  ASSERT_EQ(wal.entries.size(), 2u);
+  uint64_t first_end = wal.entries[0].end_offset;
+
+  // A flip anywhere before the FIRST entry's end invalidates a record
+  // that a later valid commit point follows: hard corruption.
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> bad = full;
+    size_t byte = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(first_end) - 1));
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+    WriteRaw(bad);
+    Result<WalContents> r = ReadWal(Env::Default(), path_);
+    EXPECT_FALSE(r.ok()) << "flip at " << byte << " parsed";
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+    }
+  }
+
+  // A flip in the LAST entry damages only the tail: clean truncation.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> bad = full;
+    size_t byte = static_cast<size_t>(rng.Uniform(
+        static_cast<int64_t>(first_end), static_cast<int64_t>(full.size()) - 1));
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+    WriteRaw(bad);
+    Result<WalContents> r = ReadWal(Env::Default(), path_);
+    ASSERT_TRUE(r.ok()) << "flip at " << byte << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().entries.size(), 1u);
+    EXPECT_TRUE(r.ValueOrDie().tail_dropped);
+    EXPECT_EQ(r.ValueOrDie().committed_bytes, first_end);
+  }
+}
+
+TEST_F(WalTest, WriterFailuresAreSticky) {
+  FaultInjectionEnv fenv(Env::Default(), /*seed=*/3);
+  auto w = WalWriter::Open(&fenv, path_, 1).ValueOrDie();
+  ASSERT_TRUE(w->BeginScript().ok());
+  ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+  fenv.FailNextSyncs(1);
+  Status commit = w->CommitScript(1);
+  EXPECT_TRUE(commit.IsIOError());
+  EXPECT_EQ(w->durable_lsn(), 0u);
+  // Poisoned: every later call returns the original failure, so no
+  // record can ever follow the possibly-torn one.
+  EXPECT_FALSE(w->health().ok());
+  EXPECT_TRUE(w->BeginScript().IsIOError());
+  EXPECT_TRUE(w->AppendVersionMark("x").IsIOError());
+  // The appends themselves reached the file; only the fsync ack failed.
+  // Like a crash between write and acknowledgment, the script is
+  // commit-uncertain: the log may legitimately contain it — what the
+  // sticky poison guarantees is that nothing was written AFTER it.
+  Result<WalContents> r = ReadWal(Env::Default(), path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.ValueOrDie().entries.size(), 1u);
+  EXPECT_EQ(r.ValueOrDie().max_lsn, r.ValueOrDie().entries.empty() ? 0u : 3u);
+}
+
+TEST_F(WalTest, MisuseIsRejected) {
+  auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+  EXPECT_TRUE(w->AppendStatement("X").IsInvalidArgument());  // no script
+  EXPECT_TRUE(w->CommitScript(0).IsInvalidArgument());
+  ASSERT_TRUE(w->BeginScript().ok());
+  EXPECT_TRUE(w->BeginScript().IsInvalidArgument());  // nested
+  EXPECT_TRUE(w->AppendVersionMark("m").IsInvalidArgument());  // inside
+  ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+  ASSERT_TRUE(w->CommitScript(1).ok());
+  EXPECT_TRUE(w->health().ok());  // misuse does not poison the writer
+}
+
+// Satellite: WAL version marks round-trip into VersionedCatalog — the
+// durable version history matches the in-memory one.
+TEST_F(WalTest, VersionMarksReplayIntoVersionedCatalog) {
+  VersionedCatalog original;
+  {
+    auto w = WalWriter::Open(Env::Default(), path_, 1).ValueOrDie();
+    for (const std::string& msg : {"baseline", "after decompose", "final"}) {
+      ASSERT_TRUE(w->AppendVersionMark(msg).ok());
+      original.Commit(msg);
+    }
+  }
+  WalContents wal = ReadWal(Env::Default(), path_).ValueOrDie();
+  VersionedCatalog replayed;
+  for (const WalEntry& entry : wal.entries) {
+    ASSERT_EQ(entry.kind, WalEntry::Kind::kVersionMark);
+    replayed.Commit(entry.message);
+  }
+  ASSERT_EQ(replayed.num_versions(), original.num_versions());
+  auto original_history = original.History();
+  auto replayed_history = replayed.History();
+  for (size_t i = 0; i < original_history.size(); ++i) {
+    EXPECT_EQ(replayed_history[i].id, original_history[i].id);
+    EXPECT_EQ(replayed_history[i].message, original_history[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace cods
