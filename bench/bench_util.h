@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,35 @@
 
 namespace cods::bench {
 
+/// Reader-thread override for the concurrency benches: --readers=N pins
+/// the reader-count sweep to the single value N. 0 (the default) keeps
+/// each bench's own sweep.
+inline int& ReadersFlag() {
+  static int readers = 0;
+  return readers;
+}
+inline int BenchReaders() { return ReadersFlag(); }
+
+/// Number of concurrent writer script streams the concurrency benches
+/// run in the background (--writer-scripts=N). Each stream commits SMO
+/// scripts against its own victim table; 0 measures the pure-reader
+/// baseline. Default 1.
+inline int& WriterScriptsFlag() {
+  static int streams = 1;
+  return streams;
+}
+inline int BenchWriterScripts() { return WriterScriptsFlag(); }
+
+/// Nearest-rank percentile of `samples` (q in [0, 1]); 0 when empty.
+/// Takes the vector by value: percentile extraction sorts.
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  size_t idx = static_cast<size_t>(rank + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
 /// Entry point shared by all bench binaries (via CODS_BENCH_MAIN). Runs
 /// the registered benchmarks with the human console reporter and, unless
 /// the caller passed their own --benchmark_out, also writes the full
@@ -34,10 +64,20 @@ namespace cods::bench {
 /// trajectories can be tracked across PRs without scraping stdout
 /// (scripts/check_bench_regression.py consumes these files).
 ///
-/// Recognizes `--threads=N` (consumed before google-benchmark sees the
-/// argument list): sets the process default thread count for every
-/// parallel path that does not sweep thread counts itself.
-inline int BenchMain(int argc, char** argv, const char* name) {
+/// Recognizes (and consumes before google-benchmark sees the argument
+/// list):
+///   --threads=N         process default thread count for every parallel
+///                       path that does not sweep thread counts itself
+///   --readers=N         pin the concurrency benches' reader sweep to N
+///   --writer-scripts=N  background writer script streams (0 = none)
+///
+/// `register_fn`, when non-null, runs after flag consumption and before
+/// benchmark registration is frozen — benches whose series depend on the
+/// flags (the --readers sweep) register there via
+/// ::benchmark::RegisterBenchmark instead of the BENCHMARK macro, which
+/// runs at static-init time before flags exist.
+inline int BenchMain(int argc, char** argv, const char* name,
+                     void (*register_fn)() = nullptr) {
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc) + 2);
   bool has_out = false;
@@ -47,12 +87,21 @@ inline int BenchMain(int argc, char** argv, const char* name) {
       default_threads = std::atoi(argv[i] + 10);
       continue;  // ours, not google-benchmark's
     }
+    if (std::strncmp(argv[i], "--readers=", 10) == 0) {
+      ReadersFlag() = std::atoi(argv[i] + 10);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--writer-scripts=", 17) == 0) {
+      WriterScriptsFlag() = std::atoi(argv[i] + 17);
+      continue;
+    }
     // Exact-prefix "--benchmark_out=": "--benchmark_out_format" alone
     // must not suppress the default JSON file.
     if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
     args.push_back(argv[i]);
   }
   if (default_threads > 0) SetDefaultThreads(default_threads);
+  if (register_fn != nullptr) register_fn();
   std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
@@ -198,6 +247,15 @@ inline const RowPair& CachedRowPair(uint64_t distinct) {
 #define CODS_BENCH_MAIN(name)                               \
   int main(int argc, char** argv) {                         \
     return ::cods::bench::BenchMain(argc, argv, name);      \
+  }
+
+/// CODS_BENCH_MAIN plus a flag-aware registration hook: `register_fn`
+/// (a `void()` function) runs after --readers / --writer-scripts are
+/// parsed, so it can shape the registered series from the flags.
+#define CODS_BENCH_MAIN_REGISTERED(name, register_fn)            \
+  int main(int argc, char** argv) {                              \
+    return ::cods::bench::BenchMain(argc, argv, name,            \
+                                    (register_fn));              \
   }
 
 #endif  // CODS_BENCH_BENCH_UTIL_H_

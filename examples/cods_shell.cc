@@ -27,10 +27,19 @@
 //   .save <path> / .open <path>  persist / load the whole catalog
 //   .commit <msg> / .log / .checkout <v>  versioning
 //   .checkpoint / .wal           durability (--db mode)
+//   .snapshot                    serving stats: root id, commits, pins
+//   .session open|close|run      named pinned snapshots
+//   .sessions                    list pinned sessions
 //   .undo                        undo the last invertible operator
 //   .plan <file|script>          EXPLAIN a script's dependency DAG
 //   .runplan <file|script>       execute a script via the planner
 //   .help / .quit
+//
+// Every query pins the current snapshot root for its whole execution
+// (one atomic load), so a concurrently committing script never tears a
+// result. `.session open` keeps such a pin alive across statements:
+// `.session run <name> SELECT ...` reads the database as it was when
+// the session was opened, no matter what has evolved since.
 
 #include <unistd.h>
 
@@ -38,6 +47,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -102,7 +112,7 @@ class Shell {
   // members stay around but unused so both modes share one code path
   // through versions()/ApplySmo().
   explicit Shell(std::unique_ptr<DurableDb> db = nullptr)
-      : db_(std::move(db)), engine_(local_versions_.working(), &observer_) {}
+      : db_(std::move(db)), engine_(local_versions_.serving(), &observer_) {}
 
   int Run(std::istream& in, bool interactive) {
     std::string line;
@@ -155,8 +165,9 @@ class Shell {
       }
       const Smo& smo = stmt.smo;
       if (IsInvertible(smo.kind)) {
-        // Best-effort logging; lossy ops simply are not undoable.
-        (void)log_.Record(smo, *versions().working());
+        // Best-effort logging against the pre-application snapshot;
+        // lossy ops simply are not undoable.
+        (void)log_.Record(smo, versions().GetSnapshot().root());
       }
       Status st = ApplySmo(smo);
       if (!st.ok()) {
@@ -167,11 +178,15 @@ class Shell {
     }
   }
 
-  // Executes one SELECT against the working catalog and prints the
-  // result: the table itself for a projection, the number for COUNT(*),
-  // value/sum lines for GROUP BY.
+  // Executes one SELECT against a freshly pinned snapshot and prints
+  // the result: the table itself for a projection, the number for
+  // COUNT(*), value/sum lines for GROUP BY.
   Status RunQuery(const QueryRequest& request) {
-    QueryEngine engine(versions().working());
+    return RunQueryOn(versions().GetSnapshot(), request);
+  }
+
+  Status RunQueryOn(const Snapshot& snap, const QueryRequest& request) {
+    QueryEngine engine(snap.store());
     CODS_ASSIGN_OR_RETURN(QueryResult result, engine.Execute(request));
     switch (result.verb) {
       case QueryRequest::Verb::kSelect:
@@ -191,13 +206,12 @@ class Shell {
   bool DotCommand(const std::string& line) {
     std::vector<std::string> w = Words(line);
     const std::string& cmd = w[0];
-    Catalog& catalog = *versions().working();
     if (cmd == ".quit" || cmd == ".exit") return false;
     if (cmd == ".help") {
       std::cout << kHelp;
     } else if (cmd == ".tables") {
-      for (const std::string& name : catalog.TableNames()) {
-        auto t = catalog.GetTable(name).ValueOrDie();
+      Snapshot snap = versions().GetSnapshot();
+      for (const auto& [name, t] : snap.root().tables()) {
         std::cout << "  " << name << " " << t->schema().ToString() << " ["
                   << t->rows() << " rows]\n";
       }
@@ -218,7 +232,8 @@ class Shell {
     } else if (cmd == ".advise" && w.size() == 5 && w[1] == "decompose") {
       Report(Advise(w[2], w[3], w[4]));
     } else if (cmd == ".save" && w.size() == 2) {
-      Report(SaveCatalog(catalog, w[1]));
+      Snapshot snap = versions().GetSnapshot();
+      Report(SaveCatalog(MaterializeCatalog(snap.root()), w[1]));
     } else if (cmd == ".open" && w.size() == 2) {
       if (db_ != nullptr) {
         Report(Status::InvalidArgument(
@@ -263,6 +278,20 @@ class Shell {
       } else {
         PrintWalStats();
       }
+    } else if (cmd == ".snapshot") {
+      SnapshotCatalog::Stats s = versions().serving()->GetStats();
+      std::cout << "serving root " << s.root_id << " (" << s.tables
+                << " tables)\n"
+                << "commits: " << s.commits << ", aborts: " << s.aborts
+                << ", live pins: " << s.live_pins << "\n";
+    } else if (cmd == ".sessions") {
+      for (const auto& [name, snap] : sessions_) {
+        std::cout << "  " << name << ": root " << snap.id() << " ("
+                  << snap.root().size() << " tables)\n";
+      }
+      if (sessions_.empty()) std::cout << "  (none)\n";
+    } else if (cmd == ".session" && w.size() >= 2) {
+      Report(Session(w, line));
     } else if (cmd == ".undo") {
       Report(Undo());
     } else if ((cmd == ".plan" || cmd == ".runplan") && w.size() >= 2) {
@@ -272,6 +301,44 @@ class Shell {
       std::cout << "unknown command; try .help\n";
     }
     return true;
+  }
+
+  // .session open <name> | .session close <name> |
+  // .session run <name> <query;>
+  Status Session(const std::vector<std::string>& w, const std::string& line) {
+    const std::string& verb = w[1];
+    if (verb == "open" && w.size() == 3) {
+      Snapshot snap = versions().GetSnapshot();
+      std::cout << "session '" << w[2] << "' pinned root " << snap.id()
+                << "\n";
+      sessions_[w[2]] = std::move(snap);
+      return Status::OK();
+    }
+    if (verb == "close" && w.size() == 3) {
+      if (sessions_.erase(w[2]) == 0) {
+        return Status::KeyError("no session '" + w[2] + "'");
+      }
+      return Status::OK();
+    }
+    if (verb == "run" && w.size() >= 4) {
+      auto it = sessions_.find(w[2]);
+      if (it == sessions_.end()) {
+        return Status::KeyError("no session '" + w[2] + "'");
+      }
+      // Everything after the session name is the statement text.
+      std::string text = line.substr(line.find(w[2]) + w[2].size());
+      CODS_ASSIGN_OR_RETURN(auto script, ParseStatementScript(text));
+      for (const Statement& stmt : script) {
+        if (stmt.kind != Statement::Kind::kQuery) {
+          return Status::InvalidArgument(
+              "sessions are read pins; SMOs must run on the live catalog");
+        }
+        CODS_RETURN_NOT_OK(RunQueryOn(it->second, stmt.query));
+      }
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "usage: .session open <name> | close <name> | run <name> <query;>");
   }
 
   Status Commit(const std::string& msg) {
@@ -304,7 +371,9 @@ class Shell {
   Status LoadCsv(const std::string& path, const std::string& table) {
     CODS_ASSIGN_OR_RETURN(std::string text, SlurpFile(path));
     CODS_ASSIGN_OR_RETURN(auto t, CsvToTableInferred(text, table));
-    CODS_RETURN_NOT_OK(versions().working()->AddTable(t));
+    // Loads go through the snapshot commit protocol like any writer.
+    CODS_RETURN_NOT_OK(versions().Apply(
+        [&](TableStore& store) { return store.AddTable(t); }));
     std::cout << "loaded " << t->rows() << " rows into " << table << "\n";
     // CSV loads are raw data, not statements — the WAL cannot replay
     // them, so capture the new table in a checkpoint right away.
@@ -317,7 +386,8 @@ class Shell {
 
   Status Count(const std::string& table, const std::string& column,
                const std::string& op_text, const std::string& literal) {
-    CODS_ASSIGN_OR_RETURN(auto t, versions().working()->GetTable(table));
+    CODS_ASSIGN_OR_RETURN(auto t,
+                          versions().GetSnapshot().root().GetTable(table));
     CompareOp op;
     if (op_text == "=") {
       op = CompareOp::kEq;
@@ -345,7 +415,8 @@ class Shell {
 
   Status Advise(const std::string& table, const std::string& group1,
                 const std::string& group2) {
-    CODS_ASSIGN_OR_RETURN(auto t, versions().working()->GetTable(table));
+    CODS_ASSIGN_OR_RETURN(auto t,
+                          versions().GetSnapshot().root().GetTable(table));
     CODS_ASSIGN_OR_RETURN(auto est,
                           EstimateDecompose(*t, ParseNameGroup(group1),
                                             ParseNameGroup(group2)));
@@ -355,10 +426,9 @@ class Shell {
 
   Status Open(const std::string& path) {
     CODS_ASSIGN_OR_RETURN(Catalog loaded, LoadCatalog(path));
-    *local_versions_.working() = std::move(loaded);
+    local_versions_.Reset(loaded);
     log_.Clear();
-    std::cout << "opened " << path << " ("
-              << local_versions_.working()->size() << " tables)\n";
+    std::cout << "opened " << path << " (" << loaded.size() << " tables)\n";
     return Status::OK();
   }
 
@@ -406,7 +476,7 @@ class Shell {
 
   template <typename Fn>
   void WithTable(const std::string& name, Fn&& fn) {
-    auto t = versions().working()->GetTable(name);
+    auto t = versions().GetSnapshot().root().GetTable(name);
     if (!t.ok()) {
       std::cout << "error: " << t.status().ToString() << "\n";
       return;
@@ -437,17 +507,29 @@ class Shell {
       "  .save <path>  .open <path>  .commit <msg>  .log  .checkout <v>\n"
       "  .checkpoint             force a checkpoint + WAL reset (--db)\n"
       "  .wal                    durability status: LSNs, sizes (--db)\n"
+      "  .snapshot               serving stats: root id, commits/aborts,\n"
+      "                          live reader pins\n"
+      "  .session open <name>    pin the current snapshot under <name>\n"
+      "  .session run <name> <query;>  query that pinned snapshot (reads\n"
+      "                          the db as of the pin, ignoring later SMOs)\n"
+      "  .session close <name>   release the pin\n"
+      "  .sessions               list pinned sessions\n"
       "  .plan <file|script>     show a script's dependency-DAG plan\n"
       "  .runplan <file|script>  execute via planner (overlaps SMOs)\n"
       "  .undo  .help  .quit\n"
-      "Started with --db <dir>, every statement is WAL-logged and fsync'd\n"
-      "before 'ok'; reopening the directory recovers the committed state.\n";
+      "Queries always run on a pinned snapshot root, so a concurrently\n"
+      "committing script never tears a result. Started with --db <dir>,\n"
+      "every statement is WAL-logged and fsync'd strictly before its root\n"
+      "swap becomes visible ('ok'); reopening the directory recovers the\n"
+      "committed state, and sessions/.snapshot work the same way.\n";
 
   std::unique_ptr<DurableDb> db_;
   VersionedCatalog local_versions_;
   LoggingObserver observer_;
   EvolutionEngine engine_;
   EvolutionLog log_;
+  // Named reader pins (.session); each holds its root alive.
+  std::map<std::string, Snapshot> sessions_;
 };
 
 }  // namespace

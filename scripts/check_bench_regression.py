@@ -30,6 +30,14 @@ Behavior:
     ``--min-anchor-series`` common series exist).
   * Runs taken at a different ``cods_threads`` context than the baseline
     are skipped with a warning (timings are not comparable).
+  * LARGER-IS-BETTER counters (``--rate-counters``, default
+    ``queries_per_sec``): a series carrying one of these counters is a
+    throughput series. Its counter is gated with the ratio INVERTED
+    (current below baseline is the regression), best-of-repetitions is
+    the MAX, and the same median-anchor machine-relative mode applies.
+    Its per-iteration time is EXCLUDED from the time-based gate and its
+    anchor — a manual-time batch duration is workload bookkeeping, not a
+    latency to gate (the throughput counter already covers it).
   * Machine-relative mode is blind to a slowdown hitting the MAJORITY of
     a file's series at once (it folds into the median anchor), so a
     coarse ABSOLUTE sanity bound backs it up: per file, neither the
@@ -85,6 +93,47 @@ def series(doc, metric):
     return out
 
 
+def rate_series(doc, counters):
+    """Larger-is-better counter values: ``name[counter]`` -> MAX across
+    raw repetitions (best-of-N for throughput is the max), else the
+    ``_median`` aggregate. The key carries the counter name so one
+    series can gate several counters independently."""
+    raw_max = {}
+    medians = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            if name.endswith("_median"):
+                stem = name[: -len("_median")]
+                for c in counters:
+                    if c in b:
+                        medians[f"{stem}[{c}]"] = float(b[c])
+            continue
+        if name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        for c in counters:
+            if c in b:
+                key = f"{name}[{c}]"
+                v = float(b[c])
+                raw_max[key] = max(v, raw_max.get(key, v))
+    out = medians
+    out.update(raw_max)
+    return out
+
+
+def rate_carriers(doc, counters):
+    """Names of series that carry any larger-is-better counter (their
+    time belongs to the throughput gate, not the latency gate)."""
+    names = set()
+    for b in doc.get("benchmarks", []):
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate" or name.endswith(AGGREGATE_SUFFIXES):
+            continue
+        if any(c in b for c in counters):
+            names.add(name)
+    return names
+
+
 def context_threads(doc):
     return doc.get("context", {}).get("cods_threads")
 
@@ -111,7 +160,8 @@ def median(values):
 
 
 def compare(baseline_path, current_path, threshold, metric, absolute,
-            min_anchor_series, noise_floor_us, wall_factor):
+            min_anchor_series, noise_floor_us, wall_factor,
+            rate_counters=()):
     base = load(baseline_path)
     cur = load(current_path)
     bt, ct = context_threads(base), context_threads(cur)
@@ -123,6 +173,13 @@ def compare(baseline_path, current_path, threshold, metric, absolute,
         return None
     base_series = series(base, metric)
     cur_series = series(cur, metric)
+    # Throughput series (larger-is-better counters) leave the time-based
+    # gates entirely — per-series AND the summed-metric bound. Their
+    # counter is gated below (inverted) and their run cost still counts
+    # against the wall_ms bound.
+    throughput = rate_carriers(base, rate_counters) | rate_carriers(
+        cur, rate_counters
+    )
     regressions = []
     # Coarse absolute sanity bound: a uniform slowdown moves the relative
     # anchor, not the per-series ratios — but it cannot hide from the
@@ -154,7 +211,9 @@ def compare(baseline_path, current_path, threshold, metric, absolute,
     # timings themselves, compared absolutely (no anchor) under the same
     # loose factor.
     metric_common = [
-        n for n in set(base_series) & set(cur_series) if base_series[n] > 0
+        n
+        for n in set(base_series) & set(cur_series)
+        if base_series[n] > 0 and n not in throughput
     ]
     base_total = sum(base_series[n] for n in metric_common)
     cur_total = sum(cur_series[n] for n in metric_common)
@@ -181,6 +240,7 @@ def compare(baseline_path, current_path, threshold, metric, absolute,
         name
         for name in set(base_series) & set(cur_series)
         if base_series[name] > 0 and cur_series[name] > 0
+        and name not in throughput
     )
     # Sub-floor series cannot be timed to the gate's precision (a
     # handful of microseconds swings tens of percent); excluding them is
@@ -194,6 +254,45 @@ def compare(baseline_path, current_path, threshold, metric, absolute,
             + ("..." if len(floored) > 4 else "")
         )
         common = [n for n in common if n not in set(floored)]
+
+    # Larger-is-better gate: same anchor machinery, ratio inverted —
+    # the regression is the CURRENT value falling below the baseline.
+    base_rates = rate_series(base, rate_counters)
+    cur_rates = rate_series(cur, rate_counters)
+    rate_missing = sorted(set(base_rates) - set(cur_rates))
+    if rate_missing:
+        print(
+            f"WARN {os.path.basename(current_path)}: rate counters removed: "
+            + ", ".join(rate_missing[:5])
+            + ("..." if len(rate_missing) > 5 else "")
+        )
+    rate_common = sorted(
+        k
+        for k in set(base_rates) & set(cur_rates)
+        if base_rates[k] > 0 and cur_rates[k] > 0
+    )
+    if rate_common:
+        rate_anchor = 1.0
+        if not absolute and len(rate_common) >= min_anchor_series:
+            rate_anchor = median(
+                [cur_rates[k] / base_rates[k] for k in rate_common]
+            )
+            print(
+                f"{os.path.basename(current_path)}: rate-relative mode, "
+                f"{rate_anchor:.2f}x median throughput over "
+                f"{len(rate_common)} counters"
+            )
+        for k in rate_common:
+            b, c = base_rates[k], cur_rates[k] / rate_anchor
+            ratio = b / c  # inverted: larger is better
+            status = "OK"
+            if ratio > 1.0 + threshold:
+                status = "RATE-REG"
+                regressions.append((k, b, c, ratio))
+            print(
+                f"{status:10s} {k:60s} {b:12.3f} -> {c:12.3f} ({ratio:5.2f}x)"
+            )
+
     if not common:
         return regressions
 
@@ -261,8 +360,17 @@ def main():
         "the baseline total (absolute backstop for uniform slowdowns "
         "the relative anchor cancels); <= 0 disables",
     )
+    ap.add_argument(
+        "--rate-counters",
+        default="queries_per_sec",
+        help="comma-separated larger-is-better counters; series carrying "
+        "one are gated on the counter (ratio inverted) instead of time",
+    )
     ap.add_argument("--update", action="store_true")
     args = ap.parse_args()
+    rate_counters = tuple(
+        c for c in args.rate_counters.split(",") if c.strip()
+    )
 
     current = sorted(
         f
@@ -296,6 +404,7 @@ def main():
             args.metric, args.absolute, args.min_anchor_series,
             args.noise_floor_us,
             args.wall_factor if args.wall_factor > 0 else None,
+            rate_counters,
         )
         if result is None:  # thread-context mismatch
             skipped += 1

@@ -33,6 +33,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Constraint violation";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kTypeError = 8,         // value/type mismatch
   kConstraintViolation = 9,  // key/FD precondition does not hold
   kCancelled = 10,        // work skipped because a prerequisite failed
+  kAborted = 11,          // optimistic commit lost a write-write conflict
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -77,6 +78,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -101,6 +105,7 @@ class Status {
     return code() == StatusCode::kConstraintViolation;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

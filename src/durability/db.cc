@@ -10,15 +10,17 @@ namespace cods {
 
 namespace {
 
-// Replays one committed script entry against `catalog`. The statements
-// were parsed from engine-produced `Smo::ToString` text and succeeded
-// once, so any parse or apply failure here means the log (or the code)
-// no longer matches the catalog — a hard corruption, not a user error.
-Status ReplayScript(const WalEntry& entry, Catalog* catalog,
+// Replays one committed script entry against the serving core. The
+// statements were parsed from engine-produced `Smo::ToString` text and
+// succeeded once, so any parse or apply failure here means the log (or
+// the code) no longer matches the catalog — a hard corruption, not a
+// user error. Replay commits one root per statement; root ids are not
+// persisted, so the recovered state (the map contents) is what matters.
+Status ReplayScript(const WalEntry& entry, SnapshotCatalog* serving,
                     const EngineOptions& engine_options) {
   EngineOptions opts = engine_options;
   opts.wal = nullptr;  // replay must not re-log
-  EvolutionEngine engine(catalog, /*observer=*/nullptr, opts);
+  EvolutionEngine engine(serving, /*observer=*/nullptr, opts);
   for (uint32_t i = 0; i < entry.applied; ++i) {
     CODS_ASSIGN_OR_RETURN(Smo smo, ParseSmoStatement(entry.statements[i]));
     Status st = engine.Apply(smo);
@@ -52,7 +54,7 @@ Result<std::unique_ptr<DurableDb>> DurableDb::Open(Env* env,
   if (env->FileExists(db->CheckpointPath())) {
     CODS_ASSIGN_OR_RETURN(CheckpointContents ckpt,
                           ReadCheckpoint(env, db->dir_));
-    *db->versions_.working() = std::move(ckpt.catalog);
+    db->versions_.Reset(ckpt.catalog);
     db->checkpoint_lsn_ = ckpt.wal_lsn;
   }
 
@@ -82,7 +84,7 @@ Result<std::unique_ptr<DurableDb>> DurableDb::Open(Env* env,
         db->versions_.Commit(entry.message);
         ++db->replayed_marks_;
       } else {
-        CODS_RETURN_NOT_OK(ReplayScript(entry, db->versions_.working(),
+        CODS_RETURN_NOT_OK(ReplayScript(entry, db->versions_.serving(),
                                         db->options_.engine));
         ++db->replayed_scripts_;
       }
@@ -112,7 +114,10 @@ Status DurableDb::Healthy() const {
 void DurableDb::RebuildEngine() {
   EngineOptions opts = options_.engine;
   opts.wal = wal_.get();
-  engine_ = std::make_unique<EvolutionEngine>(versions_.working(),
+  // Snapshot-commit mode: the engine stages against the serving core's
+  // current root and the WAL fsync runs inside the commit critical
+  // section, before the root swap.
+  engine_ = std::make_unique<EvolutionEngine>(versions_.serving(),
                                               /*observer=*/nullptr, opts);
 }
 
@@ -145,8 +150,11 @@ Status DurableDb::Checkpoint() {
   // fsync'd, so everything up to next_lsn-1 is durable and reflected in
   // the working catalog.
   const uint64_t covering_lsn = wal_->next_lsn() - 1;
-  CODS_RETURN_NOT_OK(
-      WriteCheckpoint(env_, dir_, *versions_.working(), covering_lsn));
+  // The image is the currently served root, materialized; pinning the
+  // snapshot first keeps it stable while the file is written.
+  Snapshot snap = versions_.GetSnapshot();
+  CODS_RETURN_NOT_OK(WriteCheckpoint(env_, dir_, MaterializeCatalog(snap.root()),
+                                     covering_lsn));
   checkpoint_lsn_ = covering_lsn;
   // Reset the WAL: its entries are all covered now. A crash between the
   // checkpoint rename and the reopen below is safe — recovery skips

@@ -5,9 +5,11 @@
 //
 //   open  = load last good checkpoint (if any) + replay the WAL suffix
 //           whose commit LSNs exceed the checkpoint's covering LSN
-//   write = engine logs BEGIN/STATEMENT*/COMMIT, fsyncs the commit,
-//           then (policy) auto-checkpoints once the WAL grows past a
-//           size threshold and resets the log
+//   write = engine stages the script against the current root, then —
+//           inside the commit critical section — logs BEGIN/STATEMENT*/
+//           COMMIT, fsyncs, and swaps the root; (policy) auto-
+//           checkpoints once the WAL grows past a size threshold and
+//           resets the log
 //
 // Invariants proved by tests/test_recovery.cc under FaultInjectionEnv:
 // after a crash at ANY operation, re-opening the directory yields a
@@ -24,6 +26,14 @@
 // as self-committing marks and reproduced by replay; marks older than
 // the covering checkpoint are not reconstructed (the checkpoint holds
 // only the catalog image).
+//
+// Concurrent serving: the catalog state lives in the VersionedCatalog's
+// SnapshotCatalog core, and the engine runs in snapshot-commit mode —
+// reader threads pin roots with GetSnapshot() and query them while
+// ApplyScript commits. The WAL COMMIT fsync runs inside the commit
+// critical section strictly BEFORE the root swap, so a root readers can
+// observe always corresponds to a crash-durable script, and recovery
+// and concurrency agree on what "committed" means.
 
 #ifndef CODS_DURABILITY_DB_H_
 #define CODS_DURABILITY_DB_H_
@@ -72,9 +82,13 @@ class DurableDb {
   DurableDb(const DurableDb&) = delete;
   DurableDb& operator=(const DurableDb&) = delete;
 
-  /// The recovered working catalog (query it freely).
-  Catalog* catalog() { return versions_.working(); }
-  /// The version history; mutate it only through CommitVersion.
+  /// Pins the current committed root for reading: one atomic load,
+  /// never blocked by a writer. The snapshot stays consistent (and its
+  /// tables alive) however many scripts commit after it.
+  Snapshot GetSnapshot() const { return versions_.GetSnapshot(); }
+  /// The version history + serving core; commit versions only through
+  /// CommitVersion, and route raw (non-statement) mutation through
+  /// versions()->Apply — both keep the WAL and the roots in step.
   VersionedCatalog* versions() { return &versions_; }
 
   /// Durably applies a script: WAL-logged, fsync'd at commit, then

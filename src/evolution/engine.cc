@@ -1,5 +1,6 @@
 #include "evolution/engine.h"
 
+#include "concurrency/snapshot_catalog.h"
 #include "durability/wal.h"
 #include "plan/script_planner.h"
 #include "plan/staged_catalog.h"
@@ -10,10 +11,22 @@ EvolutionEngine::EvolutionEngine(Catalog* catalog,
                                  EvolutionObserver* observer,
                                  EngineOptions options)
     : catalog_(catalog),
+      snapshots_(nullptr),
       observer_(observer),
       options_(options),
       exec_ctx_(options.num_threads) {
   CODS_CHECK(catalog_ != nullptr);
+}
+
+EvolutionEngine::EvolutionEngine(SnapshotCatalog* snapshots,
+                                 EvolutionObserver* observer,
+                                 EngineOptions options)
+    : catalog_(nullptr),
+      snapshots_(snapshots),
+      observer_(observer),
+      options_(options),
+      exec_ctx_(options.num_threads) {
+  CODS_CHECK(snapshots_ != nullptr);
 }
 
 Status EvolutionEngine::MaybeValidate(const Table& table) {
@@ -23,6 +36,9 @@ Status EvolutionEngine::MaybeValidate(const Table& table) {
 }
 
 Status EvolutionEngine::Apply(const Smo& smo) {
+  if (snapshots_ != nullptr) {
+    return RunSnapshot({smo}, nullptr, /*planned=*/false);
+  }
   if (options_.wal != nullptr) {
     return RunLogged({smo}, nullptr, /*planned=*/false);
   }
@@ -61,6 +77,9 @@ Status EvolutionEngine::ApplyTo(TableStore& store, const Smo& smo,
 }
 
 Status EvolutionEngine::ApplyAll(const std::vector<Smo>& script) {
+  if (snapshots_ != nullptr) {
+    return RunSnapshot(script, nullptr, options_.plan_scripts);
+  }
   if (options_.wal != nullptr) {
     return RunLogged(script, nullptr, options_.plan_scripts);
   }
@@ -104,22 +123,37 @@ Status EvolutionEngine::RunLogged(const std::vector<Smo>& script,
 
 Status EvolutionEngine::ApplyAllPlanned(const std::vector<Smo>& script,
                                         TaskGraphStats* stats) {
+  if (snapshots_ != nullptr) return RunSnapshot(script, stats, true);
   if (options_.wal != nullptr) return RunLogged(script, stats, true);
   return RunPlanned(script, stats, nullptr);
 }
 
-Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
-                                   TaskGraphStats* stats, size_t* applied) {
-  if (stats != nullptr) *stats = {};
-  if (script.empty()) return Status::OK();
+Status EvolutionEngine::StageScript(
+    StagedCatalog* staged, const std::vector<Smo>& script, bool planned,
+    TaskGraphStats* stats, std::vector<std::vector<CatalogEffect>>* effects,
+    size_t* applied) {
   const size_t n = script.size();
-  ScriptPlan plan = PlanScript(script);
+  *applied = 0;
 
-  StagedCatalog staged(catalog_);
-  std::vector<std::vector<CatalogEffect>> effects(n);
+  if (!planned) {
+    // Serial staging: one operator at a time against the overlay, same
+    // order and context strings as RunSerial.
+    for (size_t i = 0; i < n; ++i) {
+      StagedCatalog::View view = staged->MakeView(&(*effects)[i]);
+      Status st = ApplyTo(view, script[i], observer_)
+                      .WithContext(script[i].ToString());
+      if (!st.ok()) return st;
+      ++*applied;
+    }
+    return Status::OK();
+  }
+
+  ScriptPlan plan = PlanScript(script);
   std::vector<StagedCatalog::View> views;
   views.reserve(n);
-  for (size_t i = 0; i < n; ++i) views.push_back(staged.MakeView(&effects[i]));
+  for (size_t i = 0; i < n; ++i) {
+    views.push_back(staged->MakeView(&(*effects)[i]));
+  }
 
   // Observers written for serial execution must not see concurrent
   // callbacks from overlapping operators.
@@ -155,17 +189,71 @@ Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
     if (!any_task_failed) return run_status;
   }
 
-  // Commit staged effects in script order, stopping at the first failed
-  // operator — exactly the prefix serial ApplyAll would have applied.
+  // The commit prefix stops at the first failed SCRIPT position —
+  // exactly the operators serial ApplyAll would have applied.
   for (size_t i = 0; i < n; ++i) {
     const Status& st = graph.task_status(static_cast<int>(i));
     if (!st.ok()) return st;
+    ++*applied;
+  }
+  return Status::OK();
+}
+
+Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
+                                   TaskGraphStats* stats, size_t* applied) {
+  if (stats != nullptr) *stats = {};
+  if (script.empty()) return Status::OK();
+  StagedCatalog staged(catalog_);
+  std::vector<std::vector<CatalogEffect>> effects(script.size());
+  size_t prefix = 0;
+  Status run =
+      StageScript(&staged, script, /*planned=*/true, stats, &effects, &prefix);
+  // Commit the staged effects of the applied prefix in script order.
+  for (size_t i = 0; i < prefix; ++i) {
     for (const CatalogEffect& effect : effects[i]) {
       CODS_RETURN_NOT_OK(ApplyEffect(effect, catalog_));
     }
     if (applied != nullptr) ++*applied;
   }
-  return Status::OK();
+  return run;
+}
+
+Status EvolutionEngine::RunSnapshot(const std::vector<Smo>& script,
+                                    TaskGraphStats* stats, bool planned) {
+  if (stats != nullptr) *stats = {};
+  if (script.empty()) return Status::OK();
+  // Pin the base root and stage the whole script against it; readers
+  // keep serving, and nothing here touches the published root.
+  RootPtr base = snapshots_->current();
+  StagedCatalog staged(base.get());
+  std::vector<std::vector<CatalogEffect>> effects(script.size());
+  size_t applied = 0;
+  Status run = StageScript(&staged, script, planned, stats, &effects, &applied);
+
+  std::vector<CatalogEffect> prefix;
+  for (size_t i = 0; i < applied; ++i) {
+    prefix.insert(prefix.end(), effects[i].begin(), effects[i].end());
+  }
+  // In snapshot mode the WAL records the script inside the commit
+  // critical section: after conflict validation (an aborted script
+  // never reaches the log — it had no effect, so replay must not see
+  // it) and strictly before the root swap (readers can only observe
+  // roots whose scripts are fsync-durable).
+  SnapshotCatalog::PreSwapFn pre_swap;
+  if (options_.wal != nullptr) {
+    pre_swap = [this, &script, applied]() -> Status {
+      WalWriter& wal = *options_.wal;
+      CODS_RETURN_NOT_OK(wal.BeginScript());
+      for (const Smo& smo : script) {
+        CODS_RETURN_NOT_OK(wal.AppendStatement(smo.ToString()));
+      }
+      return wal.CommitScript(static_cast<uint32_t>(applied));
+    };
+  }
+  // A conflict abort or durability failure outranks the script's own
+  // status: the caller must not treat any part of it as applied.
+  CODS_RETURN_NOT_OK(snapshots_->CommitEffects(base, prefix, pre_swap));
+  return run;
 }
 
 Status EvolutionEngine::ApplyCreateTable(TableStore& store, const Smo& smo) {

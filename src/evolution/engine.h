@@ -29,7 +29,10 @@
 
 namespace cods {
 
-class WalWriter;  // durability/wal.h
+class WalWriter;        // durability/wal.h
+class SnapshotCatalog;  // concurrency/snapshot_catalog.h
+class StagedCatalog;    // plan/staged_catalog.h
+struct CatalogEffect;   // plan/staged_catalog.h
 
 /// Engine options.
 struct EngineOptions {
@@ -58,6 +61,12 @@ struct EngineOptions {
   /// succeeded, which keeps mid-script failures replayable. A WAL write
   /// failure outranks the script's own status. Owned by the caller
   /// (durability/db.h).
+  ///
+  /// In snapshot-commit mode (engine bound to a SnapshotCatalog) the
+  /// whole script is instead logged inside the commit critical section,
+  /// after conflict validation and strictly before the root swap: an
+  /// aborted script never reaches the log, and a root can only become
+  /// visible to readers once the script producing it is fsync-durable.
   WalWriter* wal = nullptr;
 };
 
@@ -72,6 +81,17 @@ struct EngineOptions {
 class EvolutionEngine {
  public:
   explicit EvolutionEngine(Catalog* catalog,
+                           EvolutionObserver* observer = nullptr,
+                           EngineOptions options = {});
+
+  /// Snapshot-commit mode: scripts stage against the catalog's current
+  /// root (readers keep serving pinned snapshots, unblocked) and commit
+  /// through SnapshotCatalog's first-writer-wins protocol — a competing
+  /// committed writer aborts the script with kAborted unless the write
+  /// sets are disjoint, in which case the effects rebase cleanly. Both
+  /// the serial path and the planned task graph stage the same way; only
+  /// the commit differs from Catalog mode.
+  explicit EvolutionEngine(SnapshotCatalog* snapshots,
                            EvolutionObserver* observer = nullptr,
                            EngineOptions options = {});
 
@@ -94,7 +114,10 @@ class EvolutionEngine {
   Status ApplyAllPlanned(const std::vector<Smo>& script,
                          TaskGraphStats* stats = nullptr);
 
+  /// The bound catalog (null in snapshot-commit mode).
   Catalog* catalog() { return catalog_; }
+  /// The bound snapshot catalog (null in Catalog mode).
+  SnapshotCatalog* snapshots() { return snapshots_; }
 
  private:
   // Unlogged execution cores; `applied` (optional) receives the number
@@ -102,9 +125,23 @@ class EvolutionEngine {
   Status RunSerial(const std::vector<Smo>& script, size_t* applied);
   Status RunPlanned(const std::vector<Smo>& script, TaskGraphStats* stats,
                     size_t* applied);
-  // The log-before-apply wrapper around either core.
+  // The log-before-apply wrapper around either core (Catalog mode).
   Status RunLogged(const std::vector<Smo>& script, TaskGraphStats* stats,
                    bool planned);
+  // Snapshot-commit core: stages the script against the current root,
+  // then commits the applied prefix's effects (WAL-logging, when
+  // configured, inside the commit critical section before the swap).
+  Status RunSnapshot(const std::vector<Smo>& script, TaskGraphStats* stats,
+                     bool planned);
+  // Stages a script against `staged` without committing anything:
+  // serial loop or planner + task graph. On return `effects[i]` holds
+  // operator i's staged effects, `applied` the length of the commit
+  // prefix (every operator before the first script-order failure), and
+  // the returned Status is that first failure (OK when all ran).
+  Status StageScript(StagedCatalog* staged, const std::vector<Smo>& script,
+                     bool planned, TaskGraphStats* stats,
+                     std::vector<std::vector<CatalogEffect>>* effects,
+                     size_t* applied);
   // Operator interpreters, parameterized over the table store so the
   // same code runs directly on the catalog (Apply) and on a staged
   // overlay (ApplyAllPlanned). `observer` rather than the member so
@@ -125,7 +162,8 @@ class EvolutionEngine {
   // Validates a produced table when validate_outputs is on.
   Status MaybeValidate(const Table& table);
 
-  Catalog* catalog_;
+  Catalog* catalog_;            // exactly one of catalog_ /
+  SnapshotCatalog* snapshots_;  // snapshots_ is non-null
   EvolutionObserver* observer_;
   EngineOptions options_;
   ExecContext exec_ctx_;

@@ -27,7 +27,7 @@ namespace {
 
 // Inverse of MERGE S,T INTO R: decompose R back into the original S and
 // T, reading their column lists and keys from the pre-merge catalog.
-Result<Smo> InvertMerge(const Smo& smo, const Catalog& pre_state) {
+Result<Smo> InvertMerge(const Smo& smo, const TableStore& pre_state) {
   CODS_ASSIGN_OR_RETURN(auto s, pre_state.GetTable(smo.table));
   CODS_ASSIGN_OR_RETURN(auto t, pre_state.GetTable(smo.table2));
   return Smo::DecomposeTable(smo.out1, smo.table, s->schema().ColumnNames(),
@@ -37,7 +37,7 @@ Result<Smo> InvertMerge(const Smo& smo, const Catalog& pre_state) {
 
 // Inverse of DECOMPOSE R INTO S,T: merge S and T back on the common
 // attributes.
-Result<Smo> InvertDecompose(const Smo& smo, const Catalog& pre_state) {
+Result<Smo> InvertDecompose(const Smo& smo, const TableStore& pre_state) {
   CODS_ASSIGN_OR_RETURN(auto r, pre_state.GetTable(smo.table));
   std::vector<std::string> common;
   for (const std::string& c : smo.columns1) {
@@ -57,7 +57,7 @@ Result<Smo> InvertDecompose(const Smo& smo, const Catalog& pre_state) {
 
 }  // namespace
 
-Result<Smo> InvertSmo(const Smo& smo, const Catalog& pre_state) {
+Result<Smo> InvertSmo(const Smo& smo, const TableStore& pre_state) {
   switch (smo.kind) {
     case SmoKind::kCreateTable:
       return Smo::DropTable(smo.out1);
@@ -91,7 +91,7 @@ Result<Smo> InvertSmo(const Smo& smo, const Catalog& pre_state) {
   return Status::NotImplemented("unknown SMO kind");
 }
 
-Status EvolutionLog::Record(const Smo& smo, const Catalog& pre_state) {
+Status EvolutionLog::Record(const Smo& smo, const TableStore& pre_state) {
   CODS_ASSIGN_OR_RETURN(Smo inverse, InvertSmo(smo, pre_state));
   applied_.push_back(smo);
   inverses_.push_back(std::move(inverse));

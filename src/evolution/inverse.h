@@ -26,7 +26,7 @@ bool IsInvertible(SmoKind kind);
 /// `smo` is applied. Fails with ConstraintViolation for lossy operators
 /// and with the usual lookup errors when `smo` references missing
 /// tables/columns.
-Result<Smo> InvertSmo(const Smo& smo, const Catalog& pre_state);
+Result<Smo> InvertSmo(const Smo& smo, const TableStore& pre_state);
 
 /// Records applied operators together with their inverses (captured
 /// against the pre-application state) and can emit the undo script.
@@ -35,7 +35,7 @@ class EvolutionLog {
   /// Captures the inverse of `smo` against `pre_state`, then remembers
   /// both. Fails (and records nothing) if `smo` is not invertible —
   /// callers that allow lossy ops should check IsInvertible first.
-  Status Record(const Smo& smo, const Catalog& pre_state);
+  Status Record(const Smo& smo, const TableStore& pre_state);
 
   /// Operators recorded so far, oldest first.
   const std::vector<Smo>& applied() const { return applied_; }

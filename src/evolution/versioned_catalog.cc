@@ -4,17 +4,18 @@
 
 namespace cods {
 
+Status VersionedCatalog::Apply(const std::function<Status(TableStore&)>& fn) {
+  SnapshotCatalog::WriteTxn txn = serving_.BeginWrite();
+  CODS_RETURN_NOT_OK(fn(txn.store()));
+  return serving_.Commit(std::move(txn));
+}
+
 uint64_t VersionedCatalog::Commit(const std::string& message) {
-  Snapshot snap;
-  snap.message = message;
-  for (const std::string& name : working_.TableNames()) {
-    snap.tables.emplace(name, working_.GetTable(name).ValueOrDie());
-  }
-  versions_.push_back(std::move(snap));
+  versions_.push_back({message, serving_.current()});
   return versions_.size();  // 1-based id
 }
 
-Result<const VersionedCatalog::Snapshot*> VersionedCatalog::FindVersion(
+Result<const VersionedCatalog::Version*> VersionedCatalog::FindVersion(
     uint64_t version) const {
   if (version == 0 || version > versions_.size()) {
     return Status::OutOfRange("no version " + std::to_string(version) +
@@ -32,7 +33,7 @@ std::vector<VersionedCatalog::VersionInfo> VersionedCatalog::History()
     VersionInfo info;
     info.id = i + 1;
     info.message = versions_[i].message;
-    for (const auto& [name, table] : versions_[i].tables) {
+    for (const auto& [name, table] : versions_[i].root->tables()) {
       info.table_names.push_back(name);
       info.total_rows += table->rows();
     }
@@ -43,31 +44,24 @@ std::vector<VersionedCatalog::VersionInfo> VersionedCatalog::History()
 
 Result<std::shared_ptr<const Table>> VersionedCatalog::GetTableAt(
     uint64_t version, const std::string& name) const {
-  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
-  auto it = snap->tables.find(name);
-  if (it == snap->tables.end()) {
+  CODS_ASSIGN_OR_RETURN(const Version* v, FindVersion(version));
+  std::shared_ptr<const Table> table = v->root->Lookup(name);
+  if (table == nullptr) {
     return Status::KeyError("no table '" + name + "' in version " +
                             std::to_string(version));
   }
-  return it->second;
+  return table;
 }
 
 Result<std::vector<std::string>> VersionedCatalog::TableNamesAt(
     uint64_t version) const {
-  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
-  std::vector<std::string> names;
-  names.reserve(snap->tables.size());
-  for (const auto& [name, _] : snap->tables) names.push_back(name);
-  return names;
+  CODS_ASSIGN_OR_RETURN(const Version* v, FindVersion(version));
+  return v->root->TableNames();
 }
 
 Status VersionedCatalog::Checkout(uint64_t version) {
-  CODS_ASSIGN_OR_RETURN(const Snapshot* snap, FindVersion(version));
-  Catalog fresh;
-  for (const auto& [name, table] : snap->tables) {
-    CODS_RETURN_NOT_OK(fresh.AddTable(table));
-  }
-  working_ = std::move(fresh);
+  CODS_ASSIGN_OR_RETURN(const Version* v, FindVersion(version));
+  serving_.Reset(MaterializeCatalog(*v->root));
   return Status::OK();
 }
 
@@ -84,12 +78,11 @@ VersionedCatalog::StorageStats VersionedCatalog::ComputeStorageStats()
       }
     }
   };
-  for (const Snapshot& snap : versions_) {
-    for (const auto& [_, table] : snap.tables) account(table);
+  for (const Version& v : versions_) {
+    for (const auto& [_, table] : v.root->tables()) account(table);
   }
-  for (const std::string& name : working_.TableNames()) {
-    account(working_.GetTable(name).ValueOrDie());
-  }
+  Snapshot snap = serving_.GetSnapshot();
+  for (const auto& [_, table] : snap.root().tables()) account(table);
   return stats;
 }
 

@@ -1,22 +1,35 @@
 // Versioned catalog: cheap snapshots of the whole database across schema
 // versions. Because tables and columns are immutable and shared by
-// pointer, committing a version costs O(#tables) pointers, not a data
-// copy — the Wikipedia-style "170 schema versions in 5 years" history
-// from the paper's introduction becomes affordable to keep online, and
-// any old version stays queryable.
+// pointer, committing a version costs O(1) — it pins the serving core's
+// current root — and the Wikipedia-style "170 schema versions in 5
+// years" history from the paper's introduction stays affordable to keep
+// online, with every old version queryable.
+//
+// Serving and history share one representation: the working state lives
+// in a SnapshotCatalog (concurrency/snapshot_catalog.h), each committed
+// version is a RootPtr into the same shared-root graph, and readers pin
+// either with the same Snapshot handle. There is no mutable escape
+// hatch: all mutation flows through the engine's snapshot-commit mode
+// or through Apply(), so the atomic root swap is the single choke point
+// every writer crosses.
 
 #ifndef CODS_EVOLUTION_VERSIONED_CATALOG_H_
 #define CODS_EVOLUTION_VERSIONED_CATALOG_H_
 
-#include <map>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "concurrency/snapshot_catalog.h"
 #include "storage/catalog.h"
 
 namespace cods {
 
-/// A catalog plus an append-only history of committed versions.
+/// A serving SnapshotCatalog plus an append-only history of committed
+/// versions, each a pinned root. Reads (GetSnapshot, history queries)
+/// are safe against a concurrent writer; the mutating calls (Apply,
+/// Commit, Checkout, Reset) are writer-side and must come from one
+/// writer at a time, like the engine's commit protocol they ride on.
 class VersionedCatalog {
  public:
   /// Metadata of one committed version.
@@ -32,12 +45,27 @@ class VersionedCatalog {
   VersionedCatalog(const VersionedCatalog&) = delete;
   VersionedCatalog& operator=(const VersionedCatalog&) = delete;
 
-  /// The mutable working catalog (apply SMOs against this).
-  Catalog* working() { return &working_; }
-  const Catalog& working() const { return working_; }
+  /// The serving core. Bind an EvolutionEngine to this for SMO scripts;
+  /// pin query snapshots with GetSnapshot().
+  SnapshotCatalog* serving() { return &serving_; }
+  const SnapshotCatalog& serving() const { return serving_; }
 
-  /// Snapshots the working catalog as a new version; returns its id
-  /// (ids start at 1 and increase).
+  /// Pins the current root for reading (one atomic load; never blocks).
+  Snapshot GetSnapshot() const { return serving_.GetSnapshot(); }
+
+  /// The apply-and-commit path for non-SMO mutation (CSV loads, test
+  /// seeding): runs `fn` against a staged overlay of the current root
+  /// and commits the recorded effects through the snapshot protocol.
+  /// Nothing becomes visible if `fn` fails.
+  Status Apply(const std::function<Status(TableStore&)>& fn);
+
+  /// Replaces the served state wholesale (deserialized catalog, crash
+  /// recovery image). Forced swap — no conflict detection; the history
+  /// is untouched. Existing reader pins keep their old roots.
+  void Reset(const Catalog& catalog) { serving_.Reset(catalog); }
+
+  /// Snapshots the current root as a new version; returns its id (ids
+  /// start at 1 and increase).
   uint64_t Commit(const std::string& message);
 
   /// Number of committed versions.
@@ -53,13 +81,15 @@ class VersionedCatalog {
   /// Table names as of a committed version.
   Result<std::vector<std::string>> TableNamesAt(uint64_t version) const;
 
-  /// Replaces the working catalog with the state of `version` (the
-  /// history itself is untouched, so this models "git checkout").
+  /// Swaps the served root back to the state of `version` (the history
+  /// itself is untouched, so this models "git checkout"). Readers that
+  /// pinned the abandoned timeline keep their snapshots.
   Status Checkout(uint64_t version);
 
   /// Storage accounting: bytes of unique column data reachable from all
-  /// versions (columns shared between versions counted once), and the
-  /// bytes a naive copy-per-version scheme would hold.
+  /// versions plus the served root (columns shared between versions
+  /// counted once), and the bytes a naive copy-per-version scheme would
+  /// hold.
   struct StorageStats {
     uint64_t unique_bytes = 0;
     uint64_t naive_bytes = 0;
@@ -67,15 +97,15 @@ class VersionedCatalog {
   StorageStats ComputeStorageStats() const;
 
  private:
-  struct Snapshot {
+  struct Version {
     std::string message;
-    std::map<std::string, std::shared_ptr<const Table>> tables;
+    RootPtr root;  // shared with serving_'s root graph
   };
 
-  Result<const Snapshot*> FindVersion(uint64_t version) const;
+  Result<const Version*> FindVersion(uint64_t version) const;
 
-  Catalog working_;
-  std::vector<Snapshot> versions_;
+  SnapshotCatalog serving_;
+  std::vector<Version> versions_;
 };
 
 }  // namespace cods

@@ -4,22 +4,22 @@
 
 namespace cods {
 
-Status ApplyEffect(const CatalogEffect& effect, Catalog* catalog) {
+Status ApplyEffect(const CatalogEffect& effect, TableStore* store) {
   switch (effect.kind) {
     case CatalogEffect::Kind::kAdd:
-      return catalog->AddTable(effect.table);
+      return store->AddTable(effect.table);
     case CatalogEffect::Kind::kPut:
-      catalog->PutTable(effect.table);
+      store->PutTable(effect.table);
       return Status::OK();
     case CatalogEffect::Kind::kDrop:
-      return catalog->DropTable(effect.name);
+      return store->DropTable(effect.name);
     case CatalogEffect::Kind::kRename:
-      return catalog->RenameTable(effect.name, effect.name2);
+      return store->RenameTable(effect.name, effect.name2);
   }
   return Status::NotImplemented("unknown catalog effect");
 }
 
-StagedCatalog::StagedCatalog(const Catalog* base) : base_(base) {
+StagedCatalog::StagedCatalog(const TableStore* base) : base_(base) {
   CODS_CHECK(base_ != nullptr);
 }
 

@@ -36,17 +36,18 @@ struct CatalogEffect {
   std::string name2;                   // kRename target
 };
 
-/// Replays one effect onto `catalog` with the matching Catalog call.
-Status ApplyEffect(const CatalogEffect& effect, Catalog* catalog);
+/// Replays one effect onto `store` with the matching TableStore call.
+Status ApplyEffect(const CatalogEffect& effect, TableStore* store);
 
-/// A mutable overlay over an immutable base catalog. Thread-safe: the
+/// A mutable overlay over an immutable base store (a Catalog, or a
+/// pinned CatalogRoot in snapshot-commit mode). Thread-safe: the
 /// script planner orders conflicting tasks, but independent tasks touch
 /// the shared name map concurrently. Obtain per-task TableStore handles
 /// with MakeView; each view appends the mutations it performs to its
 /// own effect log.
 class StagedCatalog {
  public:
-  explicit StagedCatalog(const Catalog* base);
+  explicit StagedCatalog(const TableStore* base);
 
   /// TableStore handle bound to one task's effect log (not owned). The
   /// view must not outlive the StagedCatalog or the log.
@@ -77,7 +78,7 @@ class StagedCatalog {
   Result<std::shared_ptr<const Table>> Get(const std::string& name) const;
   bool Has(const std::string& name) const;
 
-  const Catalog* base_;
+  const TableStore* base_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Table>> overlay_;
 };

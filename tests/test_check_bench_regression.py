@@ -18,11 +18,13 @@ SCRIPT = os.path.join(
 )
 
 
-def bench_doc(series, threads="1", reps=3, wall_ms=None):
+def bench_doc(series, threads="1", reps=3, wall_ms=None, counters=None):
     """A minimal google-benchmark JSON document. `series` maps name ->
     real_time in us; each series gets `reps` raw repetition entries with
     a tiny jitter so best-of-N has something to pick from. `wall_ms`
-    (name -> ms) attaches the run-cost counter."""
+    (name -> ms) attaches the run-cost counter; `counters` (name ->
+    {counter: value}) attaches arbitrary counters (e.g. the
+    larger-is-better queries_per_sec)."""
     benchmarks = []
     for name, us in series.items():
         for rep in range(reps):
@@ -36,6 +38,10 @@ def bench_doc(series, threads="1", reps=3, wall_ms=None):
             }
             if wall_ms is not None:
                 entry["wall_ms"] = wall_ms[name] * (1.0 + 0.01 * rep)
+            if counters is not None and name in counters:
+                for key, value in counters[name].items():
+                    # Jitter downward so max-of-reps picks rep 0.
+                    entry[key] = value * (1.0 - 0.01 * rep)
             benchmarks.append(entry)
     return {"context": {"cods_threads": threads}, "benchmarks": benchmarks}
 
@@ -176,6 +182,91 @@ class GateTest(unittest.TestCase):
                              bench_doc(self.BASE, threads="8"))
         self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
         self.assertIn("cods_threads", proc.stdout + proc.stderr)
+
+    # Four throughput series: enough for the rate anchor to be trusted.
+    STORM = {f"BM_storm/readers:{n}": 1000.0 * n for n in (1, 2, 4, 8)}
+    RATES = {
+        f"BM_storm/readers:{n}": {"queries_per_sec": 500.0 * n}
+        for n in (1, 2, 4, 8)
+    }
+
+    def test_rate_counter_drop_fails_inverted(self):
+        # Throughput FALLING is the regression — a 40% drop on one
+        # series against three unchanged anchors must fail.
+        cur_rates = {
+            k: dict(v) for k, v in self.RATES.items()
+        }
+        cur_rates["BM_storm/readers:4"]["queries_per_sec"] *= 0.6
+        proc = self.run_gate(
+            bench_doc(self.STORM, counters=self.RATES),
+            bench_doc(self.STORM, counters=cur_rates),
+        )
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("RATE-REG", proc.stdout)
+        self.assertIn("queries_per_sec", proc.stdout)
+
+    def test_rate_counter_rise_passes(self):
+        # Throughput going UP is never a regression, however large.
+        cur_rates = {
+            k: {"queries_per_sec": v["queries_per_sec"] * 3}
+            for k, v in self.RATES.items()
+        }
+        proc = self.run_gate(
+            bench_doc(self.STORM, counters=self.RATES),
+            bench_doc(self.STORM, counters=cur_rates),
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_rate_uniform_shift_cancels_in_relative_mode(self):
+        # Every throughput halved: a slower runner; the median rate
+        # anchor absorbs it exactly like the timing anchor does.
+        cur_rates = {
+            k: {"queries_per_sec": v["queries_per_sec"] * 0.5}
+            for k, v in self.RATES.items()
+        }
+        proc = self.run_gate(
+            bench_doc(self.STORM, counters=self.RATES),
+            bench_doc(self.STORM, counters=cur_rates),
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("rate-relative mode", proc.stdout)
+
+    def test_rate_series_time_excluded_from_time_gate(self):
+        # A throughput series' batch time blowing up must not trip the
+        # per-series TIME gate (the counter is the contract there) —
+        # here one storm series is 10x slower in real_time while every
+        # queries_per_sec counter is unchanged.
+        cur_times = dict(self.STORM)
+        cur_times["BM_storm/readers:8"] *= 10
+        base = bench_doc(self.STORM, counters=self.RATES)
+        cur = bench_doc(cur_times, counters=self.RATES)
+        proc = self.run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("REGRESSION", proc.stdout.replace("RATE-REG", ""))
+
+    def test_rate_best_of_repetitions_takes_max(self):
+        # One repetition lost to noise reports a terrible rate; max
+        # across reps keeps the series comparable.
+        base = bench_doc(self.STORM, counters=self.RATES)
+        cur = bench_doc(self.STORM, counters=self.RATES)
+        for entry in cur["benchmarks"]:
+            if entry["repetition_index"] == 2 and "queries_per_sec" in entry:
+                entry["queries_per_sec"] *= 0.1
+        proc = self.run_gate(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_mixed_file_gates_times_and_rates_independently(self):
+        # Latency series and throughput series coexist in one file; a
+        # clean run passes both gates, and a latency regression still
+        # fails even though the rates are healthy.
+        times = dict(self.BASE, **self.STORM)
+        base = bench_doc(times, counters=self.RATES)
+        proc = self.run_gate(base, bench_doc(times, counters=self.RATES))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        slow = dict(times, BM_b=times["BM_b"] * 1.5)
+        proc = self.run_gate(base, bench_doc(slow, counters=self.RATES))
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("BM_b", proc.stdout)
 
     def test_best_of_repetitions_forgives_one_bad_rep(self):
         base = bench_doc(self.BASE)

@@ -1,0 +1,350 @@
+// Tests for the MVCC serving core (src/concurrency/): snapshot pinning,
+// root immutability, the first-writer-wins commit protocol (overlapping
+// write sets abort, disjoint ones rebase), and a raced reader/writer
+// stress that proves snapshot isolation — run it under TSan (CI's tsan
+// job, CODS_THREADS=8) to certify the memory orderings too.
+
+#include "concurrency/snapshot_catalog.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "evolution/engine.h"
+#include "gtest/gtest.h"
+#include "query/query_engine.h"
+#include "test_util.h"
+
+namespace cods {
+namespace {
+
+using ::cods::testing::ExpectSameContent;
+using ::cods::testing::Figure1TableR;
+
+Catalog SeedCatalog() {
+  Catalog catalog;
+  CODS_CHECK_OK(catalog.AddTable(Figure1TableR()));
+  return catalog;
+}
+
+TEST(SnapshotCatalog, StartsEmptyAtRootZero) {
+  SnapshotCatalog serving;
+  Snapshot snap = serving.GetSnapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.id(), 0u);
+  EXPECT_EQ(snap.root().size(), 0u);
+  SnapshotCatalog::Stats stats = serving.GetStats();
+  EXPECT_EQ(stats.root_id, 0u);
+  EXPECT_EQ(stats.commits, 0u);
+  EXPECT_EQ(stats.live_pins, 1);  // `snap` itself
+}
+
+TEST(SnapshotCatalog, CommitPublishesNewRootOldPinsSurvive) {
+  SnapshotCatalog serving;
+  Snapshot before = serving.GetSnapshot();
+
+  SnapshotCatalog::WriteTxn txn = serving.BeginWrite();
+  ASSERT_TRUE(txn.store().AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(serving.Commit(std::move(txn)).ok());
+
+  Snapshot after = serving.GetSnapshot();
+  EXPECT_NE(before.id(), after.id());
+  EXPECT_FALSE(before.root().HasTable("R"));
+  EXPECT_TRUE(after.root().HasTable("R"));
+  // The pre-commit pin still answers from its root.
+  EXPECT_EQ(before.root().size(), 0u);
+  EXPECT_EQ(serving.GetStats().commits, 1u);
+}
+
+TEST(SnapshotCatalog, PinGaugeTracksLiveSnapshots) {
+  SnapshotCatalog serving;
+  EXPECT_EQ(serving.GetStats().live_pins, 0);
+  {
+    Snapshot a = serving.GetSnapshot();
+    Snapshot b = serving.GetSnapshot();
+    Snapshot c = a;  // copies share one pin token
+    EXPECT_EQ(serving.GetStats().live_pins, 2);
+  }
+  EXPECT_EQ(serving.GetStats().live_pins, 0);
+}
+
+TEST(SnapshotCatalog, PublishedRootsAreImmutable) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+  Snapshot snap = serving.GetSnapshot();
+  // The mutating half of TableStore exists only to satisfy the
+  // interface; a published root refuses it.
+  CatalogRoot& root = const_cast<CatalogRoot&>(snap.root());
+  EXPECT_TRUE(root.AddTable(Figure1TableR()).IsInvalidArgument());
+  EXPECT_TRUE(root.DropTable("R").IsInvalidArgument());
+  EXPECT_TRUE(root.RenameTable("R", "S").IsInvalidArgument());
+}
+
+TEST(SnapshotCatalog, OverlappingWritersFirstWinsSecondAborts) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+
+  // Both writers pin the same base and touch the same table.
+  SnapshotCatalog::WriteTxn first = serving.BeginWrite();
+  SnapshotCatalog::WriteTxn second = serving.BeginWrite();
+  ASSERT_TRUE(first.store().DropTable("R").ok());
+  ASSERT_TRUE(second.store().RenameTable("R", "S").ok());
+
+  ASSERT_TRUE(serving.Commit(std::move(first)).ok());
+  Status st = serving.Commit(std::move(second));
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_NE(st.message().find("write-write conflict"), std::string::npos)
+      << st.ToString();
+
+  SnapshotCatalog::Stats stats = serving.GetStats();
+  EXPECT_EQ(stats.aborts, 1u);
+  // The loser left no trace: R is dropped, S never appeared.
+  Snapshot snap = serving.GetSnapshot();
+  EXPECT_FALSE(snap.root().HasTable("R"));
+  EXPECT_FALSE(snap.root().HasTable("S"));
+}
+
+TEST(SnapshotCatalog, DisjointWritersRebaseAndBothCommit) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+
+  SnapshotCatalog::WriteTxn first = serving.BeginWrite();
+  SnapshotCatalog::WriteTxn second = serving.BeginWrite();
+  ASSERT_TRUE(first.store().AddTable(Figure1TableR()->WithName("A")).ok());
+  ASSERT_TRUE(second.store().AddTable(Figure1TableR()->WithName("B")).ok());
+
+  ASSERT_TRUE(serving.Commit(std::move(first)).ok());
+  // Disjoint write sets: the second commit rebases onto the first's
+  // root instead of aborting.
+  Status st = serving.Commit(std::move(second));
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Snapshot snap = serving.GetSnapshot();
+  EXPECT_TRUE(snap.root().HasTable("A"));
+  EXPECT_TRUE(snap.root().HasTable("B"));
+  EXPECT_TRUE(snap.root().HasTable("R"));
+  EXPECT_EQ(serving.GetStats().aborts, 0u);
+}
+
+TEST(SnapshotCatalog, FailedPreSwapHookAbortsThePublish) {
+  SnapshotCatalog serving;
+  SnapshotCatalog::WriteTxn txn = serving.BeginWrite();
+  ASSERT_TRUE(txn.store().AddTable(Figure1TableR()).ok());
+  Status st = serving.Commit(std::move(txn), [] {
+    return Status::IOError("fsync failed");
+  });
+  EXPECT_TRUE(st.IsIOError());
+  // Durability before visibility: the root never swapped.
+  EXPECT_FALSE(serving.GetSnapshot().root().HasTable("R"));
+  EXPECT_EQ(serving.GetStats().commits, 0u);
+}
+
+TEST(SnapshotCatalog, OldSnapshotSurvivesTableDrop) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+  Snapshot pinned = serving.GetSnapshot();
+
+  EvolutionEngine engine(&serving);
+  ASSERT_TRUE(engine.Apply(Smo::DropTable("R")).ok());
+
+  EXPECT_FALSE(serving.GetSnapshot().root().HasTable("R"));
+  // The pinned root keeps the dropped table — and its data — alive.
+  ASSERT_TRUE(pinned.root().HasTable("R"));
+  ExpectSameContent(*Figure1TableR(),
+                    *pinned.root().GetTable("R").ValueOrDie());
+}
+
+TEST(SnapshotCatalog, SnapshotOutlivesTheCatalog) {
+  Snapshot escaped;
+  {
+    SnapshotCatalog serving;
+    serving.Reset(SeedCatalog());
+    escaped = serving.GetSnapshot();
+  }
+  // The pin accounting object is shared, not borrowed: dropping the
+  // snapshot after its SnapshotCatalog died must not crash.
+  ASSERT_TRUE(escaped.valid());
+  EXPECT_TRUE(escaped.root().HasTable("R"));
+}
+
+TEST(SnapshotCatalog, EngineScriptCommitsAtomically) {
+  // A multi-statement script through the snapshot-mode engine publishes
+  // ONE root carrying every statement's effect.
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+  const uint64_t before = serving.GetStats().root_id;
+
+  EvolutionEngine engine(&serving);
+  ASSERT_TRUE(engine
+                  .ApplyAll({Smo::AddColumn("R", {"P1", DataType::kInt64},
+                                            Value(int64_t{1})),
+                             Smo::AddColumn("R", {"P2", DataType::kInt64},
+                                            Value(int64_t{2}))})
+                  .ok());
+
+  SnapshotCatalog::Stats stats = serving.GetStats();
+  EXPECT_EQ(stats.root_id, before + 1);  // one swap, not two
+  auto r = serving.GetSnapshot().root().GetTable("R").ValueOrDie();
+  EXPECT_TRUE(r->schema().HasColumn("P1"));
+  EXPECT_TRUE(r->schema().HasColumn("P2"));
+}
+
+TEST(SnapshotCatalog, FailedScriptPublishesOnlyTheAppliedPrefix) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+
+  EvolutionEngine engine(&serving);
+  Status st = engine.ApplyAll({Smo::AddColumn("R", {"P1", DataType::kInt64},
+                                              Value(int64_t{1})),
+                               Smo::DropColumn("R", "NoSuchColumn")});
+  EXPECT_FALSE(st.ok());
+  // Statement semantics match the serial engine: the applied prefix
+  // commits, the failing statement does not.
+  auto r = serving.GetSnapshot().root().GetTable("R").ValueOrDie();
+  EXPECT_TRUE(r->schema().HasColumn("P1"));
+}
+
+// ---- the raced stress proof -----------------------------------------------
+//
+// One writer thread commits scripts that each add BOTH columns P1 and P2
+// to R, then scripts that drop both — always in one script, so every
+// published root must carry both or neither. Reader threads spin pinning
+// snapshots and assert (a) the invariant holds on every root they ever
+// observe, and (b) a query answered through the pinned snapshot is
+// identical to the same query against a quiesced Catalog materialized
+// from that root. Run under TSan this also proves the commit/pin path
+// has no data races.
+TEST(SnapshotCatalogStress, ReadersSeeOnlyCommittedConsistentRoots) {
+  SnapshotCatalog serving;
+  serving.Reset(SeedCatalog());
+
+  constexpr int kReaders = 4;
+  constexpr int kWriterScripts = 60;
+  constexpr int kReadsPerReader = 400;
+
+  std::atomic<int> invariant_violations{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> writer_failures{0};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    EvolutionEngine engine(&serving);
+    for (int i = 0; i < kWriterScripts && !stop.load(); ++i) {
+      Status st;
+      if (i % 2 == 0) {
+        st = engine.ApplyAll({Smo::AddColumn("R", {"P1", DataType::kInt64},
+                                             Value(int64_t{1})),
+                              Smo::AddColumn("R", {"P2", DataType::kInt64},
+                                             Value(int64_t{2}))});
+      } else {
+        st = engine.ApplyAll(
+            {Smo::DropColumn("R", "P1"), Smo::DropColumn("R", "P2")});
+      }
+      if (!st.ok()) writer_failures.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      QueryRequest count_jones = QueryRequest::Count(
+          "R", Expr::Compare("Employee", CompareOp::kEq, Value("Jones")));
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        Snapshot snap = serving.GetSnapshot();
+        auto r = snap.root().GetTable("R");
+        if (!r.ok()) {
+          invariant_violations.fetch_add(1);
+          continue;
+        }
+        const Schema& schema = r.ValueOrDie()->schema();
+        if (schema.HasColumn("P1") != schema.HasColumn("P2")) {
+          invariant_violations.fetch_add(1);  // torn script visible
+        }
+        // Pinned-vs-quiesced equivalence: the same request through the
+        // live pin and through a private materialized copy of the same
+        // root must agree exactly, whatever commits meanwhile.
+        Catalog quiesced = MaterializeCatalog(snap.root());
+        auto live = QueryEngine(snap.store()).Execute(count_jones);
+        auto still = QueryEngine(&quiesced).Execute(count_jones);
+        if (!live.ok() || !still.ok() ||
+            live.ValueOrDie().count != still.ValueOrDie().count ||
+            live.ValueOrDie().count != 3u) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(invariant_violations.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(writer_failures.load(), 0);
+  EXPECT_GT(serving.GetStats().commits, 1u);
+  EXPECT_EQ(serving.GetStats().live_pins, 0);
+}
+
+// Two writer threads racing on DISJOINT tables must both make progress
+// (rebase, never abort); racing on the SAME table, exactly the losers
+// abort and every abort leaves no partial state.
+TEST(SnapshotCatalogStress, RacingWritersEitherRebaseOrAbortCleanly) {
+  SnapshotCatalog serving;
+  {
+    Catalog seed;
+    CODS_CHECK_OK(seed.AddTable(Figure1TableR()->WithName("X")));
+    CODS_CHECK_OK(seed.AddTable(Figure1TableR()->WithName("Y")));
+    serving.Reset(seed);
+  }
+
+  constexpr int kScriptsPerWriter = 40;
+  std::atomic<int> disjoint_aborts{0};
+  auto toggler = [&](const std::string& table) {
+    EvolutionEngine engine(&serving);
+    for (int i = 0; i < kScriptsPerWriter; ++i) {
+      Status st = engine.Apply(
+          i % 2 == 0 ? Smo::AddColumn(table, {"Tmp", DataType::kInt64},
+                                      Value(int64_t{0}))
+                     : Smo::DropColumn(table, "Tmp"));
+      if (st.IsAborted()) disjoint_aborts.fetch_add(1);
+    }
+  };
+  std::thread wx(toggler, "X");
+  std::thread wy(toggler, "Y");
+  wx.join();
+  wy.join();
+  // Disjoint write sets always rebase.
+  EXPECT_EQ(disjoint_aborts.load(), 0);
+  EXPECT_EQ(serving.GetStats().aborts, 0u);
+  EXPECT_EQ(serving.GetStats().commits,
+            1u + 2u * kScriptsPerWriter);  // Reset + every toggle
+
+  // Same victim table: conflicts are possible, but every writer either
+  // commits whole scripts or aborts without trace — the column set of
+  // the final root is one of the two script outcomes.
+  std::atomic<int> conflicted{0};
+  auto contender = [&] {
+    EvolutionEngine engine(&serving);
+    for (int i = 0; i < kScriptsPerWriter; ++i) {
+      Status st = engine.ApplyAll(
+          i % 2 == 0
+              ? std::vector<Smo>{Smo::AddColumn("X",
+                                                {"C", DataType::kInt64},
+                                                Value(int64_t{0}))}
+              : std::vector<Smo>{Smo::DropColumn("X", "C")});
+      if (st.IsAborted()) conflicted.fetch_add(1);
+    }
+  };
+  std::thread c1(contender);
+  std::thread c2(contender);
+  c1.join();
+  c2.join();
+  EXPECT_EQ(serving.GetStats().aborts,
+            static_cast<uint64_t>(conflicted.load()));
+  auto x = serving.GetSnapshot().root().GetTable("X").ValueOrDie();
+  // Whatever interleaving happened, X is a valid table, never torn.
+  EXPECT_TRUE(x->ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace cods

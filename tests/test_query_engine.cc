@@ -5,6 +5,7 @@
 
 #include "query/query_engine.h"
 
+#include "concurrency/snapshot_catalog.h"
 #include "evolution/engine.h"
 #include "gtest/gtest.h"
 #include "plan/staged_catalog.h"
@@ -616,6 +617,75 @@ TEST(QueryEngine, RequestToStringRoundTripsShape) {
   EXPECT_EQ(QueryRequest::Count("R").ToString(), "SELECT COUNT(*) FROM R");
   EXPECT_EQ(QueryRequest::GroupBySum("T", "g", "m").ToString(),
             "SELECT g, SUM(m) FROM T GROUP BY g");
+}
+
+// ---- snapshot pinning (src/concurrency/) ----------------------------------
+//
+// The QueryEngine runs against the TableStore interface, so a pinned
+// CatalogRoot is just another store: these cases prove a reader's view
+// is the root it pinned, not the root the writer is publishing.
+
+TEST(QueryEngine, PinnedSnapshotKeepsPreEvolutionSchema) {
+  SnapshotCatalog serving;
+  serving.Reset(MakeCatalogWithR());
+  Snapshot pinned = serving.GetSnapshot();
+
+  EvolutionEngine evolution(&serving);
+  ASSERT_TRUE(evolution.Apply(Smo::DropColumn("R", "Address")).ok());
+
+  // Through the pin: the old schema, Address included.
+  auto old_r = QueryEngine(pinned.store())
+                   .Execute(QueryRequest::Select("R"))
+                   .ValueOrDie();
+  EXPECT_TRUE(old_r.table->schema().HasColumn("Address"));
+  // A fresh pin sees the committed evolution.
+  Snapshot fresh = serving.GetSnapshot();
+  auto new_r = QueryEngine(fresh.store())
+                   .Execute(QueryRequest::Select("R"))
+                   .ValueOrDie();
+  EXPECT_FALSE(new_r.table->schema().HasColumn("Address"));
+  EXPECT_EQ(old_r.table->rows(), new_r.table->rows());
+}
+
+TEST(QueryEngine, PinnedSnapshotAnswersAfterTableDrop) {
+  SnapshotCatalog serving;
+  serving.Reset(MakeCatalogWithR());
+  Snapshot pinned = serving.GetSnapshot();
+
+  EvolutionEngine evolution(&serving);
+  ASSERT_TRUE(evolution.Apply(Smo::DropTable("R")).ok());
+
+  // The dropped table is gone from new pins but fully queryable — data
+  // and all — through the old one.
+  Snapshot fresh = serving.GetSnapshot();
+  EXPECT_TRUE(QueryEngine(fresh.store())
+                  .Execute(QueryRequest::Count("R"))
+                  .status()
+                  .IsKeyError());
+  EXPECT_EQ(QueryEngine(pinned.store())
+                .Execute(QueryRequest::Count("R", JonesExpr()))
+                .ValueOrDie()
+                .count,
+            3u);
+}
+
+TEST(QueryEngine, SnapshotQueriesMatchQuiescedCatalog) {
+  // The bit-identical contract: a request through a pinned root equals
+  // the same request through a mutable Catalog rebuilt from that root.
+  SnapshotCatalog serving;
+  serving.Reset(MakeCatalogWithR());
+  Snapshot snap = serving.GetSnapshot();
+  Catalog quiesced = MaterializeCatalog(snap.root());
+
+  QueryRequest select = QueryRequest::Select("R", {"Skill", "Employee"},
+                                             JonesExpr(), "out");
+  select.OrderBy("Skill");
+  auto live = QueryEngine(snap.store()).Execute(select).ValueOrDie();
+  auto still = QueryEngine(&quiesced).Execute(select).ValueOrDie();
+  ASSERT_NE(live.table, nullptr);
+  ASSERT_NE(still.table, nullptr);
+  EXPECT_EQ(live.table->Materialize(), still.table->Materialize());
+  EXPECT_EQ(live.ToString(), still.ToString());
 }
 
 }  // namespace

@@ -33,6 +33,11 @@ namespace {
 using ::cods::testing::Figure1TableR;
 using ::cods::testing::RandomFdTable;
 
+// The oracle image of a db: its currently served root, serialized.
+std::vector<uint8_t> ImageOf(DurableDb& db) {
+  return SerializeCatalog(MaterializeCatalog(db.GetSnapshot().root()));
+}
+
 void CleanDir(Env* env, const std::string& dir) {
   ASSERT_TRUE(env->CreateDirIfMissing(dir).ok());
   // Named, not a temporary: ValueOrDie()&& returns a reference into the
@@ -94,18 +99,19 @@ RunOutcome RunWorkload(Env* env, const std::string& dir, uint64_t threshold,
   auto opened = DurableDb::Open(env, dir, opts);
   if (!opened.ok()) return out;
   DurableDb* db = opened.ValueOrDie().get();
-  if (images != nullptr) images->push_back(SerializeCatalog(*db->catalog()));
+  if (images != nullptr) images->push_back(ImageOf(*db));
 
   // Seed with real data. Raw table loads are not WAL-replayable, so —
   // exactly like the shell's .load — a checkpoint makes them durable.
   out.attempted = 1;
   Status seed = [&]() -> Status {
-    CODS_RETURN_NOT_OK(db->catalog()->AddTable(Figure1TableR()));
-    CODS_RETURN_NOT_OK(
-        db->catalog()->AddTable(RandomFdTable(120, 10, 5)->WithName("F")));
+    CODS_RETURN_NOT_OK(db->versions()->Apply([](TableStore& store) {
+      CODS_RETURN_NOT_OK(store.AddTable(Figure1TableR()));
+      return store.AddTable(RandomFdTable(120, 10, 5)->WithName("F"));
+    }));
     return db->Checkpoint();
   }();
-  if (images != nullptr) images->push_back(SerializeCatalog(*db->catalog()));
+  if (images != nullptr) images->push_back(ImageOf(*db));
   if (!seed.ok() || !db->GetStats().healthy) return out;
   out.acked = 1;
 
@@ -128,7 +134,7 @@ RunOutcome RunWorkload(Env* env, const std::string& dir, uint64_t threshold,
       }
     }
     if (images != nullptr) {
-      images->push_back(SerializeCatalog(*db->catalog()));
+      images->push_back(ImageOf(*db));
     }
     if (db->GetStats().healthy) out.acked = out.attempted;
   }
@@ -183,8 +189,7 @@ TEST(RecoverySweep, EveryCrashPointRecoversCommittedState) {
       auto recovered = DurableDb::Open(base, dir);
       ASSERT_TRUE(recovered.ok())
           << cfg.tag << " k=" << k << ": " << recovered.status().ToString();
-      std::vector<uint8_t> image =
-          SerializeCatalog(*recovered.ValueOrDie()->catalog());
+      std::vector<uint8_t> image = ImageOf(*recovered.ValueOrDie());
       ASSERT_LT(static_cast<size_t>(o.attempted), images.size());
       bool matched = false;
       for (int j = o.acked; j <= o.attempted && !matched; ++j) {
@@ -203,7 +208,8 @@ TEST(RecoverySweep, EveryCrashPointRecoversCommittedState) {
         ASSERT_TRUE(recovered.ValueOrDie()->ApplyScript(probe).ok());
         auto again = DurableDb::Open(base, dir);
         ASSERT_TRUE(again.ok());
-        EXPECT_TRUE(again.ValueOrDie()->catalog()->HasTable("ZZZ_probe"));
+        EXPECT_TRUE(
+            again.ValueOrDie()->GetSnapshot().root().HasTable("ZZZ_probe"));
       }
     }
   }
@@ -217,7 +223,11 @@ TEST(RecoveryTest, DamagedCheckpointFailsOpenLoudly) {
   CleanDir(env, dir);
   {
     auto db = DurableDb::Open(env, dir).ValueOrDie();
-    ASSERT_TRUE(db->catalog()->AddTable(Figure1TableR()).ok());
+    ASSERT_TRUE(db->versions()
+                    ->Apply([](TableStore& store) {
+                      return store.AddTable(Figure1TableR());
+                    })
+                    .ok());
     ASSERT_TRUE(db->Checkpoint().ok());
   }
   std::string path = dir + "/" + kCheckpointFileName;
@@ -248,7 +258,7 @@ TEST(RecoveryTest, DamagedCheckpointFailsOpenLoudly) {
   ASSERT_TRUE(WriteFile(env, path, good).ok());
   auto opened = DurableDb::Open(env, dir);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-  EXPECT_TRUE(opened.ValueOrDie()->catalog()->HasTable("R"));
+  EXPECT_TRUE(opened.ValueOrDie()->GetSnapshot().root().HasTable("R"));
 }
 
 TEST(RecoveryTest, CorruptWalBeforeCommitPointFailsOpen) {
@@ -307,8 +317,8 @@ TEST(RecoveryTest, FailedFsyncPoisonsAndRecoversWithoutAck) {
   // record reached the file, only its durability ack failed); script 3
   // must NOT be there.
   auto recovered = DurableDb::Open(base, dir).ValueOrDie();
-  EXPECT_TRUE(recovered->catalog()->HasTable("A"));
-  EXPECT_FALSE(recovered->catalog()->HasTable("C"));
+  EXPECT_TRUE(recovered->GetSnapshot().root().HasTable("A"));
+  EXPECT_FALSE(recovered->GetSnapshot().root().HasTable("C"));
 }
 
 }  // namespace

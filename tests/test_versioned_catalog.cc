@@ -15,11 +15,13 @@ using ::cods::testing::Figure1TableR;
 
 TEST(VersionedCatalog, CommitAndHistory) {
   VersionedCatalog vc;
-  ASSERT_TRUE(vc.working()->AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(vc.Apply([](TableStore& store) {
+              return store.AddTable(Figure1TableR());
+            }).ok());
   uint64_t v1 = vc.Commit("initial load");
   EXPECT_EQ(v1, 1u);
 
-  EvolutionEngine engine(vc.working());
+  EvolutionEngine engine(vc.serving());
   ASSERT_TRUE(engine
                   .Apply(Smo::DecomposeTable(
                       "R", "S", {"Employee", "Skill"}, {}, "T",
@@ -39,9 +41,11 @@ TEST(VersionedCatalog, CommitAndHistory) {
 
 TEST(VersionedCatalog, OldVersionsStayQueryable) {
   VersionedCatalog vc;
-  ASSERT_TRUE(vc.working()->AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(vc.Apply([](TableStore& store) {
+              return store.AddTable(Figure1TableR());
+            }).ok());
   vc.Commit("v1");
-  EvolutionEngine engine(vc.working());
+  EvolutionEngine engine(vc.serving());
   ASSERT_TRUE(engine.Apply(Smo::DropColumn("R", "Address")).ok());
   vc.Commit("v2: dropped Address");
 
@@ -56,9 +60,11 @@ TEST(VersionedCatalog, OldVersionsStayQueryable) {
 
 TEST(VersionedCatalog, CheckoutRestoresWorkingState) {
   VersionedCatalog vc;
-  ASSERT_TRUE(vc.working()->AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(vc.Apply([](TableStore& store) {
+              return store.AddTable(Figure1TableR());
+            }).ok());
   vc.Commit("v1");
-  EvolutionEngine engine(vc.working());
+  EvolutionEngine engine(vc.serving());
   ASSERT_TRUE(engine
                   .Apply(Smo::DecomposeTable(
                       "R", "S", {"Employee", "Skill"}, {}, "T",
@@ -67,9 +73,10 @@ TEST(VersionedCatalog, CheckoutRestoresWorkingState) {
   vc.Commit("v2");
 
   ASSERT_TRUE(vc.Checkout(1).ok());
-  EXPECT_EQ(vc.working()->TableNames(), (std::vector<std::string>{"R"}));
+  EXPECT_EQ(vc.GetSnapshot().root().TableNames(),
+            (std::vector<std::string>{"R"}));
   ExpectSameContent(*Figure1TableR(),
-                    *vc.working()->GetTable("R").ValueOrDie());
+                    *vc.GetSnapshot().root().GetTable("R").ValueOrDie());
   // History is untouched by checkout.
   EXPECT_EQ(vc.num_versions(), 2u);
   EXPECT_EQ(vc.TableNamesAt(2).ValueOrDie(),
@@ -89,10 +96,12 @@ TEST(VersionedCatalog, VersionsShareColumnStorage) {
   // Ten versions that each rename the table: naive accounting charges
   // the data ten times, unique accounting once.
   VersionedCatalog vc;
-  ASSERT_TRUE(vc.working()->AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(vc.Apply([](TableStore& store) {
+              return store.AddTable(Figure1TableR());
+            }).ok());
   vc.Commit("v1");
   for (int i = 0; i < 9; ++i) {
-    EvolutionEngine engine(vc.working());
+    EvolutionEngine engine(vc.serving());
     std::string from = i == 0 ? "R" : "R" + std::to_string(i);
     std::string to = "R" + std::to_string(i + 1);
     ASSERT_TRUE(engine.Apply(Smo::RenameTable(from, to)).ok());
@@ -106,11 +115,13 @@ TEST(VersionedCatalog, DecomposeSharesUnchangedColumns) {
   // After decompose, version 2's S shares columns with version 1's R:
   // unique bytes grow only by the generated T (plus nothing for S).
   VersionedCatalog vc;
-  ASSERT_TRUE(vc.working()->AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(vc.Apply([](TableStore& store) {
+              return store.AddTable(Figure1TableR());
+            }).ok());
   vc.Commit("v1");
   auto v1_stats = vc.ComputeStorageStats();
 
-  EvolutionEngine engine(vc.working());
+  EvolutionEngine engine(vc.serving());
   ASSERT_TRUE(engine
                   .Apply(Smo::DecomposeTable(
                       "R", "S", {"Employee", "Skill"}, {}, "T",
