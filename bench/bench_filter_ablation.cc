@@ -14,10 +14,12 @@
 namespace cods {
 namespace {
 
-// Shared setup: the dependent column's bitmaps and the distinction
-// position list for a given distinct-key count.
+// Shared setup: the dependent column's bitmaps (on the WAH interchange
+// form this ablation compares filter strategies over) and the
+// distinction position list for a given distinct-key count.
 struct FilterSetup {
   std::shared_ptr<const Column> column;
+  std::vector<WahBitmap> wahs;  // column's value bitmaps, WAH-encoded
   std::vector<uint64_t> positions;
 };
 
@@ -29,6 +31,10 @@ const FilterSetup& Setup(uint64_t distinct) {
   auto r = bench::CachedR(distinct);
   FilterSetup s;
   s.column = r->ColumnByName(kDependentColumn).ValueOrDie();
+  s.wahs.reserve(s.column->distinct_count());
+  for (Vid v = 0; v < s.column->distinct_count(); ++v) {
+    s.wahs.push_back(s.column->bitmap(v).ToWah());
+  }
   s.positions = DistinctionPositions(*r, {kKeyColumn}).ValueOrDie();
   return cache->emplace(distinct, std::move(s)).first->second;
 }
@@ -40,7 +46,7 @@ void BM_Filter_CompressedRank(benchmark::State& state) {
   for (auto _ : state) {
     WahPositionFilter filter(s.positions, s.column->rows());
     for (Vid v = 0; v < s.column->distinct_count(); ++v) {
-      WahBitmap out = filter.Filter(s.column->bitmap(v));
+      WahBitmap out = filter.Filter(s.wahs[v]);
       benchmark::DoNotOptimize(out);
     }
   }
@@ -53,7 +59,7 @@ void BM_Filter_CompressedStreaming(benchmark::State& state) {
   const FilterSetup& s = Setup(static_cast<uint64_t>(state.range(0)));
   for (auto _ : state) {
     for (Vid v = 0; v < s.column->distinct_count(); ++v) {
-      WahBitmap out = WahFilterPositions(s.column->bitmap(v), s.positions);
+      WahBitmap out = WahFilterPositions(s.wahs[v], s.positions);
       benchmark::DoNotOptimize(out);
     }
   }
@@ -65,7 +71,7 @@ void BM_Filter_DecodeRecompress(benchmark::State& state) {
   const FilterSetup& s = Setup(static_cast<uint64_t>(state.range(0)));
   for (auto _ : state) {
     for (Vid v = 0; v < s.column->distinct_count(); ++v) {
-      PlainBitmap plain = PlainBitmap::FromWah(s.column->bitmap(v));
+      PlainBitmap plain = PlainBitmap::FromWah(s.wahs[v]);
       PlainBitmap filtered(s.positions.size());
       for (size_t i = 0; i < s.positions.size(); ++i) {
         if (plain.Get(s.positions[i])) filtered.Set(i);

@@ -272,6 +272,58 @@ void BM_WahOrFoldClustered(benchmark::State& state) {
   }
 }
 
+// Uniformly-scattered operands: short literal runs of 1–3 groups with
+// comparably short zero fills between them, independent of k. In this
+// shape nearly every operand is in the merge's active list for nearly
+// every output group, so the event-driven merge has no fills to gallop
+// over and pays O(k) per group, going memory-bound past k ≈ 32 — the
+// regime the cache-blocked operand-grouping path targets (each operand
+// deposits into a 4 KB L1-resident accumulator block instead).
+std::vector<WahBitmap> MakeScatteredOperands(int64_t k) {
+  std::vector<WahBitmap> ops;
+  ops.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    Rng rng(4200 + static_cast<uint64_t>(i));
+    WahBitmap bm;
+    while (bm.size() < kKWayBits) {
+      uint64_t lit_groups = static_cast<uint64_t>(rng.Uniform(1, 4));
+      for (uint64_t g = 0; g < lit_groups && bm.size() < kKWayBits; ++g) {
+        // A sparse literal group: a handful of set bits so the group is
+        // neither all-zero nor all-one.
+        uint64_t payload = 0;
+        for (int s = 0; s < 3; ++s) {
+          payload |= uint64_t{1} << rng.Uniform(0, 63);
+        }
+        uint64_t nbits = std::min<uint64_t>(63, kKWayBits - bm.size());
+        bm.AppendBits(payload, nbits);
+      }
+      uint64_t fill_groups = static_cast<uint64_t>(rng.Uniform(1, 4));
+      uint64_t nbits =
+          std::min<uint64_t>(fill_groups * 63, kKWayBits - bm.size());
+      bm.AppendRun(false, nbits);
+    }
+    ops.push_back(std::move(bm));
+  }
+  return ops;
+}
+
+void BM_WahOrManyScattered(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeScatteredOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    WahBitmap u = WahOrMany(ptrs, kKWayBits);
+    benchmark::DoNotOptimize(u);
+  }
+}
+
+void BM_WahOrManyCountScattered(benchmark::State& state) {
+  std::vector<WahBitmap> ops = MakeScatteredOperands(state.range(0));
+  std::vector<const WahBitmap*> ptrs = Ptrs(ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WahOrManyCount(ptrs, kKWayBits));
+  }
+}
+
 void KSweep(benchmark::internal::Benchmark* b) {
   for (int64_t k : {2, 8, 32, 64}) b->Arg(k);
   b->Unit(benchmark::kMicrosecond);
@@ -291,6 +343,8 @@ BENCHMARK(BM_WahAndPairwiseFold)->Apply(KSweep);
 BENCHMARK(BM_WahAndWithFold)->Apply(KSweep);
 BENCHMARK(BM_WahOrManyClustered)->Apply(WideKSweep);
 BENCHMARK(BM_WahOrFoldClustered)->Apply(WideKSweep);
+BENCHMARK(BM_WahOrManyScattered)->Apply(WideKSweep);
+BENCHMARK(BM_WahOrManyCountScattered)->Apply(WideKSweep);
 
 void Sweep(benchmark::internal::Benchmark* b) {
   // Densities: 50%, ~6%, ~0.8%, ~0.05%.

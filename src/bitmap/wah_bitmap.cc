@@ -62,6 +62,18 @@ Result<WahBitmap> WahBitmap::FromRawParts(std::vector<uint64_t> words,
   bm.tail_ = tail;
   bm.tail_bits_ = tail_bits;
   bm.num_bits_ = num_bits;
+  // The one place the cached popcount is computed rather than maintained:
+  // raw words arrive without a count.
+  uint64_t ones = 0;
+  for (uint64_t w : bm.words_) {
+    if (wah::IsFill(w)) {
+      if (wah::FillValue(w)) ones += wah::FillGroups(w) * kWahGroupBits;
+    } else {
+      ones += static_cast<uint64_t>(std::popcount(wah::Literal(w)));
+    }
+  }
+  ones += static_cast<uint64_t>(std::popcount(bm.tail_));
+  bm.ones_ = ones;
   return bm;
 }
 
@@ -90,13 +102,17 @@ void WahBitmap::AppendFillGroups(bool value, uint64_t groups) {
 }
 
 void WahBitmap::AppendBit(bool value) {
-  if (value) tail_ |= uint64_t{1} << tail_bits_;
+  if (value) {
+    tail_ |= uint64_t{1} << tail_bits_;
+    ++ones_;
+  }
   ++tail_bits_;
   ++num_bits_;
   if (tail_bits_ == kWahGroupBits) FlushTailGroup();
 }
 
 void WahBitmap::AppendRun(bool value, uint64_t count) {
+  if (value) ones_ += count;
   while (count > 0) {
     if (tail_bits_ == 0 && count >= kWahGroupBits) {
       uint64_t groups = count / kWahGroupBits;
@@ -125,6 +141,7 @@ void WahBitmap::AppendSetBit(uint64_t pos) {
 void WahBitmap::AppendGroup(uint64_t payload) {
   CODS_DCHECK(tail_bits_ == 0);
   payload &= wah::kPayloadMask;
+  ones_ += static_cast<uint64_t>(std::popcount(payload));
   if (payload == 0) {
     AppendFillGroups(false, 1);
   } else if (payload == wah::kPayloadMask) {
@@ -139,6 +156,7 @@ void WahBitmap::AppendBits(uint64_t payload, uint64_t nbits) {
   CODS_DCHECK(nbits <= kWahGroupBits);
   if (nbits == 0) return;
   payload &= LowBits(nbits);
+  ones_ += static_cast<uint64_t>(std::popcount(payload));
   uint64_t space = kWahGroupBits - tail_bits_;
   if (nbits < space) {
     tail_ |= payload << tail_bits_;
@@ -177,6 +195,7 @@ void WahBitmap::Concat(const WahBitmap& other) {
         uint64_t groups = wah::FillGroups(w);
         AppendFillGroups(wah::FillValue(w), groups);
         num_bits_ += groups * kWahGroupBits;
+        if (wah::FillValue(w)) ones_ += groups * kWahGroupBits;
       } else {
         AppendGroup(w);
       }
@@ -184,6 +203,7 @@ void WahBitmap::Concat(const WahBitmap& other) {
     tail_ = other.tail_;
     tail_bits_ = other.tail_bits_;
     num_bits_ += other.tail_bits_;
+    ones_ += static_cast<uint64_t>(std::popcount(other.tail_));
     return;
   }
   // Unaligned: stream other's runs, shifting literal groups in whole.
@@ -222,40 +242,6 @@ bool WahBitmap::Get(uint64_t pos) const {
   }
   CODS_DCHECK(pos - offset < tail_bits_);
   return (tail_ >> (pos - offset)) & 1;
-}
-
-uint64_t WahBitmap::CountOnes() const {
-  uint64_t ones = 0;
-  for (uint64_t w : words_) {
-    if (wah::IsFill(w)) {
-      if (wah::FillValue(w)) ones += wah::FillGroups(w) * kWahGroupBits;
-    } else {
-      ones += static_cast<uint64_t>(std::popcount(wah::Literal(w)));
-    }
-  }
-  ones += static_cast<uint64_t>(std::popcount(tail_));
-  return ones;
-}
-
-bool WahBitmap::IsAllZeros() const {
-  if (tail_ != 0) return false;
-  for (uint64_t w : words_) {
-    if (wah::IsFill(w) ? wah::FillValue(w) : wah::Literal(w) != 0) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool WahBitmap::IsAllOnes() const {
-  if (tail_ != LowBits(tail_bits_)) return false;
-  for (uint64_t w : words_) {
-    if (wah::IsFill(w) ? !wah::FillValue(w)
-                       : wah::Literal(w) != wah::kPayloadMask) {
-      return false;
-    }
-  }
-  return true;
 }
 
 uint64_t WahBitmap::FirstSetBit() const {

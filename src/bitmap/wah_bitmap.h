@@ -117,6 +117,7 @@ class WahBitmap {
     tail_ = 0;
     tail_bits_ = 0;
     num_bits_ = 0;
+    ones_ = 0;
   }
 
   /// Swaps the full representation with `other`. O(1).
@@ -125,6 +126,7 @@ class WahBitmap {
     std::swap(tail_, other.tail_);
     std::swap(tail_bits_, other.tail_bits_);
     std::swap(num_bits_, other.num_bits_);
+    std::swap(ones_, other.ones_);
   }
 
   // ---- Mutating logical ops (implemented in bitmap/wah_ops.cc) ---------
@@ -154,20 +156,20 @@ class WahBitmap {
   /// point lookups, not bulk scans (use iterators for those).
   bool Get(uint64_t pos) const;
 
-  /// Number of set bits, computed on the compressed form.
-  uint64_t CountOnes() const;
+  /// Number of set bits. O(1): the count is maintained incrementally by
+  /// every append path (and computed once in FromRawParts), so the
+  /// per-value popcount histograms the query layer reads are free.
+  uint64_t CountOnes() const { return ones_; }
 
   /// Position of the first set bit, or size() if none. Used by the
   /// decomposition "distinction" step.
   uint64_t FirstSetBit() const;
 
-  /// True iff no bit is set. Early-exits on the first non-zero word, so
-  /// on canonical bitmaps (at most one all-zero fill word) this is O(1) —
-  /// use it instead of `CountOnes() == 0` for emptiness short-circuits.
-  bool IsAllZeros() const;
+  /// True iff no bit is set. O(1) via the cached popcount.
+  bool IsAllZeros() const { return ones_ == 0; }
 
-  /// True iff every bit is set. O(1) on canonical bitmaps.
-  bool IsAllOnes() const;
+  /// True iff every bit is set. O(1) via the cached popcount.
+  bool IsAllOnes() const { return ones_ == num_bits_; }
 
   /// Compressed size in bytes (code words + active tail group).
   uint64_t SizeBytes() const { return (words_.size() + 1) * sizeof(uint64_t); }
@@ -211,6 +213,7 @@ class WahBitmap {
   uint64_t tail_ = 0;       // bits of the current partial group (LSB-first)
   uint64_t tail_bits_ = 0;  // how many bits of tail_ are valid (0..62)
   uint64_t num_bits_ = 0;   // logical size
+  uint64_t ones_ = 0;       // cached popcount, maintained on every append
 };
 
 /// Streaming run decoder over a WahBitmap. Exposes the bitmap as a

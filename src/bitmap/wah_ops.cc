@@ -300,6 +300,108 @@ void RunManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
   }
 }
 
+// Cache-blocked alternative to the event-driven merge for the regime
+// where it goes memory-bound: many operands (k ≳ 16) whose runs are
+// short and uniformly scattered, so nearly every operand is in the
+// active list for nearly every group and the per-group reduction costs
+// O(k) with no fills to skip. Instead of merging run streams, each
+// operand deposits its groups into a 63-bit-per-slot accumulator block
+// that stays L1-resident across all k operands (one operand's pass over
+// a 4 KB block is a handful of cache lines, revisited k times while
+// hot), and the block is re-emitted through the same canonical sinks —
+// so the output is bit-identical to the heap merge's.
+template <typename FillSink, typename LiteralSink>
+void RunManyOpBlocked(const std::vector<const WahBitmap*>& operands,
+                      OpKind op, uint64_t size, FillSink&& emit_fill,
+                      LiteralSink&& emit_literal) {
+  const bool is_or = op == OpKind::kOr;
+  const uint64_t identity = is_or ? 0 : wah::kPayloadMask;
+  // 512 slots * 8 B = 4 KB accumulator: small enough to stay in L1 while
+  // every operand revisits it, large enough to amortize the per-operand
+  // loop overhead.
+  constexpr uint64_t kBlockGroups = 512;
+
+  std::vector<WahDecoder> decs;
+  decs.reserve(operands.size());
+  for (const WahBitmap* bm : operands) decs.emplace_back(*bm);
+
+  const uint64_t total_groups = (size + kWahGroupBits - 1) / kWahGroupBits;
+  std::vector<uint64_t> acc(
+      static_cast<size_t>(std::min(kBlockGroups, total_groups)));
+  uint64_t bits_left = size;
+  for (uint64_t g0 = 0; g0 < total_groups; g0 += kBlockGroups) {
+    const uint64_t ng = std::min(kBlockGroups, total_groups - g0);
+    std::fill(acc.begin(), acc.begin() + static_cast<long>(ng), identity);
+    for (WahDecoder& dec : decs) {
+      uint64_t g = 0;
+      while (g < ng) {
+        CODS_DCHECK(!dec.exhausted());
+        if (dec.is_fill()) {
+          uint64_t take = std::min(dec.remaining_groups(), ng - g);
+          if (dec.fill_value() == is_or) {
+            // Annihilator fill: saturates OR / clears AND over the span.
+            std::fill(acc.begin() + static_cast<long>(g),
+                      acc.begin() + static_cast<long>(g + take),
+                      is_or ? wah::kPayloadMask : uint64_t{0});
+          }
+          dec.Consume(take);
+          g += take;
+        } else {
+          if (is_or) {
+            acc[g] |= dec.group_payload();
+          } else {
+            acc[g] &= dec.group_payload();
+          }
+          dec.Consume(1);
+          ++g;
+        }
+      }
+    }
+    // Emit the block: homogeneous spans as fills (batched so the sink's
+    // AppendRun merges them in one step), everything else as literals.
+    uint64_t g = 0;
+    while (g < ng) {
+      uint64_t payload = acc[g] & wah::kPayloadMask;
+      bool homogeneous = payload == 0 || payload == wah::kPayloadMask;
+      if (homogeneous && bits_left >= kWahGroupBits) {
+        uint64_t run = 1;
+        while (g + run < ng &&
+               (acc[g + run] & wah::kPayloadMask) == payload &&
+               bits_left >= (run + 1) * kWahGroupBits) {
+          ++run;
+        }
+        emit_fill(payload != 0, run);
+        bits_left -= run * kWahGroupBits;
+        g += run;
+      } else {
+        uint64_t bits = bits_left < kWahGroupBits ? bits_left : kWahGroupBits;
+        emit_literal(payload, bits);
+        bits_left -= bits;
+        ++g;
+      }
+    }
+  }
+  CODS_DCHECK(bits_left == 0);
+}
+
+// Routes between the event-driven merge and the cache-blocked pass. The
+// blocked path wins when the operand set is wide AND literal-heavy
+// (scattered short runs): total compressed words per output group is a
+// direct proxy for the average active-list size the heap merge would
+// grind through. Fill-heavy (clustered) operand sets stay on the heap
+// merge, whose galloping skips are unbeatable there. Pure function of
+// the operand stats, so the choice is deterministic — and both paths
+// emit identical canonical words anyway.
+bool UseBlockedManyOp(const std::vector<const WahBitmap*>& operands,
+                      uint64_t size) {
+  if (operands.size() < 16) return false;
+  uint64_t total_groups = (size + kWahGroupBits - 1) / kWahGroupBits;
+  if (total_groups == 0) return false;
+  uint64_t total_words = 0;
+  for (const WahBitmap* bm : operands) total_words += bm->NumWords();
+  return total_words >= 4 * total_groups;
+}
+
 // Size validation shared by the general merge and the k<=1 fast paths
 // (the fold this replaces CHECK-ed every operand, so these do too).
 void CheckOperandSizes(const std::vector<const WahBitmap*>& operands,
@@ -332,12 +434,17 @@ WahBitmap ManyOp(const std::vector<const WahBitmap*>& operands, OpKind op,
     if (bm->NumWords() > max_words) max_words = bm->NumWords();
   }
   out.Reserve(max_words);
-  RunManyOp(
-      operands, op, size,
-      [&](bool value, uint64_t groups) {
-        out.AppendRun(value, groups * kWahGroupBits);
-      },
-      [&](uint64_t payload, uint64_t bits) { out.AppendBits(payload, bits); });
+  auto emit_fill = [&](bool value, uint64_t groups) {
+    out.AppendRun(value, groups * kWahGroupBits);
+  };
+  auto emit_literal = [&](uint64_t payload, uint64_t bits) {
+    out.AppendBits(payload, bits);
+  };
+  if (UseBlockedManyOp(operands, size)) {
+    RunManyOpBlocked(operands, op, size, emit_fill, emit_literal);
+  } else {
+    RunManyOp(operands, op, size, emit_fill, emit_literal);
+  }
   return out;
 }
 
@@ -347,15 +454,18 @@ uint64_t ManyOpCount(const std::vector<const WahBitmap*>& operands, OpKind op,
   if (operands.empty()) return op == OpKind::kAnd ? size : 0;
   if (operands.size() == 1) return operands[0]->CountOnes();
   uint64_t ones = 0;
-  RunManyOp(
-      operands, op, size,
-      [&](bool value, uint64_t groups) {
-        if (value) ones += groups * kWahGroupBits;
-      },
-      [&](uint64_t payload, uint64_t bits) {
-        if (bits < kWahGroupBits) payload &= (uint64_t{1} << bits) - 1;
-        ones += static_cast<uint64_t>(std::popcount(payload));
-      });
+  auto emit_fill = [&](bool value, uint64_t groups) {
+    if (value) ones += groups * kWahGroupBits;
+  };
+  auto emit_literal = [&](uint64_t payload, uint64_t bits) {
+    if (bits < kWahGroupBits) payload &= (uint64_t{1} << bits) - 1;
+    ones += static_cast<uint64_t>(std::popcount(payload));
+  };
+  if (UseBlockedManyOp(operands, size)) {
+    RunManyOpBlocked(operands, op, size, emit_fill, emit_literal);
+  } else {
+    RunManyOp(operands, op, size, emit_fill, emit_literal);
+  }
   return ones;
 }
 

@@ -7,7 +7,7 @@ namespace cods {
 Status WriteCheckpoint(Env* env, const std::string& dir,
                        const Catalog& catalog, uint64_t wal_lsn) {
   return WriteFileAtomic(env, dir + "/" + kCheckpointFileName,
-                         SerializeCatalogV2(catalog, wal_lsn))
+                         SerializeCatalogV3(catalog, wal_lsn))
       .WithContext("writing checkpoint");
 }
 

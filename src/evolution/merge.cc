@@ -227,8 +227,8 @@ Result<std::shared_ptr<const Table>> CodsMergeKeyFk(
       std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
           exec, out_vid_of_row.data(), s.rows(), src.distinct_count());
       specs.push_back(t.schema().column(t_payload[p]));
-      out_cols.push_back(Column::FromBitmaps(src.type(), src.dict(),
-                                             std::move(bitmaps), s.rows()));
+      out_cols.push_back(Column::FromBitmaps(
+          src.type(), src.dict(), std::move(bitmaps), s.rows(), &exec));
     }
   }
   CODS_ASSIGN_OR_RETURN(Schema out_schema,
@@ -285,12 +285,11 @@ Result<std::shared_ptr<const Table>> CodsMergeGeneral(
         tuple_svids[0].push_back(sv);
         n1.push_back(c1);
         n2.push_back(c2);
-        WahSetBitIterator sit(su.bitmap(sv));
-        uint64_t pos;
-        while (sit.Next(&pos)) s_rows_flat.push_back(pos);
+        su.bitmap(sv).ForEachSetBit(
+            [&](uint64_t pos) { s_rows_flat.push_back(pos); });
         s_start.push_back(s_rows_flat.size());
-        WahSetBitIterator tit(tu.bitmap(tv));
-        while (tit.Next(&pos)) t_rows_flat.push_back(pos);
+        tu.bitmap(tv).ForEachSetBit(
+            [&](uint64_t pos) { t_rows_flat.push_back(pos); });
         t_start.push_back(t_rows_flat.size());
         ++num_tuples;
       }
@@ -422,7 +421,7 @@ Result<std::shared_ptr<const Table>> CodsMergeGeneral(
           std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
               exec, out_vid_of_row.data(), out_rows, src.distinct_count());
           out_cols.push_back(Column::FromBitmaps(
-              src.type(), src.dict(), std::move(bitmaps), out_rows));
+              src.type(), src.dict(), std::move(bitmaps), out_rows, &exec));
         };
     // S's columns (join columns become fill runs; non-join columns are
     // laid out consecutively, each S row's value repeated n2 times).

@@ -1,5 +1,6 @@
 #include "evolution/simple_ops.h"
 
+#include "bitmap/codec.h"
 #include "bitmap/wah_filter.h"
 #include "bitmap/wah_ops.h"
 #include "exec/exec.h"
@@ -51,9 +52,9 @@ Result<std::shared_ptr<const Table>> CopyTableOp(const Table& src,
   for (size_t i = 0; i < src.num_columns(); ++i) {
     const Column& c = *src.column(i);
     if (c.encoding() == ColumnEncoding::kWahBitmap) {
-      std::vector<WahBitmap> copies = c.bitmaps();  // value copy
-      cols.push_back(Column::FromBitmaps(c.type(), c.dict(),
-                                         std::move(copies), c.rows()));
+      std::vector<ValueBitmap> copies = c.bitmaps();  // value copy
+      cols.push_back(Column::FromValueBitmaps(c.type(), c.dict(),
+                                              std::move(copies), c.rows()));
     } else {
       cols.push_back(Column::FromVidsRle(c.type(), c.dict(),
                                          c.DecodeVids()));
@@ -109,21 +110,23 @@ Result<std::shared_ptr<const Table>> UnionTablesOp(
             exec, 0, dict.size(), 16, [&](uint64_t v) {
               // Prefix: a's bitmap (values absent from a are zero runs).
               if (v < ca.distinct_count()) {
-                bitmaps[v] = ca.bitmap(static_cast<Vid>(v));
+                ca.bitmap(static_cast<Vid>(v)).AppendToWah(&bitmaps[v]);
               } else {
                 bitmaps[v].AppendRun(false, a.rows());
               }
-              // Suffix: b's bitmap appended on the compressed form (when
-              // a.rows() is group-aligned, Concat splices code words).
+              // Suffix: b's bitmap streamed onto the compressed form
+              // (WAH containers splice code words when a.rows() is
+              // group-aligned; array/bitset containers append their
+              // groups without materializing an intermediate).
               if (b_of_out[v] != kNoVid) {
-                bitmaps[v].Concat(cb.bitmap(b_of_out[v]));
+                cb.bitmap(b_of_out[v]).AppendToWah(&bitmaps[v]);
               } else {
                 bitmaps[v].AppendRun(false, b.rows());
               }
               return Status::OK();
             }));
         cols[i] = Column::FromBitmaps(ca.type(), std::move(dict),
-                                      std::move(bitmaps), out_rows);
+                                      std::move(bitmaps), out_rows, &exec);
         return Status::OK();
       }));
   // Keys rarely survive a union (duplicates may appear); drop them.
@@ -150,13 +153,13 @@ Result<PartitionResult> PartitionTableOp(
     ScopedStep step(observer, opname, "select",
                     column + " " + std::string(CompareOpToString(op)) + " " +
                         literal.ToString());
-    std::vector<const WahBitmap*> qualifying;
+    std::vector<const ValueBitmap*> qualifying;
     for (Vid v = 0; v < pred_col->distinct_count(); ++v) {
       if (EvalCompare(pred_col->dict().value(v), op, literal)) {
         qualifying.push_back(&pred_col->bitmap(v));
       }
     }
-    selection = WahOrMany(qualifying, src.rows());
+    selection = CodecOrManyWah(qualifying, src.rows());
   }
   std::vector<uint64_t> pos1 = selection.SetPositions();
   std::vector<uint64_t> pos2 = WahNot(selection).SetPositions();

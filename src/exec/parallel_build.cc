@@ -80,15 +80,15 @@ Result<std::shared_ptr<const Column>> FilterColumnBitmaps(
     return Status::InvalidArgument(op_name +
                                    " requires WAH-encoded columns");
   }
-  std::vector<WahBitmap> filtered(column.distinct_count());
+  std::vector<ValueBitmap> filtered(column.distinct_count());
   CODS_RETURN_NOT_OK(
       ParallelFor(ctx, 0, column.distinct_count(), 16, [&](uint64_t v) {
-        filtered[v] = filter.Filter(column.bitmap(static_cast<Vid>(v)));
+        filtered[v] = CodecFilter(filter, column.bitmap(static_cast<Vid>(v)));
         return Status::OK();
       }));
   return std::shared_ptr<const Column>(
-      Column::FromBitmaps(column.type(), column.dict(), std::move(filtered),
-                          filter.num_positions()));
+      Column::FromValueBitmaps(column.type(), column.dict(),
+                               std::move(filtered), filter.num_positions()));
 }
 
 }  // namespace cods

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "bitmap/codec.h"
 #include "bitmap/wah_ops.h"
 #include "common/logging.h"
 
@@ -251,13 +252,13 @@ Result<WahBitmap> EvalLeafBitmap(const Table& table, const Expr& leaf) {
         "predicates require a WAH-encoded column; re-encode '" +
         inner->column + "' first");
   }
-  std::vector<const WahBitmap*> qualifying;
+  std::vector<const ValueBitmap*> qualifying;
   for (Vid vid = 0; vid < col->distinct_count(); ++vid) {
     if (inner->LeafMatches(col->dict().value(vid))) {
       qualifying.push_back(&col->bitmap(vid));
     }
   }
-  WahBitmap bm = WahOrMany(qualifying, table.rows());
+  WahBitmap bm = CodecOrManyWah(qualifying, table.rows());
   if (negate) return WahNot(bm);
   return bm;
 }

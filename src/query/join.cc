@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "bitmap/codec.h"
 #include "bitmap/wah_filter.h"
 #include "bitmap/wah_ops.h"
 #include "common/logging.h"
@@ -119,10 +120,10 @@ Result<FkOut> FkJoin(const ExecContext& exec, const Table& scan,
   FkOut out;
   // Scan rows with a partner: one single-pass k-way union of the
   // matched value bitmaps (the vid-intersection, materialized).
-  std::vector<const WahBitmap*> matched;
+  std::vector<const ValueBitmap*> matched;
   matched.reserve(matches.size());
   for (const auto& [sv, kv] : matches) matched.push_back(&sj.bitmap(sv));
-  WahBitmap selection = WahOrMany(matched, scan.rows());
+  WahBitmap selection = CodecOrManyWah(matched, scan.rows());
   const bool all_rows = selection.IsAllOnes();
   std::vector<uint64_t> positions;
   out.scan_cols.resize(scan.num_columns());
@@ -188,8 +189,8 @@ Result<FkOut> FkJoin(const ExecContext& exec, const Table& scan,
     CODS_CHECK(st.ok()) << st.ToString();
     std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
         exec, out_vid_of_row.data(), out.rows, src.distinct_count());
-    out.keyed_cols.push_back(Column::FromBitmaps(src.type(), src.dict(),
-                                                 std::move(bitmaps), out.rows));
+    out.keyed_cols.push_back(Column::FromBitmaps(
+        src.type(), src.dict(), std::move(bitmaps), out.rows, &exec));
   }
   return out;
 }
@@ -236,7 +237,8 @@ Result<std::shared_ptr<const Table>> GeneralJoin(
     std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
         exec, out_vid_of_row.data(), out_rows, src.distinct_count());
     out_cols.push_back(Column::FromBitmaps(src.type(), src.dict(),
-                                           std::move(bitmaps), out_rows));
+                                           std::move(bitmaps), out_rows,
+                                           &exec));
   };
   for (size_t i = 0; i < left.num_columns(); ++i) {
     const Column& src = *left.column(i);

@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "bitmap/codec.h"
 #include "bitmap/wah_filter.h"
 #include "bitmap/wah_ops.h"
 #include "common/logging.h"
@@ -576,7 +577,7 @@ Result<std::vector<GroupRow>> QueryEngine::GroupByRows(
   // the inner combine stays on the count-only kernel (nothing is
   // materialized).
   struct LiveMeasure {
-    std::vector<const WahBitmap*> bitmaps;
+    std::vector<const ValueBitmap*> bitmaps;
     std::vector<Vid> vids;
     std::vector<double> numeric;  // 0 for strings (never summed)
   };
@@ -600,14 +601,18 @@ Result<std::vector<GroupRow>> QueryEngine::GroupByRows(
   std::vector<char> qualifies(group->distinct_count(), 1);
   Status st = ParallelFor(
       exec, 0, group->distinct_count(), 4, [&](uint64_t g) {
-        const WahBitmap* gbm = &group->bitmap(static_cast<Vid>(g));
+        const ValueBitmap& gvb = group->bitmap(static_cast<Vid>(g));
+        // With a WHERE, the group bitmap narrows to canonical WAH via
+        // one codec AND; unfiltered groups stay in their codec container
+        // and the inner counts dispatch on the representation pair.
         WahBitmap narrowed;
+        bool use_narrowed = false;
         if (filtered) {
-          if (!gbm->IsAllZeros()) {
-            narrowed = WahAnd(*gbm, selection);
-            gbm = &narrowed;
+          if (!gvb.IsAllZeros()) {
+            narrowed = CodecAndWah(gvb, selection);
+            use_narrowed = true;
           }
-          if (gbm->IsAllZeros()) {
+          if (use_narrowed ? narrowed.IsAllZeros() : gvb.IsAllZeros()) {
             // SQL semantics: a WHERE that leaves a group no qualifying
             // rows drops the group (unlike a group genuinely summing
             // to 0, which stays).
@@ -615,9 +620,12 @@ Result<std::vector<GroupRow>> QueryEngine::GroupByRows(
             return Status::OK();
           }
         }
-        const bool empty_group = gbm->IsAllZeros();
+        const bool empty_group =
+            use_narrowed ? narrowed.IsAllZeros() : gvb.IsAllZeros();
         const uint64_t group_count =
-            need_group_count && !empty_group ? gbm->CountOnes() : 0;
+            need_group_count && !empty_group
+                ? (use_narrowed ? narrowed.CountOnes() : gvb.CountOnes())
+                : 0;
         struct Acc {
           double sum = 0;
           uint64_t count = 0;
@@ -630,7 +638,9 @@ Result<std::vector<GroupRow>> QueryEngine::GroupByRows(
             const LiveMeasure& lm = live[m];
             Acc& acc = accs[m];
             for (size_t i = 0; i < lm.bitmaps.size(); ++i) {
-              uint64_t count = WahAndCount(*gbm, *lm.bitmaps[i]);
+              uint64_t count =
+                  use_narrowed ? CodecAndCountWah(*lm.bitmaps[i], narrowed)
+                               : CodecAndCount(gvb, *lm.bitmaps[i]);
               if (count == 0) continue;
               acc.sum += lm.numeric[i] * static_cast<double>(count);
               acc.count += count;
@@ -800,7 +810,7 @@ Result<std::shared_ptr<const Table>> QueryEngine::SortRows(
     std::vector<WahBitmap> bitmaps = BuildValueBitmaps(
         exec, out_vid_of_row.data(), keep, src.distinct_count());
     cols[c] = Column::FromBitmaps(src.type(), src.dict(), std::move(bitmaps),
-                                  keep);
+                                  keep, &exec);
   }
   // Reordering / truncating rows preserves key uniqueness, so the
   // schema (key included) carries over.

@@ -2,7 +2,6 @@
 
 #include <atomic>
 
-#include "bitmap/wah_ops.h"
 #include "exec/parallel_build.h"
 
 namespace cods {
@@ -17,6 +16,25 @@ const char* ColumnEncodingToString(ColumnEncoding encoding) {
   return "?";
 }
 
+namespace {
+
+// Re-encodes freshly built WAH bitmaps into their density-chosen codec
+// containers, one task per value. The per-vid results land in pre-sized
+// index-ordered slots and the representation choice is a pure function
+// of content, so the conversion is bit-identical at every thread count.
+std::vector<ValueBitmap> EncodeValueBitmaps(const ExecContext& ctx,
+                                            std::vector<WahBitmap> wahs) {
+  std::vector<ValueBitmap> out(wahs.size());
+  Status st = ParallelFor(ctx, 0, wahs.size(), 16, [&](uint64_t v) {
+    out[v] = ValueBitmap::FromWah(std::move(wahs[v]));
+    return Status::OK();
+  });
+  CODS_CHECK(st.ok()) << st.ToString();
+  return out;
+}
+
+}  // namespace
+
 std::shared_ptr<Column> Column::FromVids(DataType type, Dictionary dict,
                                          const std::vector<Vid>& vids,
                                          const ExecContext* ctx) {
@@ -24,8 +42,9 @@ std::shared_ptr<Column> Column::FromVids(DataType type, Dictionary dict,
   col->type_ = type;
   col->encoding_ = ColumnEncoding::kWahBitmap;
   col->rows_ = vids.size();
-  col->bitmaps_ = BuildValueBitmaps(ResolveContext(ctx), vids.data(),
-                                    vids.size(), dict.size());
+  const ExecContext& exec = ResolveContext(ctx);
+  col->bitmaps_ = EncodeValueBitmaps(
+      exec, BuildValueBitmaps(exec, vids.data(), vids.size(), dict.size()));
   col->dict_ = std::move(dict);
   return col;
 }
@@ -54,7 +73,19 @@ std::shared_ptr<Column> Column::FromRle(DataType type, Dictionary dict,
 
 std::shared_ptr<Column> Column::FromBitmaps(DataType type, Dictionary dict,
                                             std::vector<WahBitmap> bitmaps,
-                                            uint64_t rows) {
+                                            uint64_t rows,
+                                            const ExecContext* ctx) {
+  CODS_CHECK(bitmaps.size() == dict.size())
+      << "bitmap count " << bitmaps.size() << " != dictionary size "
+      << dict.size();
+  return FromValueBitmaps(
+      type, std::move(dict),
+      EncodeValueBitmaps(ResolveContext(ctx), std::move(bitmaps)), rows);
+}
+
+std::shared_ptr<Column> Column::FromValueBitmaps(
+    DataType type, Dictionary dict, std::vector<ValueBitmap> bitmaps,
+    uint64_t rows) {
   CODS_CHECK(bitmaps.size() == dict.size())
       << "bitmap count " << bitmaps.size() << " != dictionary size "
       << dict.size();
@@ -67,13 +98,13 @@ std::shared_ptr<Column> Column::FromBitmaps(DataType type, Dictionary dict,
   return col;
 }
 
-const WahBitmap& Column::bitmap(Vid vid) const {
+const ValueBitmap& Column::bitmap(Vid vid) const {
   CODS_CHECK(encoding_ == ColumnEncoding::kWahBitmap);
   CODS_DCHECK(vid < bitmaps_.size());
   return bitmaps_[vid];
 }
 
-const std::vector<WahBitmap>& Column::bitmaps() const {
+const std::vector<ValueBitmap>& Column::bitmaps() const {
   CODS_CHECK(encoding_ == ColumnEncoding::kWahBitmap);
   return bitmaps_;
 }
@@ -92,9 +123,8 @@ std::vector<Vid> Column::DecodeVids(const ExecContext* ctx) const {
   // disjoint positions — safe to run concurrently, identical result.
   Status st = ParallelFor(
       ResolveContext(ctx), 0, bitmaps_.size(), 16, [&](uint64_t vid) {
-        WahSetBitIterator it(bitmaps_[vid]);
-        uint64_t pos;
-        while (it.Next(&pos)) out[pos] = static_cast<Vid>(vid);
+        bitmaps_[vid].ForEachSetBit(
+            [&](uint64_t pos) { out[pos] = static_cast<Vid>(vid); });
         return Status::OK();
       });
   CODS_CHECK(st.ok()) << st.ToString();
@@ -142,7 +172,7 @@ uint64_t Column::SizeBytes() const {
   if (encoding_ == ColumnEncoding::kRle) {
     bytes += rle_.SizeBytes();
   } else {
-    for (const WahBitmap& bm : bitmaps_) bytes += bm.SizeBytes();
+    for (const ValueBitmap& bm : bitmaps_) bytes += bm.SizeBytes();
   }
   return bytes;
 }
@@ -162,18 +192,16 @@ Status Column::ValidateInvariants(const ExecContext* ctx) const {
   if (bitmaps_.size() != dict_.size()) {
     return Status::Corruption("bitmap count != dictionary size");
   }
-  // Per-bitmap length check and popcount, parallel over value bitmaps.
-  // The sum is order-independent, so a relaxed atomic accumulation stays
-  // deterministic.
+  // Per-bitmap structural + canonical-representation check and popcount,
+  // parallel over value bitmaps. The sum is order-independent, so a
+  // relaxed atomic accumulation stays deterministic.
   std::atomic<uint64_t> ones{0};
   CODS_RETURN_NOT_OK(ParallelForChunked(
       ResolveContext(ctx), 0, bitmaps_.size(), 16,
       [&](uint64_t lo, uint64_t hi) -> Status {
         uint64_t local = 0;
         for (uint64_t v = lo; v < hi; ++v) {
-          if (bitmaps_[v].size() != rows_) {
-            return Status::Corruption("bitmap length != row count");
-          }
+          CODS_RETURN_NOT_OK(bitmaps_[v].Validate(rows_));
           local += bitmaps_[v].CountOnes();
         }
         ones.fetch_add(local, std::memory_order_relaxed);
@@ -186,8 +214,12 @@ Status Column::ValidateInvariants(const ExecContext* ctx) const {
                               std::to_string(rows_) + " rows");
   }
   // Coverage = |union of all value bitmaps|, computed by the count-only
-  // k-way kernel in one pass — the union bitmap is never materialized.
-  if (WahOrManyCount(bitmaps_, rows_) != rows_) {
+  // k-way codec kernel in one pass — the union bitmap is never
+  // materialized.
+  std::vector<const ValueBitmap*> ptrs;
+  ptrs.reserve(bitmaps_.size());
+  for (const ValueBitmap& bm : bitmaps_) ptrs.push_back(&bm);
+  if (CodecOrManyCount(ptrs, rows_) != rows_) {
     return Status::Corruption("bitmaps overlap or leave gaps");
   }
   return Status::OK();

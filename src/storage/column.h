@@ -1,6 +1,9 @@
 // Bitmap-indexed column (CODS §2.2): a column with v distinct values over
-// r rows is stored as a dictionary plus v WAH-compressed bit vectors of
-// length r — vector k has bit j set iff row j holds value k. An optional
+// r rows is stored as a dictionary plus v bit vectors of length r —
+// vector k has bit j set iff row j holds value k. Each bit vector is held
+// behind the density-adaptive codec (bitmap/codec.h): sparse values as
+// sorted position arrays, mixed ones as the paper's WAH runs, dense ones
+// as raw bitset words, chosen deterministically per value. An optional
 // run-length encoding is used instead when the column is declared sorted.
 //
 // Columns are immutable once built and shared between tables via
@@ -13,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bitmap/codec.h"
 #include "bitmap/rle.h"
 #include "bitmap/wah_bitmap.h"
 #include "common/result.h"
@@ -24,7 +28,7 @@ namespace cods {
 
 /// Physical encoding of a column.
 enum class ColumnEncoding : uint8_t {
-  kWahBitmap = 0,  // dictionary + per-value WAH bitmaps (default)
+  kWahBitmap = 0,  // dictionary + per-value codec bitmaps (default)
   kRle = 1,        // dictionary + run-length-encoded vid sequence
 };
 
@@ -49,13 +53,23 @@ class Column {
   static std::shared_ptr<Column> FromRle(DataType type, Dictionary dict,
                                          RleVector rle);
 
-  /// Builds directly from prepared bitmaps (used by the evolution
-  /// operators, which emit compressed bitmaps natively). Every bitmap
-  /// must have length `rows`, and each row must be covered by exactly one
-  /// bitmap (checked lazily by ValidateInvariants).
+  /// Builds directly from prepared WAH bitmaps (used by the evolution
+  /// operators, which emit compressed bitmaps natively on the WAH
+  /// interchange form). Each bitmap is re-encoded into its density-chosen
+  /// codec container (on `ctx` when given — bit-identical either way,
+  /// since the representation choice is a pure function of content).
+  /// Every bitmap must have length `rows`, and each row must be covered
+  /// by exactly one bitmap (checked lazily by ValidateInvariants).
   static std::shared_ptr<Column> FromBitmaps(DataType type, Dictionary dict,
                                              std::vector<WahBitmap> bitmaps,
-                                             uint64_t rows);
+                                             uint64_t rows,
+                                             const ExecContext* ctx = nullptr);
+
+  /// Builds from already codec-encoded value bitmaps (the position-filter
+  /// and persistence paths, whose kernels produce ValueBitmaps natively).
+  static std::shared_ptr<Column> FromValueBitmaps(
+      DataType type, Dictionary dict, std::vector<ValueBitmap> bitmaps,
+      uint64_t rows);
 
   DataType type() const { return type_; }
   ColumnEncoding encoding() const { return encoding_; }
@@ -63,10 +77,11 @@ class Column {
   const Dictionary& dict() const { return dict_; }
   size_t distinct_count() const { return dict_.size(); }
 
-  /// The WAH bitmap of value id `vid`. Only valid for kWahBitmap columns.
-  const WahBitmap& bitmap(Vid vid) const;
-  /// All bitmaps (kWahBitmap only), indexed by vid.
-  const std::vector<WahBitmap>& bitmaps() const;
+  /// The codec-encoded bitmap of value id `vid`. Only valid for
+  /// kWahBitmap columns.
+  const ValueBitmap& bitmap(Vid vid) const;
+  /// All value bitmaps (kWahBitmap only), indexed by vid.
+  const std::vector<ValueBitmap>& bitmaps() const;
 
   /// The RLE payload. Only valid for kRle columns.
   const RleVector& rle() const;
@@ -102,7 +117,7 @@ class Column {
   DataType type_ = DataType::kInt64;
   ColumnEncoding encoding_ = ColumnEncoding::kWahBitmap;
   Dictionary dict_;
-  std::vector<WahBitmap> bitmaps_;  // kWahBitmap: indexed by vid
+  std::vector<ValueBitmap> bitmaps_;  // kWahBitmap: indexed by vid
   RleVector rle_;                   // kRle
   uint64_t rows_ = 0;
 };

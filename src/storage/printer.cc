@@ -63,7 +63,30 @@ std::string FormatTableStats(const Table& table) {
     out << "  " << table.schema().column(c).name << ": "
         << ColumnEncodingToString(col->encoding()) << ", distinct="
         << col->distinct_count() << ", bytes=" << col->SizeBytes() << "\n";
+    if (col->encoding() != ColumnEncoding::kWahBitmap) continue;
+    // Codec detail: how the density rule distributed this column's
+    // value bitmaps, and what they cost next to raw bitsets.
+    uint64_t reps[3] = {0, 0, 0};
+    uint64_t codec_bytes = 0;
+    uint64_t dense_bytes = 0;
+    for (Vid v = 0; v < col->distinct_count(); ++v) {
+      const ValueBitmap& vb = col->bitmap(v);
+      ++reps[static_cast<size_t>(vb.rep())];
+      codec_bytes += vb.SizeBytes();
+      dense_bytes += vb.DenseSizeBytes();
+    }
+    out << "    reps: array=" << reps[0] << " wah=" << reps[1]
+        << " bitset=" << reps[2] << ", codec bytes=" << codec_bytes
+        << ", bitset-equivalent bytes=" << dense_bytes << "\n";
   }
+  const CodecStats& stats = GlobalCodecStats();
+  out << "codec: popcount cache hits="
+      << stats.popcount_hits.load(std::memory_order_relaxed)
+      << ", containers built: array="
+      << stats.array_built.load(std::memory_order_relaxed)
+      << " wah=" << stats.wah_built.load(std::memory_order_relaxed)
+      << " bitset=" << stats.bitset_built.load(std::memory_order_relaxed)
+      << "\n";
   return out.str();
 }
 

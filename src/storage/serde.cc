@@ -117,6 +117,75 @@ Result<WahBitmap> ReadBitmap(BinaryReader* in) {
                                  num_bits);
 }
 
+void WriteValueBitmap(const ValueBitmap& vb, BinaryWriter* out) {
+  out->U8(static_cast<uint8_t>(vb.rep()));
+  switch (vb.rep()) {
+    case BitmapRep::kArray: {
+      const std::vector<uint32_t>& positions = vb.array_positions();
+      out->U32(static_cast<uint32_t>(positions.size()));
+      for (uint32_t p : positions) out->U32(p);
+      return;
+    }
+    case BitmapRep::kWah:
+      WriteBitmap(vb.wah(), out);
+      return;
+    case BitmapRep::kBitset: {
+      const std::vector<uint64_t>& words = vb.bitset_words();
+      out->U32(static_cast<uint32_t>(words.size()));
+      for (uint64_t w : words) out->U64(w);
+      return;
+    }
+  }
+  CODS_CHECK(false) << "unreachable bitmap representation";
+}
+
+Result<ValueBitmap> ReadValueBitmap(BinaryReader* in, uint64_t rows) {
+  CODS_ASSIGN_OR_RETURN(uint8_t rep_byte, in->U8());
+  if (rep_byte > static_cast<uint8_t>(BitmapRep::kBitset)) {
+    return Status::Corruption("unknown bitmap representation tag " +
+                              std::to_string(rep_byte));
+  }
+  BitmapRep rep = static_cast<BitmapRep>(rep_byte);
+  switch (rep) {
+    case BitmapRep::kArray: {
+      CODS_ASSIGN_OR_RETURN(uint32_t count, in->U32());
+      if (count > kMaxReasonableCount) {
+        return Status::Corruption("implausible position count");
+      }
+      std::vector<uint32_t> positions;
+      positions.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        CODS_ASSIGN_OR_RETURN(uint32_t p, in->U32());
+        positions.push_back(p);
+      }
+      return ValueBitmap::FromRawParts(rep, rows, std::move(positions),
+                                       WahBitmap(), {});
+    }
+    case BitmapRep::kWah: {
+      CODS_ASSIGN_OR_RETURN(WahBitmap bm, ReadBitmap(in));
+      if (bm.size() != rows) {
+        return Status::Corruption("bitmap length does not match row count");
+      }
+      return ValueBitmap::FromRawParts(rep, rows, {}, std::move(bm), {});
+    }
+    case BitmapRep::kBitset: {
+      CODS_ASSIGN_OR_RETURN(uint32_t word_count, in->U32());
+      if (word_count > kMaxReasonableCount) {
+        return Status::Corruption("implausible bitset word count");
+      }
+      std::vector<uint64_t> words;
+      words.reserve(word_count);
+      for (uint32_t i = 0; i < word_count; ++i) {
+        CODS_ASSIGN_OR_RETURN(uint64_t w, in->U64());
+        words.push_back(w);
+      }
+      return ValueBitmap::FromRawParts(rep, rows, {}, WahBitmap(),
+                                       std::move(words));
+    }
+  }
+  return Status::Corruption("unreachable bitmap representation");
+}
+
 // ---- Values and dictionaries ------------------------------------------------
 
 void WriteValue(const Value& value, BinaryWriter* out) {
@@ -179,14 +248,25 @@ Result<Dictionary> ReadDictionary(BinaryReader* in) {
 
 // ---- Columns -----------------------------------------------------------------
 
-void WriteColumn(const Column& column, BinaryWriter* out) {
+void WriteColumn(const Column& column, BinaryWriter* out, uint32_t version) {
   out->U8(static_cast<uint8_t>(column.type()));
   out->U8(static_cast<uint8_t>(column.encoding()));
   out->U64(column.rows());
   WriteDictionary(column.dict(), out);
   if (column.encoding() == ColumnEncoding::kWahBitmap) {
     out->U32(static_cast<uint32_t>(column.bitmaps().size()));
-    for (const WahBitmap& bm : column.bitmaps()) WriteBitmap(bm, out);
+    if (version >= kCodsFileVersionV3) {
+      // Each container serializes in its own representation, tagged.
+      for (const ValueBitmap& vb : column.bitmaps()) {
+        WriteValueBitmap(vb, out);
+      }
+    } else {
+      // v1/v2 images are WAH-shaped: re-encode through the interchange
+      // form so older readers stay compatible.
+      for (const ValueBitmap& vb : column.bitmaps()) {
+        WriteBitmap(vb.ToWah(), out);
+      }
+    }
   } else {
     const RleVector& rle = column.rle();
     out->U32(static_cast<uint32_t>(rle.NumRuns()));
@@ -197,7 +277,8 @@ void WriteColumn(const Column& column, BinaryWriter* out) {
   }
 }
 
-Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in) {
+Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in,
+                                                 uint32_t version) {
   CODS_ASSIGN_OR_RETURN(uint8_t type_byte, in->U8());
   if (type_byte > static_cast<uint8_t>(DataType::kString)) {
     return Status::Corruption("unknown data type " +
@@ -216,6 +297,16 @@ Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in) {
     CODS_ASSIGN_OR_RETURN(uint32_t count, in->U32());
     if (count != dict.size()) {
       return Status::Corruption("bitmap count does not match dictionary");
+    }
+    if (version >= kCodsFileVersionV3) {
+      std::vector<ValueBitmap> bitmaps;
+      bitmaps.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        CODS_ASSIGN_OR_RETURN(ValueBitmap vb, ReadValueBitmap(in, rows));
+        bitmaps.push_back(std::move(vb));
+      }
+      return std::shared_ptr<const Column>(Column::FromValueBitmaps(
+          type, std::move(dict), std::move(bitmaps), rows));
     }
     std::vector<WahBitmap> bitmaps;
     bitmaps.reserve(count);
@@ -298,23 +389,24 @@ Result<Schema> ReadSchema(BinaryReader* in) {
   return Schema::Make(std::move(specs), std::move(key));
 }
 
-void WriteTable(const Table& table, BinaryWriter* out) {
+void WriteTable(const Table& table, BinaryWriter* out, uint32_t version) {
   out->Str(table.name());
   out->U64(table.rows());
   WriteSchema(table.schema(), out);
   for (size_t i = 0; i < table.num_columns(); ++i) {
-    WriteColumn(*table.column(i), out);
+    WriteColumn(*table.column(i), out, version);
   }
 }
 
-Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in) {
+Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in,
+                                               uint32_t version) {
   CODS_ASSIGN_OR_RETURN(std::string name, in->Str());
   CODS_ASSIGN_OR_RETURN(uint64_t rows, in->U64());
   CODS_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
   std::vector<std::shared_ptr<const Column>> columns;
   columns.reserve(schema.num_columns());
   for (size_t i = 0; i < schema.num_columns(); ++i) {
-    CODS_ASSIGN_OR_RETURN(auto col, ReadColumn(in));
+    CODS_ASSIGN_OR_RETURN(auto col, ReadColumn(in, version));
     columns.push_back(std::move(col));
   }
   CODS_ASSIGN_OR_RETURN(
@@ -340,9 +432,22 @@ std::vector<uint8_t> SerializeCatalogBody(const Catalog& catalog,
   std::vector<std::string> names = catalog.TableNames();
   out.U32(static_cast<uint32_t>(names.size()));
   for (const std::string& name : names) {
-    WriteTable(*catalog.GetTable(name).ValueOrDie(), &out);
+    WriteTable(*catalog.GetTable(name).ValueOrDie(), &out, version);
   }
   return out.TakeBuffer();
+}
+
+// Appends the wal_lsn + masked-CRC32C footer shared by v2 and v3 images.
+std::vector<uint8_t> AppendFooter(std::vector<uint8_t> image,
+                                  uint64_t wal_lsn) {
+  BinaryWriter footer;
+  footer.U64(wal_lsn);
+  image.insert(image.end(), footer.buffer().begin(), footer.buffer().end());
+  // The CRC covers everything before it, LSN included.
+  BinaryWriter crc;
+  crc.U32(crc32c::Mask(crc32c::Value(image.data(), image.size())));
+  image.insert(image.end(), crc.buffer().begin(), crc.buffer().end());
+  return image;
 }
 
 }  // namespace
@@ -353,16 +458,14 @@ std::vector<uint8_t> SerializeCatalog(const Catalog& catalog) {
 
 std::vector<uint8_t> SerializeCatalogV2(const Catalog& catalog,
                                         uint64_t wal_lsn) {
-  std::vector<uint8_t> image =
-      SerializeCatalogBody(catalog, kCodsFileVersionV2);
-  BinaryWriter footer;
-  footer.U64(wal_lsn);
-  image.insert(image.end(), footer.buffer().begin(), footer.buffer().end());
-  // The CRC covers everything before it, LSN included.
-  BinaryWriter crc;
-  crc.U32(crc32c::Mask(crc32c::Value(image.data(), image.size())));
-  image.insert(image.end(), crc.buffer().begin(), crc.buffer().end());
-  return image;
+  return AppendFooter(SerializeCatalogBody(catalog, kCodsFileVersionV2),
+                      wal_lsn);
+}
+
+std::vector<uint8_t> SerializeCatalogV3(const Catalog& catalog,
+                                        uint64_t wal_lsn) {
+  return AppendFooter(SerializeCatalogBody(catalog, kCodsFileVersionV3),
+                      wal_lsn);
 }
 
 Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
@@ -375,10 +478,10 @@ Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
   }
   CODS_ASSIGN_OR_RETURN(uint32_t version, header.U32());
   size_t body_size = image.size();
-  if (version == kCodsFileVersionV2) {
+  if (version == kCodsFileVersionV2 || version == kCodsFileVersionV3) {
     // Verify the whole-image checksum before trusting any length field.
     if (image.size() < 8 + kCodsFooterSize) {
-      return Status::Corruption("v2 image too short for its footer");
+      return Status::Corruption("image too short for its footer");
     }
     BinaryReader footer(image.data() + image.size() - kCodsFooterSize,
                         kCodsFooterSize);
@@ -403,7 +506,7 @@ Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
   }
   Catalog catalog;
   for (uint32_t i = 0; i < table_count; ++i) {
-    CODS_ASSIGN_OR_RETURN(auto table, ReadTable(&in));
+    CODS_ASSIGN_OR_RETURN(auto table, ReadTable(&in, version));
     CODS_RETURN_NOT_OK(catalog.AddTable(std::move(table)));
   }
   if (!in.AtEnd()) {
@@ -416,7 +519,7 @@ Status SaveCatalog(const Catalog& catalog, const std::string& path) {
   // Checkpoint-style crash safety: the image lands under a temp name, is
   // fsync'd, and only then atomically replaces any previous good image.
   return WriteFileAtomic(Env::Default(), path,
-                         SerializeCatalogV2(catalog, /*wal_lsn=*/0));
+                         SerializeCatalogV3(catalog, /*wal_lsn=*/0));
 }
 
 Result<Catalog> LoadCatalog(const std::string& path) {

@@ -14,8 +14,12 @@
 //   column := type:u8 encoding:u8 rows:u64 dict payload
 //   dict   := count:u32 value*
 //   value  := tag:u8 (i64 | f64 | str)
-//   payload(WAH) := bitmap_count:u32 bitmap*
+//   payload(WAH, v1/v2) := bitmap_count:u32 bitmap*
 //   bitmap := num_bits:u64 tail:u64 tail_bits:u8 word_count:u32 word*
+//   payload(WAH, v3)    := bitmap_count:u32 vbitmap*
+//   vbitmap := rep:u8 (array | bitmap | bitset)     rep = BitmapRep tag
+//   array  := pos_count:u32 pos:u32*                (size = column rows)
+//   bitset := word_count:u32 word:u64*              (size = column rows)
 //   payload(RLE) := run_count:u32 (vid:u32 len:u64)*
 //
 // Version 2 (the checkpoint format, durability/checkpoint.h) appends a
@@ -23,6 +27,13 @@
 // (common/crc32c.h) of every preceding byte — so any single bit flip
 // anywhere in a v2 image is detected, not just structurally implausible
 // ones. Version 1 images (no footer) remain readable.
+//
+// Version 3 keeps the v2 footer but stores each value bitmap in its
+// density-chosen codec container (bitmap/codec.h), tagged per value, so
+// images round-trip without re-encoding through WAH. Loads re-validate
+// that every tag is the representation ChooseBitmapRep mandates for the
+// payload's density. v1 and v2 images (WAH-shaped payloads) remain
+// readable; their bitmaps re-encode into codec containers on load.
 
 #ifndef CODS_STORAGE_SERDE_H_
 #define CODS_STORAGE_SERDE_H_
@@ -40,7 +51,8 @@ namespace cods {
 inline constexpr uint32_t kCodsFileMagic = 0x434F4453;  // "CODS"
 inline constexpr uint32_t kCodsFileVersion = 1;
 inline constexpr uint32_t kCodsFileVersionV2 = 2;  // + checksummed footer
-/// Footer size of a v2 image: wal_lsn:u64 crc:u32.
+inline constexpr uint32_t kCodsFileVersionV3 = 3;  // + codec-tagged bitmaps
+/// Footer size of a v2/v3 image: wal_lsn:u64 crc:u32.
 inline constexpr size_t kCodsFooterSize = 12;
 
 /// Append-only binary encoder.
@@ -94,20 +106,32 @@ class BinaryReader {
 void WriteBitmap(const WahBitmap& bitmap, BinaryWriter* out);
 Result<WahBitmap> ReadBitmap(BinaryReader* in);
 
+/// One codec-tagged value bitmap (the v3 payload element). The bitmap's
+/// logical size is the enclosing column's row count, passed on read.
+void WriteValueBitmap(const ValueBitmap& vb, BinaryWriter* out);
+Result<ValueBitmap> ReadValueBitmap(BinaryReader* in, uint64_t rows);
+
 void WriteValue(const Value& value, BinaryWriter* out);
 Result<Value> ReadValue(BinaryReader* in);
 
 void WriteDictionary(const Dictionary& dict, BinaryWriter* out);
 Result<Dictionary> ReadDictionary(BinaryReader* in);
 
-void WriteColumn(const Column& column, BinaryWriter* out);
-Result<std::shared_ptr<const Column>> ReadColumn(BinaryReader* in);
+/// `version` selects the bitmap payload shape: v1/v2 write WAH-shaped
+/// bitmaps (codec containers re-encode through ToWah), v3 writes
+/// codec-tagged containers directly.
+void WriteColumn(const Column& column, BinaryWriter* out,
+                 uint32_t version = kCodsFileVersion);
+Result<std::shared_ptr<const Column>> ReadColumn(
+    BinaryReader* in, uint32_t version = kCodsFileVersion);
 
 void WriteSchema(const Schema& schema, BinaryWriter* out);
 Result<Schema> ReadSchema(BinaryReader* in);
 
-void WriteTable(const Table& table, BinaryWriter* out);
-Result<std::shared_ptr<const Table>> ReadTable(BinaryReader* in);
+void WriteTable(const Table& table, BinaryWriter* out,
+                uint32_t version = kCodsFileVersion);
+Result<std::shared_ptr<const Table>> ReadTable(
+    BinaryReader* in, uint32_t version = kCodsFileVersion);
 
 // ---- Whole-database round trips. -------------------------------------------
 
@@ -119,8 +143,14 @@ std::vector<uint8_t> SerializeCatalog(const Catalog& catalog);
 std::vector<uint8_t> SerializeCatalogV2(const Catalog& catalog,
                                         uint64_t wal_lsn);
 
-/// Parses a database image of either version. Each loaded table's
-/// invariants are verified; a v2 footer checksum mismatch is
+/// Serializes a catalog into a v3 image: codec-tagged per-value bitmap
+/// containers, plus the v2-style checksummed footer. The checkpoint and
+/// SaveCatalog format.
+std::vector<uint8_t> SerializeCatalogV3(const Catalog& catalog,
+                                        uint64_t wal_lsn);
+
+/// Parses a database image of any supported version. Each loaded
+/// table's invariants are verified; a v2/v3 footer checksum mismatch is
 /// Status::Corruption. `wal_lsn` (optional) receives the footer LSN
 /// (0 for v1 images).
 Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
@@ -128,7 +158,7 @@ Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
 
 /// Writes a catalog to a database file crash-safely: temp file + fsync +
 /// atomic rename, so a failure mid-save never destroys a previous good
-/// image. Thin shim over the checkpoint write path (v2 image, LSN 0).
+/// image. Thin shim over the checkpoint write path (v3 image, LSN 0).
 Status SaveCatalog(const Catalog& catalog, const std::string& path);
 
 /// Reads a catalog from a database file (either format version).

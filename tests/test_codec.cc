@@ -1,0 +1,330 @@
+// Tests for the density-adaptive bitmap codec: the representation rule,
+// every kernel verified against the WAH oracle across all representation
+// pairs (randomized property sweep), serde round trips for v1/v2/v3
+// images, and corruption injection — a mutated image must surface as
+// Status::Corruption, never as silently wrong data.
+
+#include "bitmap/codec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bitmap/wah_filter.h"
+#include "bitmap/wah_ops.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "storage/serde.h"
+#include "test_util.h"
+
+namespace cods {
+namespace {
+
+using ::cods::testing::ExpectSameContent;
+using ::cods::testing::Figure1TableR;
+using ::cods::testing::RandomFdTable;
+
+// Sample exactly `ones` distinct positions in [0, size), so the
+// representation each density class maps to is guaranteed, not merely
+// likely.
+std::vector<uint32_t> SamplePositions(uint64_t size, uint64_t ones,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::set<uint32_t> picked;
+  while (picked.size() < ones) {
+    picked.insert(
+        static_cast<uint32_t>(rng.Uniform(0, static_cast<int64_t>(size) - 1)));
+  }
+  return std::vector<uint32_t>(picked.begin(), picked.end());
+}
+
+WahBitmap WahFromU32(const std::vector<uint32_t>& positions, uint64_t size) {
+  std::vector<uint64_t> wide(positions.begin(), positions.end());
+  return WahBitmap::FromPositions(wide, size);
+}
+
+ValueBitmap MakeRandom(uint64_t size, uint64_t ones, uint64_t seed) {
+  return ValueBitmap::FromPositions(SamplePositions(size, ones, seed), size);
+}
+
+// The density classes the sweep crosses. For size 4096: empty and full
+// stay on WAH (homogeneous), 30 ones <= 4096/64 picks the array, 400 is
+// the mixed WAH regime, 2000 >= 1024 picks the bitset.
+constexpr uint64_t kSweepSize = 4096;
+struct DensityClass {
+  uint64_t ones;
+  BitmapRep rep;
+};
+const DensityClass kClasses[] = {
+    {0, BitmapRep::kWah},     {30, BitmapRep::kArray},
+    {400, BitmapRep::kWah},   {2000, BitmapRep::kBitset},
+    {4096, BitmapRep::kWah},
+};
+
+TEST(ChooseRep, DensityThresholds) {
+  // Homogeneous bitmaps stay on WAH regardless of density class.
+  EXPECT_EQ(ChooseBitmapRep(0, 1000), BitmapRep::kWah);
+  EXPECT_EQ(ChooseBitmapRep(1000, 1000), BitmapRep::kWah);
+  EXPECT_EQ(ChooseBitmapRep(0, 0), BitmapRep::kWah);
+  // Sparse boundary: ones <= size/64.
+  EXPECT_EQ(ChooseBitmapRep(15, 1000), BitmapRep::kArray);
+  EXPECT_EQ(ChooseBitmapRep(16, 1024), BitmapRep::kArray);
+  EXPECT_EQ(ChooseBitmapRep(17, 1024), BitmapRep::kWah);
+  // Dense boundary: ones >= (size+3)/4.
+  EXPECT_EQ(ChooseBitmapRep(255, 1024), BitmapRep::kWah);
+  EXPECT_EQ(ChooseBitmapRep(256, 1024), BitmapRep::kBitset);
+  // Positions are uint32_t: huge bitmaps never choose the array.
+  EXPECT_EQ(ChooseBitmapRep(2, (uint64_t{1} << 33)), BitmapRep::kWah);
+}
+
+TEST(ValueBitmap, ConstructorsAgreeAndAreCanonical) {
+  for (const DensityClass& c : kClasses) {
+    std::vector<uint32_t> positions = SamplePositions(kSweepSize, c.ones, 7);
+    ValueBitmap from_positions =
+        ValueBitmap::FromPositions(positions, kSweepSize);
+    ValueBitmap from_wah =
+        ValueBitmap::FromWah(WahFromU32(positions, kSweepSize));
+    std::vector<uint64_t> words((kSweepSize + 63) / 64, 0);
+    for (uint32_t p : positions) words[p / 64] |= uint64_t{1} << (p % 64);
+    ValueBitmap from_words = ValueBitmap::FromDenseWords(words, kSweepSize);
+
+    EXPECT_EQ(from_positions.rep(), c.rep) << c.ones;
+    EXPECT_EQ(from_positions, from_wah) << c.ones;
+    EXPECT_EQ(from_positions, from_words) << c.ones;
+    EXPECT_EQ(from_positions.CountOnes(), c.ones);
+    EXPECT_TRUE(from_positions.Validate(kSweepSize).ok());
+    EXPECT_EQ(from_positions.ToWah(), WahFromU32(positions, kSweepSize));
+  }
+}
+
+TEST(ValueBitmap, PointQueriesMatchOracle) {
+  for (const DensityClass& c : kClasses) {
+    std::vector<uint32_t> positions = SamplePositions(kSweepSize, c.ones, 11);
+    ValueBitmap vb = ValueBitmap::FromPositions(positions, kSweepSize);
+    WahBitmap oracle = WahFromU32(positions, kSweepSize);
+    EXPECT_EQ(vb.FirstSetBit(), oracle.FirstSetBit());
+    EXPECT_EQ(vb.SetPositions(), oracle.SetPositions());
+    Rng rng(13);
+    for (int i = 0; i < 64; ++i) {
+      uint64_t pos = static_cast<uint64_t>(
+          rng.Uniform(0, static_cast<int64_t>(kSweepSize) - 1));
+      EXPECT_EQ(vb.Get(pos), oracle.Get(pos));
+    }
+    std::vector<uint64_t> collected;
+    vb.ForEachSetBit([&](uint64_t pos) { collected.push_back(pos); });
+    EXPECT_EQ(collected, oracle.SetPositions());
+  }
+}
+
+// The core property sweep: every pairwise kernel against the WAH oracle
+// across the full representation cross product, several seeds each.
+TEST(CodecKernels, PairwiseSweepVsWahOracle) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const DensityClass& ca : kClasses) {
+      for (const DensityClass& cb : kClasses) {
+        ValueBitmap a = MakeRandom(kSweepSize, ca.ones, seed * 101 + ca.ones);
+        ValueBitmap b = MakeRandom(kSweepSize, cb.ones, seed * 977 + cb.ones);
+        WahBitmap wa = a.ToWah();
+        WahBitmap wb = b.ToWah();
+        SCOPED_TRACE(a.ToString() + " x " + b.ToString());
+
+        EXPECT_EQ(CodecAnd(a, b), ValueBitmap::FromWah(WahAnd(wa, wb)));
+        EXPECT_EQ(CodecOr(a, b), ValueBitmap::FromWah(WahOr(wa, wb)));
+        EXPECT_EQ(CodecNot(a), ValueBitmap::FromWah(WahNot(wa)));
+        EXPECT_EQ(CodecAndCount(a, b), WahAndCount(wa, wb));
+
+        // Interchange-form kernels against a WAH selection.
+        WahBitmap selection;
+        {
+          Rng rng(seed * 31 + ca.ones + cb.ones);
+          for (uint64_t i = 0; i < kSweepSize; ++i) {
+            selection.AppendBit(rng.NextBool(0.2));
+          }
+        }
+        EXPECT_EQ(CodecAndWah(a, selection), WahAnd(wa, selection));
+        EXPECT_EQ(CodecAndCountWah(a, selection),
+                  WahAndCount(wa, selection));
+      }
+    }
+  }
+}
+
+TEST(CodecKernels, OrManyMixedRepsVsOracle) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    std::vector<ValueBitmap> vbs;
+    for (const DensityClass& c : kClasses) {
+      vbs.push_back(MakeRandom(kSweepSize, c.ones, seed * 53 + c.ones));
+      vbs.push_back(MakeRandom(kSweepSize, c.ones, seed * 59 + c.ones + 1));
+    }
+    std::vector<const ValueBitmap*> operands;
+    std::vector<WahBitmap> wahs;
+    for (const ValueBitmap& vb : vbs) {
+      operands.push_back(&vb);
+      wahs.push_back(vb.ToWah());
+    }
+    std::vector<const WahBitmap*> wah_ptrs;
+    for (const WahBitmap& w : wahs) wah_ptrs.push_back(&w);
+
+    WahBitmap oracle = WahOrMany(wah_ptrs, kSweepSize);
+    EXPECT_EQ(CodecOrManyWah(operands, kSweepSize), oracle);
+    EXPECT_EQ(CodecOrManyCount(operands, kSweepSize), oracle.CountOnes());
+
+    // Subsets exercise the all-WAH fast path and single-operand cases.
+    std::vector<const ValueBitmap*> just_wah = {operands[4], operands[5]};
+    EXPECT_EQ(CodecOrManyWah(just_wah, kSweepSize),
+              WahOr(*wah_ptrs[4], *wah_ptrs[5]));
+    std::vector<const ValueBitmap*> one = {operands[2]};
+    EXPECT_EQ(CodecOrManyWah(one, kSweepSize), wahs[2]);
+    EXPECT_EQ(CodecOrManyWah({}, kSweepSize).CountOnes(), 0u);
+    EXPECT_EQ(CodecOrManyWah({}, kSweepSize).size(), kSweepSize);
+  }
+}
+
+TEST(CodecKernels, FilterMatchesCompressedOracle) {
+  Rng rng(21);
+  std::vector<uint64_t> kept;
+  for (uint64_t i = 0; i < kSweepSize; ++i) {
+    if (rng.NextBool(0.3)) kept.push_back(i);
+  }
+  WahPositionFilter filter(kept, kSweepSize);
+  for (const DensityClass& c : kClasses) {
+    ValueBitmap vb = MakeRandom(kSweepSize, c.ones, 87 + c.ones);
+    ValueBitmap filtered = CodecFilter(filter, vb);
+    WahBitmap oracle = filter.Filter(vb.ToWah());
+    EXPECT_EQ(filtered, ValueBitmap::FromWah(oracle)) << vb.ToString();
+    EXPECT_TRUE(filtered.Validate(kept.size()).ok());
+  }
+}
+
+TEST(CodecKernels, AppendToWahMatchesConcat) {
+  WahBitmap acc = WahBitmap::FromPositions({1, 63, 200}, 300);
+  for (const DensityClass& c : kClasses) {
+    ValueBitmap vb = MakeRandom(kSweepSize, c.ones, 33 + c.ones);
+    WahBitmap via_append = acc;
+    vb.AppendToWah(&via_append);
+    WahBitmap via_concat = acc;
+    via_concat.Concat(vb.ToWah());
+    EXPECT_EQ(via_append, via_concat) << vb.ToString();
+  }
+}
+
+TEST(ValueBitmap, FromRawPartsRejectsNonCanonical) {
+  // Wrong representation for the density: 3 ones in 4096 bits must be an
+  // array, not a bitset.
+  std::vector<uint64_t> words(kSweepSize / 64, 0);
+  words[0] = 0b111;
+  EXPECT_FALSE(ValueBitmap::FromRawParts(BitmapRep::kBitset, kSweepSize, {},
+                                         WahBitmap(), words)
+                   .ok());
+  // Unsorted positions.
+  EXPECT_FALSE(ValueBitmap::FromRawParts(BitmapRep::kArray, kSweepSize,
+                                         {9, 3}, WahBitmap(), {})
+                   .ok());
+  // Out-of-range position.
+  EXPECT_FALSE(ValueBitmap::FromRawParts(BitmapRep::kArray, kSweepSize,
+                                         {static_cast<uint32_t>(kSweepSize)},
+                                         WahBitmap(), {})
+                   .ok());
+  // Bitset with nonzero slack bits above size.
+  std::vector<uint64_t> slack(2, ~uint64_t{0});
+  EXPECT_FALSE(ValueBitmap::FromRawParts(BitmapRep::kBitset, 100, {},
+                                         WahBitmap(), slack)
+                   .ok());
+  // A canonical payload round-trips.
+  std::vector<uint32_t> sparse = {1, 2, 3};
+  EXPECT_TRUE(ValueBitmap::FromRawParts(BitmapRep::kArray, kSweepSize, sparse,
+                                        WahBitmap(), {})
+                  .ok());
+}
+
+// ---- Serde ---------------------------------------------------------------
+
+TEST(CodecSerde, ValueBitmapRoundTripEveryRep) {
+  for (const DensityClass& c : kClasses) {
+    ValueBitmap vb = MakeRandom(kSweepSize, c.ones, 5 + c.ones);
+    BinaryWriter w;
+    WriteValueBitmap(vb, &w);
+    BinaryReader r(w.buffer());
+    ValueBitmap back = ReadValueBitmap(&r, kSweepSize).ValueOrDie();
+    EXPECT_EQ(back, vb);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(CodecSerde, RejectsUnknownTag) {
+  BinaryWriter w;
+  w.U8(7);  // not a BitmapRep
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(ReadValueBitmap(&r, kSweepSize).status().IsCorruption());
+}
+
+TEST(CodecSerde, CatalogV3RoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Figure1TableR()).ok());
+  ASSERT_TRUE(catalog.AddTable(RandomFdTable(800, 40, 9)->WithName("X")).ok());
+  std::vector<uint8_t> image = SerializeCatalogV3(catalog, /*wal_lsn=*/77);
+  uint64_t lsn = 0;
+  Catalog back = DeserializeCatalog(image, &lsn).ValueOrDie();
+  EXPECT_EQ(lsn, 77u);
+  for (const std::string& name : catalog.TableNames()) {
+    ExpectSameContent(*catalog.GetTable(name).ValueOrDie(),
+                      *back.GetTable(name).ValueOrDie());
+  }
+}
+
+TEST(CodecSerde, OlderImageVersionsStayReadable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(RandomFdTable(500, 25, 3)).ok());
+  for (std::vector<uint8_t> image :
+       {SerializeCatalog(catalog), SerializeCatalogV2(catalog, 5)}) {
+    Catalog back = DeserializeCatalog(image).ValueOrDie();
+    ExpectSameContent(*catalog.GetTable("R").ValueOrDie(),
+                      *back.GetTable("R").ValueOrDie());
+    // Reloaded bitmaps land in their canonical codec representations.
+    auto col = back.GetTable("R").ValueOrDie()->column(0);
+    for (Vid v = 0; v < col->distinct_count(); ++v) {
+      EXPECT_TRUE(col->bitmap(v).Validate(col->rows()).ok());
+    }
+  }
+}
+
+TEST(CodecSerde, V3BitFlipsAreDetected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(RandomFdTable(300, 17, 4)).ok());
+  std::vector<uint8_t> image = SerializeCatalogV3(catalog, 123);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> bad = image;
+    size_t byte = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(bad.size()) - 1));
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+    Result<Catalog> r = DeserializeCatalog(bad);
+    // The footer CRC covers every preceding byte, so any single-bit
+    // flip — header, payload, or the footer itself — must error.
+    EXPECT_FALSE(r.ok()) << "flip at byte " << byte << " went undetected";
+  }
+}
+
+TEST(CodecSerde, V3TruncationsAreDetected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Figure1TableR()).ok());
+  std::vector<uint8_t> image = SerializeCatalogV3(catalog, 9);
+  for (size_t len = 0; len < image.size(); ++len) {
+    std::vector<uint8_t> prefix(image.begin(), image.begin() + len);
+    EXPECT_FALSE(DeserializeCatalog(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(CodecStatsTest, PopcountHitsAccumulate) {
+  uint64_t before =
+      GlobalCodecStats().popcount_hits.load(std::memory_order_relaxed);
+  ValueBitmap vb = MakeRandom(kSweepSize, 30, 1);
+  (void)vb.CountOnes();
+  (void)vb.CountOnes();
+  uint64_t after =
+      GlobalCodecStats().popcount_hits.load(std::memory_order_relaxed);
+  EXPECT_GE(after - before, 2u);
+}
+
+}  // namespace
+}  // namespace cods

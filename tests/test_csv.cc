@@ -111,6 +111,10 @@ TEST(Printer, StatsShowEncodingAndDistincts) {
   std::string text = FormatTableStats(*r);
   EXPECT_NE(text.find("WAH_BITMAP"), std::string::npos);
   EXPECT_NE(text.find("distinct=4"), std::string::npos);  // employees
+  // Codec detail: per-column representation mix and the global stats.
+  EXPECT_NE(text.find("reps: array="), std::string::npos);
+  EXPECT_NE(text.find("bitset-equivalent bytes="), std::string::npos);
+  EXPECT_NE(text.find("popcount cache hits="), std::string::npos);
 }
 
 }  // namespace

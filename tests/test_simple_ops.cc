@@ -141,9 +141,11 @@ TEST(AddColumn, ConstantDefaultIsOneFill) {
   EXPECT_EQ(out->column(0).get(), r->column(0).get());
   auto grade = out->ColumnByName("Grade").ValueOrDie();
   EXPECT_EQ(grade->distinct_count(), 1u);
-  // The default column is a single all-ones run: at most one code word
-  // regardless of table size (7 rows fit entirely in the tail group).
-  EXPECT_LE(grade->bitmap(0).NumWords(), 1u);
+  // The default column is a single all-ones run: the codec keeps the
+  // homogeneous bitmap on WAH (at most one code word regardless of
+  // table size — 7 rows fit entirely in the tail group).
+  EXPECT_EQ(grade->bitmap(0).rep(), BitmapRep::kWah);
+  EXPECT_LE(grade->bitmap(0).wah().NumWords(), 1u);
   EXPECT_EQ(grade->bitmap(0).CountOnes(), 7u);
   EXPECT_TRUE(out->ValidateInvariants().ok());
 }
