@@ -61,6 +61,7 @@
 #include "evolution/versioned_catalog.h"
 #include "plan/script_planner.h"
 #include "query/query_engine.h"
+#include "server/client.h"
 #include "smo/parser.h"
 #include "storage/csv.h"
 #include "storage/printer.h"
@@ -521,7 +522,10 @@ class Shell {
       "committing script never tears a result. Started with --db <dir>,\n"
       "every statement is WAL-logged and fsync'd strictly before its root\n"
       "swap becomes visible ('ok'); reopening the directory recovers the\n"
-      "committed state, and sessions/.snapshot work the same way.\n";
+      "committed state, and sessions/.snapshot work the same way.\n"
+      "Started with --connect <host:port> the shell is a thin client of a\n"
+      "running cods_server instead: statements execute remotely over the\n"
+      "checksummed frame protocol on that server's pinned snapshots.\n";
 
   std::unique_ptr<DurableDb> db_;
   VersionedCatalog local_versions_;
@@ -534,11 +538,82 @@ class Shell {
 
 }  // namespace
 
+namespace {
+
+// Thin-client mode (--connect host:port): the same statement surface,
+// executed remotely over the server/client.h frame protocol. One
+// binary exercises both the embedded and the networked path.
+int RunConnected(const std::string& host, uint16_t port, bool interactive) {
+  auto client_r = server::Client::Connect(host, port);
+  if (!client_r.ok()) {
+    std::cerr << "connect " << host << ":" << port << ": "
+              << client_r.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<server::Client> client = std::move(client_r).ValueOrDie();
+  std::cout << "connected to " << host << ":" << port << " (session "
+            << client->session_id() << ")\n"
+            << "statements end with ';'; .ping checks liveness; .quit "
+               "disconnects; .help lists the statement grammar\n";
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::cout << (pending.empty() ? "cods> " : "  ... ") << std::flush;
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".quit" || line == ".exit") break;
+      if (line == ".ping") {
+        Status st = client->Ping();
+        std::cout << (st.ok() ? "pong" : st.ToString()) << "\n";
+        continue;
+      }
+      if (line == ".help") {
+        std::cout
+            << "Remote session: every statement is sent to the server and\n"
+               "answered on its pinned snapshot; SMOs are durably committed\n"
+               "before 'OK'. Statement grammar matches the embedded shell\n"
+               "(SELECT / COUNT / GROUP BY, CREATE TABLE, PARTITION, ...).\n"
+               "Dot commands here: .ping  .help  .quit\n";
+        continue;
+      }
+      std::cout << "unknown command in --connect mode; try .help\n";
+      continue;
+    }
+    pending += line;
+    pending += '\n';
+    // Execute once the buffer ends in ';' (outside the grammar's string
+    // literals this is exactly one-or-more statements; the server
+    // parses one statement per EXECUTE, so ship them one at a time).
+    std::string trimmed = pending;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == ' ' ||
+            trimmed.back() == '\t' || trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    pending.clear();
+    auto resp = client->Execute(trimmed);
+    if (!resp.ok()) {
+      std::cout << "transport error: " << resp.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << server::FormatWireResponse(resp.ValueOrDie()) << "\n";
+  }
+  client->Close();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   // --threads N: worker count for the parallel execution layer (default:
   // CODS_THREADS env var, else hardware concurrency).
   // --db <dir>: open a crash-safe database directory (WAL + checkpoint).
+  // --connect host:port: thin-client mode against a running cods_server.
   std::string db_dir;
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0 || arg == "--threads") {
@@ -557,10 +632,34 @@ int main(int argc, char** argv) {
       db_dir = arg.substr(5);
     } else if (arg == "--db" && i + 1 < argc) {
       db_dir = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(10);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
     } else {
-      std::cerr << "usage: cods_shell [--threads N] [--db <dir>]\n";
+      std::cerr << "usage: cods_shell [--threads N] [--db <dir>] "
+                   "[--connect <host:port>]\n";
       return 2;
     }
+  }
+  if (!connect.empty()) {
+    if (!db_dir.empty()) {
+      std::cerr << "--connect and --db are mutually exclusive\n";
+      return 2;
+    }
+    size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= connect.size()) {
+      std::cerr << "--connect wants host:port\n";
+      return 2;
+    }
+    int port = std::atoi(connect.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      std::cerr << "--connect: bad port\n";
+      return 2;
+    }
+    return RunConnected(connect.substr(0, colon),
+                        static_cast<uint16_t>(port), isatty(0));
   }
   std::unique_ptr<DurableDb> db;
   if (!db_dir.empty()) {

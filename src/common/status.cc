@@ -35,6 +35,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "Timed out";
   }
   return "Unknown";
 }

@@ -26,7 +26,13 @@ enum class StatusCode : int {
   kConstraintViolation = 9,  // key/FD precondition does not hold
   kCancelled = 10,        // work skipped because a prerequisite failed
   kAborted = 11,          // optimistic commit lost a write-write conflict
+  kUnavailable = 12,      // server overloaded or draining; retry later
+  kTimedOut = 13,         // statement missed its admission/exec deadline
 };
+
+/// One past the largest StatusCode value; used by the exhaustive
+/// wire-mapping coverage test to enumerate every code.
+inline constexpr int kNumStatusCodes = 14;
 
 /// Returns a stable human-readable name for a status code ("OK",
 /// "Invalid argument", ...).
@@ -81,6 +87,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -106,6 +118,8 @@ class Status {
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,202 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace cods::server {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                int recv_timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status st = Errno("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  std::unique_ptr<Client> client(new Client());
+  client->fd_ = fd;
+  uint64_t id = client->NextRequestId();
+  CODS_RETURN_NOT_OK(client->SendAll(EncodeHello(id)));
+  CODS_ASSIGN_OR_RETURN(WireResponse hello, client->ReceiveFor(id));
+  if (hello.type == FrameType::kError) return hello.error;
+  if (hello.type != FrameType::kHelloOk) {
+    return Status::Corruption(std::string("unexpected handshake frame ") +
+                              FrameTypeToString(hello.type));
+  }
+  client->session_id_ = hello.session_id;
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  // Best-effort goodbye; the server closes after acking it.
+  (void)SendAll(EncodeGoodbye(NextRequestId()));
+  close(fd_);
+  fd_ = -1;
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  if (fd_ < 0) return Status::IOError("client is closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(const std::string& bytes) { return SendAll(bytes); }
+
+Result<Frame> Client::ReadFrame() {
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    DecodeStatus ds = DecodeFrame(rbuf_, kDefaultMaxFrameBytes, &frame,
+                                  &consumed, &error);
+    if (ds == DecodeStatus::kFrame) {
+      rbuf_.erase(0, consumed);
+      return frame;
+    }
+    if (ds == DecodeStatus::kError) return error;
+    char buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::TimedOut("no response within the receive timeout");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<WireResponse> Client::ReceiveAny() {
+  if (!out_of_order_.empty()) {
+    auto it = out_of_order_.begin();
+    WireResponse resp = std::move(it->second);
+    out_of_order_.erase(it);
+    return resp;
+  }
+  CODS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  return DecodeResponse(frame);
+}
+
+Result<WireResponse> Client::ReceiveFor(uint64_t request_id) {
+  auto it = out_of_order_.find(request_id);
+  if (it != out_of_order_.end()) {
+    WireResponse resp = std::move(it->second);
+    out_of_order_.erase(it);
+    return resp;
+  }
+  for (;;) {
+    CODS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    CODS_ASSIGN_OR_RETURN(WireResponse resp, DecodeResponse(frame));
+    if (resp.request_id == request_id) return resp;
+    out_of_order_[resp.request_id] = std::move(resp);
+  }
+}
+
+Result<WireResponse> Client::Execute(const std::string& text) {
+  uint64_t id = NextRequestId();
+  CODS_RETURN_NOT_OK(SendAll(EncodeExecute(id, text)));
+  return ReceiveFor(id);
+}
+
+Result<std::vector<WireResponse>> Client::ExecuteBatch(
+    const std::vector<std::string>& texts) {
+  std::vector<uint64_t> ids;
+  ids.reserve(texts.size());
+  std::string out;
+  for (const std::string& text : texts) {
+    ids.push_back(NextRequestId());
+    out += EncodeExecute(ids.back(), text);
+  }
+  CODS_RETURN_NOT_OK(SendAll(out));
+  std::vector<WireResponse> responses;
+  responses.reserve(texts.size());
+  for (uint64_t id : ids) {
+    CODS_ASSIGN_OR_RETURN(WireResponse resp, ReceiveFor(id));
+    responses.push_back(std::move(resp));
+  }
+  return responses;
+}
+
+Result<WireResponse> Client::Prepare(const std::string& text) {
+  uint64_t id = NextRequestId();
+  CODS_RETURN_NOT_OK(SendAll(EncodePrepare(id, text)));
+  return ReceiveFor(id);
+}
+
+Result<WireResponse> Client::ExecutePrepared(uint64_t stmt_id,
+                                             const std::vector<Value>& params) {
+  uint64_t id = NextRequestId();
+  CODS_RETURN_NOT_OK(SendAll(EncodeExecPrepared(id, stmt_id, params)));
+  return ReceiveFor(id);
+}
+
+Result<WireResponse> Client::ClosePrepared(uint64_t stmt_id) {
+  uint64_t id = NextRequestId();
+  CODS_RETURN_NOT_OK(SendAll(EncodeClosePrepared(id, stmt_id)));
+  return ReceiveFor(id);
+}
+
+Status Client::Ping() {
+  uint64_t id = NextRequestId();
+  CODS_RETURN_NOT_OK(SendAll(EncodePing(id)));
+  CODS_ASSIGN_OR_RETURN(WireResponse resp, ReceiveFor(id));
+  if (resp.type == FrameType::kError) return resp.error;
+  if (resp.type != FrameType::kPong) {
+    return Status::Corruption(std::string("unexpected ping response ") +
+                              FrameTypeToString(resp.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace cods::server

@@ -1,0 +1,96 @@
+// Blocking client for the cods_server frame protocol. One socket, one
+// session; calls are synchronous but requests may be PIPELINED
+// (ExecuteBatch sends every statement before reading any response) and
+// responses are matched to requests by id, so the server's two-lane
+// reordering is invisible to callers.
+//
+// Used by the `cods_shell --connect` thin-client mode, bench_server's
+// session storm, and the loopback tests.
+
+#ifndef CODS_SERVER_CLIENT_H_
+#define CODS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace cods::server {
+
+class Client {
+ public:
+  /// Connects, performs the HELLO handshake, and returns a ready
+  /// client. `recv_timeout_ms` bounds every blocking read (0 = none).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 int recv_timeout_ms = 30000);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+
+  /// Executes one statement and waits for its response. The returned
+  /// WireResponse may be a typed kError response (a remote statement
+  /// error); a non-OK Result means the transport itself failed.
+  Result<WireResponse> Execute(const std::string& text);
+
+  /// Pipelines every statement, then collects all responses (matched by
+  /// request id, so lane reordering is fine). Returns one response per
+  /// statement, in statement order.
+  Result<std::vector<WireResponse>> ExecuteBatch(
+      const std::vector<std::string>& texts);
+
+  /// PREPARE: returns the kPrepareOk response (stmt_id, n_params) or
+  /// the remote error.
+  Result<WireResponse> Prepare(const std::string& text);
+
+  /// EXEC of a prepared statement with positional params ($1 = params[0]).
+  Result<WireResponse> ExecutePrepared(uint64_t stmt_id,
+                                       const std::vector<Value>& params);
+
+  Result<WireResponse> ClosePrepared(uint64_t stmt_id);
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  /// Sends GOODBYE (best effort) and closes the socket. Idempotent;
+  /// also run by the destructor.
+  void Close();
+
+  // ---- Low-level surface (tests) ----------------------------------------
+
+  /// Writes raw bytes to the socket (hostile-input tests).
+  Status SendRaw(const std::string& bytes);
+
+  /// Reads the next response frame regardless of request id.
+  Result<WireResponse> ReceiveAny();
+
+  /// Reads until the response for `request_id` arrives, buffering
+  /// responses for other in-flight requests.
+  Result<WireResponse> ReceiveFor(uint64_t request_id);
+
+  uint64_t NextRequestId() { return next_request_id_++; }
+
+ private:
+  Client() = default;
+
+  Status SendAll(const std::string& bytes);
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  uint64_t next_request_id_ = 1;
+  std::string rbuf_;
+  std::map<uint64_t, WireResponse> out_of_order_;
+};
+
+}  // namespace cods::server
+
+#endif  // CODS_SERVER_CLIENT_H_

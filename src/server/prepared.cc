@@ -1,0 +1,236 @@
+#include "server/prepared.h"
+
+#include <utility>
+
+namespace cods::server {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+void CollectLeafColumns(const ExprPtr& expr, std::vector<std::string>* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind) {
+    case ExprKind::kCompare:
+    case ExprKind::kIn:
+    case ExprKind::kBetween:
+      out->push_back(expr->column);
+      break;
+    case ExprKind::kNot:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const ExprPtr& child : expr->children) {
+        CollectLeafColumns(child, out);
+      }
+      break;
+  }
+}
+
+Result<Value> BindOne(const Value& v, const std::vector<Value>& params) {
+  uint32_t index = 0;
+  if (!IsParamSentinel(v, &index)) return v;
+  if (index == 0 || index > params.size()) {
+    return Status::InvalidArgument("parameter $" + std::to_string(index) +
+                                   " out of range (got " +
+                                   std::to_string(params.size()) + " params)");
+  }
+  return params[index - 1];
+}
+
+Result<ExprPtr> RebindExpr(const ExprPtr& expr,
+                           const std::vector<Value>& params) {
+  if (expr == nullptr) return ExprPtr(nullptr);
+  switch (expr->kind) {
+    case ExprKind::kCompare: {
+      CODS_ASSIGN_OR_RETURN(Value literal, BindOne(expr->literal, params));
+      return Expr::Compare(expr->column, expr->op, std::move(literal));
+    }
+    case ExprKind::kIn: {
+      std::vector<Value> values;
+      values.reserve(expr->in_values.size());
+      for (const Value& v : expr->in_values) {
+        CODS_ASSIGN_OR_RETURN(Value bound, BindOne(v, params));
+        values.push_back(std::move(bound));
+      }
+      return Expr::In(expr->column, std::move(values));
+    }
+    case ExprKind::kBetween: {
+      CODS_ASSIGN_OR_RETURN(Value lo, BindOne(expr->between_lo, params));
+      CODS_ASSIGN_OR_RETURN(Value hi, BindOne(expr->between_hi, params));
+      return Expr::Between(expr->column, std::move(lo), std::move(hi));
+    }
+    case ExprKind::kNot: {
+      CODS_ASSIGN_OR_RETURN(ExprPtr child,
+                            RebindExpr(expr->children[0], params));
+      return Expr::Not(std::move(child));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children.size());
+      for (const ExprPtr& child : expr->children) {
+        CODS_ASSIGN_OR_RETURN(ExprPtr bound, RebindExpr(child, params));
+        children.push_back(std::move(bound));
+      }
+      return expr->kind == ExprKind::kAnd ? Expr::And(std::move(children))
+                                          : Expr::Or(std::move(children));
+    }
+  }
+  return Status::Corruption("expression node with unknown kind");
+}
+
+/// Counts sentinel literals left in the tree (diagnostic for statements
+/// whose placeholders ended up outside a bindable position).
+void CountSentinels(const ExprPtr& expr, uint32_t* n) {
+  if (expr == nullptr) return;
+  uint32_t idx = 0;
+  if (IsParamSentinel(expr->literal, &idx)) ++*n;
+  for (const Value& v : expr->in_values) {
+    if (IsParamSentinel(v, &idx)) ++*n;
+  }
+  if (IsParamSentinel(expr->between_lo, &idx)) ++*n;
+  if (IsParamSentinel(expr->between_hi, &idx)) ++*n;
+  for (const ExprPtr& child : expr->children) CountSentinels(child, n);
+}
+
+}  // namespace
+
+Result<std::string> RewritePlaceholders(const std::string& text,
+                                        uint32_t* n_params) {
+  *n_params = 0;
+  std::string out;
+  out.reserve(text.size());
+  char quote = '\0';  // '\0' = outside any string literal
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == kParamSentinelPrefix) {
+      return Status::InvalidArgument(
+          "statement text contains the reserved parameter-sentinel byte");
+    }
+    if (quote != '\0') {
+      out.push_back(c);
+      if (c == quote) {
+        if (i + 1 < text.size() && text[i + 1] == quote) {
+          out.push_back(text[++i]);  // doubled quote stays inside
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      out.push_back(c);
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < text.size() && IsDigit(text[j])) ++j;
+      if (j == i + 1) {
+        return Status::InvalidArgument(
+            "'$' must be followed by a parameter index");
+      }
+      if (j - i - 1 > 3) {
+        return Status::InvalidArgument("parameter index too large");
+      }
+      uint32_t index =
+          static_cast<uint32_t>(std::stoul(text.substr(i + 1, j - i - 1)));
+      if (index == 0) {
+        return Status::InvalidArgument("parameter indexes start at $1");
+      }
+      if (index > *n_params) *n_params = index;
+      out.push_back('\'');
+      out.push_back(kParamSentinelPrefix);
+      out.push_back('$');
+      out.append(text, i + 1, j - i - 1);
+      out.push_back('\'');
+      i = j - 1;
+      continue;
+    }
+    out.push_back(c);
+  }
+  if (quote != '\0') {
+    return Status::InvalidArgument("unterminated string literal");
+  }
+  return out;
+}
+
+bool IsParamSentinel(const Value& v, uint32_t* index) {
+  if (!v.is_string()) return false;
+  const std::string& s = v.str();
+  if (s.size() < 3 || s[0] != kParamSentinelPrefix || s[1] != '$') {
+    return false;
+  }
+  uint32_t idx = 0;
+  for (size_t i = 2; i < s.size(); ++i) {
+    if (!IsDigit(s[i])) return false;
+    idx = idx * 10 + static_cast<uint32_t>(s[i] - '0');
+  }
+  *index = idx;
+  return true;
+}
+
+Result<PreparedStatement> PrepareStatement(const std::string& text,
+                                           const CatalogRoot& root) {
+  PreparedStatement prepared;
+  prepared.text = text;
+  CODS_ASSIGN_OR_RETURN(std::string rewritten,
+                        RewritePlaceholders(text, &prepared.n_params));
+  CODS_ASSIGN_OR_RETURN(prepared.stmt, ParseStatement(rewritten));
+  if (prepared.stmt.kind == Statement::Kind::kSmo && prepared.n_params > 0) {
+    return Status::InvalidArgument(
+        "parameters are only supported in query statements");
+  }
+  if (prepared.stmt.kind == Statement::Kind::kQuery && prepared.n_params > 0) {
+    uint32_t bindable = 0;
+    CountSentinels(prepared.stmt.query.where, &bindable);
+    if (bindable == 0) {
+      return Status::InvalidArgument(
+          "parameters must appear in the WHERE clause");
+    }
+  }
+  CODS_RETURN_NOT_OK(ValidateResolution(prepared.stmt, root));
+  prepared.resolved_root_id = root.id();
+  return prepared;
+}
+
+Result<Statement> BindParams(const PreparedStatement& prepared,
+                             const std::vector<Value>& params) {
+  if (params.size() != prepared.n_params) {
+    return Status::InvalidArgument(
+        "prepared statement takes " + std::to_string(prepared.n_params) +
+        " params, got " + std::to_string(params.size()));
+  }
+  Statement bound = prepared.stmt;
+  if (bound.kind == Statement::Kind::kQuery && bound.query.where != nullptr) {
+    CODS_ASSIGN_OR_RETURN(bound.query.where,
+                          RebindExpr(bound.query.where, params));
+  }
+  return bound;
+}
+
+Status ValidateResolution(const Statement& stmt, const CatalogRoot& root) {
+  if (stmt.kind != Statement::Kind::kQuery) return Status::OK();
+  const QueryRequest& q = stmt.query;
+  CODS_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                        root.GetTable(q.table));
+  if (!q.join_table.empty()) {
+    // Joined references bind against the join-result schema, which only
+    // exists at execution; the table probes are the invalidation signal.
+    CODS_RETURN_NOT_OK(root.GetTable(q.join_table).status());
+    return Status::OK();
+  }
+  std::vector<std::string> refs = q.columns;
+  if (!q.group_by.empty()) refs.push_back(q.group_by);
+  if (!q.order_by.empty()) refs.push_back(q.order_by);
+  for (const AggregateSpec& agg : q.aggregates) {
+    if (!agg.column.empty()) refs.push_back(agg.column);
+  }
+  CollectLeafColumns(q.where, &refs);
+  for (const std::string& ref : refs) {
+    CODS_RETURN_NOT_OK(table->ResolveColumnRef(ref).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace cods::server

@@ -1,0 +1,74 @@
+// Prepared statements for the server: parse once, execute many times
+// with typed parameters, and never answer from a stale resolution after
+// the schema evolves underneath the cache.
+//
+// Parameters use the `$1`, `$2`, ... syntax. Rather than extending the
+// statement grammar, PREPARE rewrites each placeholder (outside string
+// literals, honoring SQL quote doubling) into a sentinel *string
+// literal* the parser already accepts, and EXEC rebinds the sentinels
+// in the parsed Expr tree to the caller's typed Values. Parameters are
+// therefore legal exactly where literals are legal in a WHERE clause;
+// an SMO with placeholders is an error at PREPARE time.
+//
+// Invalidation: a cache entry records the id of the catalog root it was
+// resolved against. When the served root has moved (a committed SMO),
+// the entry re-resolves its table and column references against the new
+// root before executing — a dropped or renamed column becomes a typed
+// KeyError, never a stale answer. Re-resolution succeeding silently
+// re-prepares the entry on the new root.
+
+#ifndef CODS_SERVER_PREPARED_H_
+#define CODS_SERVER_PREPARED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "concurrency/snapshot_catalog.h"
+#include "smo/parser.h"
+
+namespace cods::server {
+
+/// First byte of a parameter sentinel literal; effectively reserved in
+/// user strings (a user string literal beginning with 0x01 '$' would
+/// collide and is rejected at PREPARE).
+inline constexpr char kParamSentinelPrefix = '\x01';
+
+/// One cached prepared statement.
+struct PreparedStatement {
+  std::string text;           // original text, with $n placeholders
+  Statement stmt;             // parsed, placeholders as sentinel literals
+  uint32_t n_params = 0;      // highest $n referenced
+  uint64_t resolved_root_id = 0;  // root the references last resolved on
+};
+
+/// Rewrites `$n` placeholders into sentinel string literals. Returns
+/// the rewritten text and sets `*n_params` to the highest index (0 for
+/// none). `$0`, gaps are allowed to stay unreferenced; indexes above
+/// 999 are rejected.
+Result<std::string> RewritePlaceholders(const std::string& text,
+                                        uint32_t* n_params);
+
+/// True if `v` is a parameter sentinel; sets `*index` (1-based).
+bool IsParamSentinel(const Value& v, uint32_t* index);
+
+/// Parses `text` into a prepared statement (placeholders rewritten,
+/// statement parsed, references resolved against `root`). SMO
+/// statements prepare only with zero parameters.
+Result<PreparedStatement> PrepareStatement(const std::string& text,
+                                           const CatalogRoot& root);
+
+/// Clones `prepared.stmt` with every sentinel literal replaced by the
+/// matching value of `params` (size must equal n_params).
+Result<Statement> BindParams(const PreparedStatement& prepared,
+                             const std::vector<Value>& params);
+
+/// Checks that every table and column reference of `stmt` resolves in
+/// `root` (the invalidation probe). KeyError names the missing
+/// reference.
+Status ValidateResolution(const Statement& stmt, const CatalogRoot& root);
+
+}  // namespace cods::server
+
+#endif  // CODS_SERVER_PREPARED_H_

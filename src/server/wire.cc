@@ -1,0 +1,615 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "query/query_engine.h"
+#include "storage/table.h"
+
+namespace cods::server {
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kExecute: return "EXECUTE";
+    case FrameType::kPrepare: return "PREPARE";
+    case FrameType::kExecPrepared: return "EXEC_PREPARED";
+    case FrameType::kClosePrepared: return "CLOSE_PREPARED";
+    case FrameType::kPing: return "PING";
+    case FrameType::kGoodbye: return "GOODBYE";
+    case FrameType::kHelloOk: return "HELLO_OK";
+    case FrameType::kResultOk: return "RESULT_OK";
+    case FrameType::kResultTable: return "RESULT_TABLE";
+    case FrameType::kResultCount: return "RESULT_COUNT";
+    case FrameType::kResultGroups: return "RESULT_GROUPS";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kPrepareOk: return "PREPARE_OK";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+bool IsKnownFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kHello:
+    case FrameType::kExecute:
+    case FrameType::kPrepare:
+    case FrameType::kExecPrepared:
+    case FrameType::kClosePrepared:
+    case FrameType::kPing:
+    case FrameType::kGoodbye:
+    case FrameType::kHelloOk:
+    case FrameType::kResultOk:
+    case FrameType::kResultTable:
+    case FrameType::kResultCount:
+    case FrameType::kResultGroups:
+    case FrameType::kError:
+    case FrameType::kPong:
+    case FrameType::kPrepareOk:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- StatusCode <-> wire error code -------------------------------------
+
+uint32_t WireErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 101;
+    case StatusCode::kKeyError: return 102;
+    case StatusCode::kAlreadyExists: return 103;
+    case StatusCode::kOutOfRange: return 104;
+    case StatusCode::kNotImplemented: return 105;
+    case StatusCode::kIOError: return 106;
+    case StatusCode::kCorruption: return 107;
+    case StatusCode::kTypeError: return 108;
+    case StatusCode::kConstraintViolation: return 109;
+    case StatusCode::kCancelled: return 110;
+    case StatusCode::kAborted: return 111;
+    case StatusCode::kUnavailable: return 112;
+    case StatusCode::kTimedOut: return 113;
+  }
+  // Unreachable for in-enum codes; an out-of-enum int maps to the
+  // corruption wire code so it can never be mistaken for success.
+  return 107;
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire, bool* known) {
+  if (known != nullptr) *known = true;
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 101: return StatusCode::kInvalidArgument;
+    case 102: return StatusCode::kKeyError;
+    case 103: return StatusCode::kAlreadyExists;
+    case 104: return StatusCode::kOutOfRange;
+    case 105: return StatusCode::kNotImplemented;
+    case 106: return StatusCode::kIOError;
+    case 107: return StatusCode::kCorruption;
+    case 108: return StatusCode::kTypeError;
+    case 109: return StatusCode::kConstraintViolation;
+    case 110: return StatusCode::kCancelled;
+    case 111: return StatusCode::kAborted;
+    case 112: return StatusCode::kUnavailable;
+    case 113: return StatusCode::kTimedOut;
+    default:
+      if (known != nullptr) *known = false;
+      return StatusCode::kCorruption;
+  }
+}
+
+// ---- Primitive codec ----------------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+void PutValue(std::string* dst, const Value& v) {
+  if (v.is_null()) {
+    dst->push_back(0);
+  } else if (v.is_int64()) {
+    dst->push_back(1);
+    PutFixed64(dst, static_cast<uint64_t>(v.int64()));
+  } else if (v.is_double()) {
+    dst->push_back(2);
+    uint64_t bits;
+    double d = v.dbl();
+    std::memcpy(&bits, &d, sizeof bits);
+    PutFixed64(dst, bits);
+  } else {
+    dst->push_back(3);
+    PutLengthPrefixed(dst, v.str());
+  }
+}
+
+bool GetFixed32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(in->data());
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* in, uint64_t* v) {
+  uint32_t lo, hi;
+  if (!GetFixed32(in, &lo) || !GetFixed32(in, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* in, std::string_view* s) {
+  uint32_t n;
+  if (!GetFixed32(in, &n)) return false;
+  if (in->size() < n) return false;
+  *s = in->substr(0, n);
+  in->remove_prefix(n);
+  return true;
+}
+
+bool GetValue(std::string_view* in, Value* v) {
+  if (in->empty()) return false;
+  uint8_t tag = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  switch (tag) {
+    case 0:
+      *v = Value::Null();
+      return true;
+    case 1: {
+      uint64_t bits;
+      if (!GetFixed64(in, &bits)) return false;
+      *v = Value(static_cast<int64_t>(bits));
+      return true;
+    }
+    case 2: {
+      uint64_t bits;
+      if (!GetFixed64(in, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof d);
+      *v = Value(d);
+      return true;
+    }
+    case 3: {
+      std::string_view s;
+      if (!GetLengthPrefixed(in, &s)) return false;
+      *v = Value(std::string(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// ---- Framing ------------------------------------------------------------
+
+void EncodeFrame(std::string* dst, FrameType type, uint64_t request_id,
+                 std::string_view body) {
+  std::string payload;
+  payload.reserve(kMinPayloadBytes + body.size());
+  payload.push_back(static_cast<char>(type));
+  PutFixed64(&payload, request_id);
+  payload.append(body.data(), body.size());
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  dst->append(payload);
+}
+
+DecodeStatus DecodeFrame(std::string_view buf, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed, Status* error) {
+  if (buf.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  std::string_view header = buf;
+  uint32_t len = 0, masked_crc = 0;
+  GetFixed32(&header, &len);
+  GetFixed32(&header, &masked_crc);
+  if (len < kMinPayloadBytes) {
+    *error = Status::InvalidArgument("frame payload length " +
+                                     std::to_string(len) + " below minimum " +
+                                     std::to_string(kMinPayloadBytes));
+    return DecodeStatus::kError;
+  }
+  if (len > max_frame_bytes) {
+    *error = Status::InvalidArgument(
+        "frame payload length " + std::to_string(len) + " exceeds limit " +
+        std::to_string(max_frame_bytes));
+    return DecodeStatus::kError;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
+  std::string_view payload = buf.substr(kFrameHeaderBytes, len);
+  uint32_t actual = crc32c::Value(payload.data(), payload.size());
+  if (crc32c::Unmask(masked_crc) != actual) {
+    *error = Status::Corruption("frame checksum mismatch");
+    return DecodeStatus::kError;
+  }
+  uint8_t raw_type = static_cast<uint8_t>(payload.front());
+  if (!IsKnownFrameType(raw_type)) {
+    *error = Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(raw_type));
+    return DecodeStatus::kError;
+  }
+  payload.remove_prefix(1);
+  uint64_t request_id = 0;
+  GetFixed64(&payload, &request_id);  // length checked: >= kMinPayloadBytes
+  frame->type = static_cast<FrameType>(raw_type);
+  frame->request_id = request_id;
+  frame->body.assign(payload.data(), payload.size());
+  *consumed = kFrameHeaderBytes + len;
+  return DecodeStatus::kFrame;
+}
+
+// ---- Requests -----------------------------------------------------------
+
+namespace {
+
+std::string FrameString(FrameType type, uint64_t request_id,
+                        std::string_view body) {
+  std::string out;
+  EncodeFrame(&out, type, request_id, body);
+  return out;
+}
+
+Status Malformed(const Frame& frame) {
+  return Status::InvalidArgument(std::string("malformed ") +
+                                 FrameTypeToString(frame.type) +
+                                 " frame body");
+}
+
+}  // namespace
+
+Result<WireRequest> DecodeRequest(const Frame& frame) {
+  WireRequest req;
+  req.type = frame.type;
+  req.request_id = frame.request_id;
+  std::string_view body(frame.body);
+  switch (frame.type) {
+    case FrameType::kHello:
+      if (!GetFixed32(&body, &req.protocol)) return Malformed(frame);
+      break;
+    case FrameType::kExecute:
+    case FrameType::kPrepare: {
+      std::string_view text;
+      if (!GetLengthPrefixed(&body, &text)) return Malformed(frame);
+      req.text.assign(text);
+      break;
+    }
+    case FrameType::kExecPrepared: {
+      uint32_t n = 0;
+      if (!GetFixed64(&body, &req.stmt_id) || !GetFixed32(&body, &n)) {
+        return Malformed(frame);
+      }
+      req.params.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Value v;
+        if (!GetValue(&body, &v)) return Malformed(frame);
+        req.params.push_back(std::move(v));
+      }
+      break;
+    }
+    case FrameType::kClosePrepared:
+      if (!GetFixed64(&body, &req.stmt_id)) return Malformed(frame);
+      break;
+    case FrameType::kPing:
+    case FrameType::kGoodbye:
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("response frame type in request position: ") +
+          FrameTypeToString(frame.type));
+  }
+  if (!body.empty()) return Malformed(frame);
+  return req;
+}
+
+std::string EncodeHello(uint64_t request_id) {
+  std::string body;
+  PutFixed32(&body, kProtocolVersion);
+  return FrameString(FrameType::kHello, request_id, body);
+}
+
+std::string EncodeExecute(uint64_t request_id, std::string_view text) {
+  std::string body;
+  PutLengthPrefixed(&body, text);
+  return FrameString(FrameType::kExecute, request_id, body);
+}
+
+std::string EncodePrepare(uint64_t request_id, std::string_view text) {
+  std::string body;
+  PutLengthPrefixed(&body, text);
+  return FrameString(FrameType::kPrepare, request_id, body);
+}
+
+std::string EncodeExecPrepared(uint64_t request_id, uint64_t stmt_id,
+                               const std::vector<Value>& params) {
+  std::string body;
+  PutFixed64(&body, stmt_id);
+  PutFixed32(&body, static_cast<uint32_t>(params.size()));
+  for (const Value& v : params) PutValue(&body, v);
+  return FrameString(FrameType::kExecPrepared, request_id, body);
+}
+
+std::string EncodeClosePrepared(uint64_t request_id, uint64_t stmt_id) {
+  std::string body;
+  PutFixed64(&body, stmt_id);
+  return FrameString(FrameType::kClosePrepared, request_id, body);
+}
+
+std::string EncodePing(uint64_t request_id) {
+  return FrameString(FrameType::kPing, request_id, {});
+}
+
+std::string EncodeGoodbye(uint64_t request_id) {
+  return FrameString(FrameType::kGoodbye, request_id, {});
+}
+
+// ---- Responses ----------------------------------------------------------
+
+Result<WireResponse> DecodeResponse(const Frame& frame) {
+  WireResponse resp;
+  resp.type = frame.type;
+  resp.request_id = frame.request_id;
+  std::string_view body(frame.body);
+  switch (frame.type) {
+    case FrameType::kHelloOk:
+      if (!GetFixed32(&body, &resp.protocol) ||
+          !GetFixed64(&body, &resp.session_id)) {
+        return Malformed(frame);
+      }
+      break;
+    case FrameType::kResultOk: {
+      std::string_view msg;
+      if (!GetLengthPrefixed(&body, &msg)) return Malformed(frame);
+      resp.message.assign(msg);
+      break;
+    }
+    case FrameType::kResultCount:
+      if (!GetFixed64(&body, &resp.count)) return Malformed(frame);
+      break;
+    case FrameType::kResultTable: {
+      uint32_t ncols = 0;
+      if (!GetFixed32(&body, &ncols)) return Malformed(frame);
+      resp.columns.reserve(ncols);
+      resp.types.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; ++i) {
+        std::string_view name;
+        if (!GetLengthPrefixed(&body, &name) || body.empty()) {
+          return Malformed(frame);
+        }
+        uint8_t type_tag = static_cast<uint8_t>(body.front());
+        body.remove_prefix(1);
+        if (type_tag > 2) return Malformed(frame);
+        resp.columns.emplace_back(name);
+        resp.types.push_back(static_cast<DataType>(type_tag));
+      }
+      uint64_t nrows = 0;
+      if (!GetFixed64(&body, &nrows)) return Malformed(frame);
+      for (uint64_t r = 0; r < nrows; ++r) {
+        Row row;
+        row.reserve(ncols);
+        for (uint32_t c = 0; c < ncols; ++c) {
+          Value v;
+          if (!GetValue(&body, &v)) return Malformed(frame);
+          row.push_back(std::move(v));
+        }
+        resp.rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case FrameType::kResultGroups: {
+      uint32_t nlabels = 0;
+      if (!GetFixed32(&body, &nlabels)) return Malformed(frame);
+      for (uint32_t i = 0; i < nlabels; ++i) {
+        std::string_view label;
+        if (!GetLengthPrefixed(&body, &label)) return Malformed(frame);
+        resp.group_header.emplace_back(label);
+      }
+      uint64_t ngroups = 0;
+      if (!GetFixed64(&body, &ngroups)) return Malformed(frame);
+      for (uint64_t g = 0; g < ngroups; ++g) {
+        Row row;
+        row.reserve(nlabels);
+        for (uint32_t c = 0; c < nlabels; ++c) {
+          Value v;
+          if (!GetValue(&body, &v)) return Malformed(frame);
+          row.push_back(std::move(v));
+        }
+        resp.group_rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case FrameType::kError: {
+      uint32_t wire = 0;
+      std::string_view msg;
+      if (!GetFixed32(&body, &wire) || !GetLengthPrefixed(&body, &msg)) {
+        return Malformed(frame);
+      }
+      bool known = true;
+      StatusCode code = StatusCodeFromWire(wire, &known);
+      std::string text(msg);
+      if (!known) {
+        text = "unknown wire error code " + std::to_string(wire) + ": " + text;
+      }
+      resp.error = Status(code, std::move(text));
+      break;
+    }
+    case FrameType::kPong:
+      break;
+    case FrameType::kPrepareOk:
+      if (!GetFixed64(&body, &resp.stmt_id) ||
+          !GetFixed32(&body, &resp.n_params)) {
+        return Malformed(frame);
+      }
+      break;
+    default:
+      return Status::InvalidArgument(
+          std::string("request frame type in response position: ") +
+          FrameTypeToString(frame.type));
+  }
+  if (!body.empty()) return Malformed(frame);
+  return resp;
+}
+
+std::string EncodeHelloOk(uint64_t request_id, uint64_t session_id) {
+  std::string body;
+  PutFixed32(&body, kProtocolVersion);
+  PutFixed64(&body, session_id);
+  return FrameString(FrameType::kHelloOk, request_id, body);
+}
+
+std::string EncodeResultOk(uint64_t request_id, std::string_view message) {
+  std::string body;
+  PutLengthPrefixed(&body, message);
+  return FrameString(FrameType::kResultOk, request_id, body);
+}
+
+std::string EncodeResultCount(uint64_t request_id, uint64_t count) {
+  std::string body;
+  PutFixed64(&body, count);
+  return FrameString(FrameType::kResultCount, request_id, body);
+}
+
+std::string EncodeResultTable(uint64_t request_id, const Table& table) {
+  std::string body;
+  const Schema& schema = table.schema();
+  PutFixed32(&body, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnSpec& spec : schema.columns()) {
+    PutLengthPrefixed(&body, spec.name);
+    body.push_back(static_cast<char>(spec.type));
+  }
+  PutFixed64(&body, table.rows());
+  for (const Row& row : table.Materialize()) {
+    for (const Value& v : row) PutValue(&body, v);
+  }
+  return FrameString(FrameType::kResultTable, request_id, body);
+}
+
+std::string EncodeResultGroups(uint64_t request_id,
+                               const QueryResult& result) {
+  std::string body;
+  PutFixed32(&body, static_cast<uint32_t>(1 + result.aggregates.size()));
+  PutLengthPrefixed(&body, "group");
+  for (const AggregateSpec& agg : result.aggregates) {
+    PutLengthPrefixed(&body, agg.ToString());
+  }
+  PutFixed64(&body, result.groups.size());
+  for (const GroupRow& g : result.groups) {
+    PutValue(&body, g.group);
+    for (const Value& v : g.aggregates) PutValue(&body, v);
+  }
+  return FrameString(FrameType::kResultGroups, request_id, body);
+}
+
+std::string EncodeQueryResult(uint64_t request_id, const QueryResult& result) {
+  switch (result.verb) {
+    case QueryRequest::Verb::kSelect:
+      return EncodeResultTable(request_id, *result.table);
+    case QueryRequest::Verb::kCount:
+      return EncodeResultCount(request_id, result.count);
+    case QueryRequest::Verb::kGroupBy:
+      return EncodeResultGroups(request_id, result);
+  }
+  return EncodeError(request_id,
+                     Status::Corruption("query result with unknown verb"));
+}
+
+std::string EncodeError(uint64_t request_id, const Status& status) {
+  std::string body;
+  PutFixed32(&body, WireErrorCode(status.code()));
+  PutLengthPrefixed(&body, status.message());
+  return FrameString(FrameType::kError, request_id, body);
+}
+
+std::string EncodePong(uint64_t request_id) {
+  return FrameString(FrameType::kPong, request_id, {});
+}
+
+std::string EncodePrepareOk(uint64_t request_id, uint64_t stmt_id,
+                            uint32_t n_params) {
+  std::string body;
+  PutFixed64(&body, stmt_id);
+  PutFixed32(&body, n_params);
+  return FrameString(FrameType::kPrepareOk, request_id, body);
+}
+
+std::string FormatWireResponse(const WireResponse& resp) {
+  std::string out;
+  switch (resp.type) {
+    case FrameType::kHelloOk:
+      out = "connected (session " + std::to_string(resp.session_id) + ")";
+      break;
+    case FrameType::kResultOk:
+      out = resp.message.empty() ? std::string("OK") : resp.message;
+      break;
+    case FrameType::kResultCount:
+      out = "COUNT(*) = " + std::to_string(resp.count);
+      break;
+    case FrameType::kResultTable: {
+      for (size_t i = 0; i < resp.columns.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += resp.columns[i];
+        out += ' ';
+        out += DataTypeToString(resp.types[i]);
+      }
+      out += '\n';
+      for (const Row& row : resp.rows) {
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) out += " | ";
+          out += row[i].ToString();
+        }
+        out += '\n';
+      }
+      out += "(" + std::to_string(resp.rows.size()) + " rows)";
+      break;
+    }
+    case FrameType::kResultGroups: {
+      for (size_t i = 0; i < resp.group_header.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += resp.group_header[i];
+      }
+      out += '\n';
+      for (const Row& row : resp.group_rows) {
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i > 0) out += " | ";
+          out += row[i].ToString();
+        }
+        out += '\n';
+      }
+      out += "(" + std::to_string(resp.group_rows.size()) + " groups)";
+      break;
+    }
+    case FrameType::kError:
+      out = "error: " + resp.error.ToString();
+      break;
+    case FrameType::kPong:
+      out = "pong";
+      break;
+    case FrameType::kPrepareOk:
+      out = "prepared statement " + std::to_string(resp.stmt_id) + " (" +
+            std::to_string(resp.n_params) + " params)";
+      break;
+    default:
+      out = std::string("unexpected frame ") + FrameTypeToString(resp.type);
+      break;
+  }
+  return out;
+}
+
+}  // namespace cods::server

@@ -1,0 +1,203 @@
+// The CODS wire protocol: length-prefixed, CRC32C-checksummed frames in
+// the BLIP style — a tiny binary framing layer under which every
+// message is a typed payload. One frame is:
+//
+//   u32 LE  payload length (>= kMinPayloadBytes)
+//   u32 LE  masked CRC32C of the payload (common/crc32c.h Mask form,
+//           so a frame quoting frame bytes cannot self-checksum)
+//   bytes   payload = u8 frame type | u64 LE request id | body
+//
+// Every request carries a client-chosen request id and every response
+// echoes it, so responses may arrive out of order (the two-lane
+// admission scheduler reorders point results ahead of heavy ones) and
+// the client matches them by id, not by position.
+//
+// The decoder is incremental and hostile-input safe: torn frames ask
+// for more bytes, oversized length prefixes and CRC mismatches are
+// clean typed errors (the connection is then closed by the caller),
+// and no input can make it read out of bounds — properties the seeded
+// fuzz loop in tests/test_server.cc exercises.
+
+#ifndef CODS_SERVER_WIRE_H_
+#define CODS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cods {
+
+struct QueryResult;  // query/query_engine.h
+class Table;         // storage/table.h
+
+namespace server {
+
+/// Protocol version exchanged in HELLO; bumped on incompatible change.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Frame header: length + masked CRC.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Smallest legal payload: type byte + request id.
+inline constexpr size_t kMinPayloadBytes = 9;
+/// Default cap on payload length; a larger prefix is a protocol error,
+/// not an allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Frame types. Requests (client -> server) are < 16, responses >= 16.
+enum class FrameType : uint8_t {
+  // Requests.
+  kHello = 1,          // u32 protocol version
+  kExecute = 2,        // length-prefixed statement text
+  kPrepare = 3,        // length-prefixed statement text with $n params
+  kExecPrepared = 4,   // u64 stmt id, u32 n, n Values
+  kClosePrepared = 5,  // u64 stmt id
+  kPing = 6,           // empty
+  kGoodbye = 7,        // empty
+  // Responses.
+  kHelloOk = 16,      // u32 protocol version, u64 session id
+  kResultOk = 17,     // length-prefixed message (SMO ack, goodbye ack)
+  kResultTable = 18,  // schema + rows of a SELECT
+  kResultCount = 19,  // u64 count
+  kResultGroups = 20, // GROUP BY header + rows
+  kError = 21,        // u32 wire error code, length-prefixed message
+  kPong = 22,         // empty
+  kPrepareOk = 23,    // u64 stmt id, u32 n_params
+};
+
+const char* FrameTypeToString(FrameType type);
+
+// ---- StatusCode <-> wire error code -------------------------------------
+//
+// Wire codes are a stable contract independent of the StatusCode enum
+// values; both directions are exhaustive switches so a newly added
+// StatusCode fails to compile here (-Werror=switch in spirit; the
+// coverage test in tests/test_server.cc enumerates every code).
+
+/// The wire error code for a status code. kOk maps to 0.
+uint32_t WireErrorCode(StatusCode code);
+
+/// Inverse of WireErrorCode. Unknown wire codes (a newer peer) decode
+/// to kCorruption with `*known = false`.
+StatusCode StatusCodeFromWire(uint32_t wire, bool* known = nullptr);
+
+// ---- Primitive codec ----------------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+/// Tagged Value: u8 tag (0 null, 1 int64, 2 double bits, 3 string).
+void PutValue(std::string* dst, const Value& v);
+
+/// Each Get* consumes from the front of `*in`; returns false (leaving
+/// `*in` unspecified) on truncated or malformed input.
+bool GetFixed32(std::string_view* in, uint32_t* v);
+bool GetFixed64(std::string_view* in, uint64_t* v);
+bool GetLengthPrefixed(std::string_view* in, std::string_view* s);
+bool GetValue(std::string_view* in, Value* v);
+
+// ---- Framing ------------------------------------------------------------
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string body;  // payload after type + request id
+};
+
+/// Appends the encoded frame for (type, request_id, body) to `*dst`.
+void EncodeFrame(std::string* dst, FrameType type, uint64_t request_id,
+                 std::string_view body);
+
+enum class DecodeStatus {
+  kFrame,     // one frame decoded, *consumed bytes eaten
+  kNeedMore,  // buffer holds a prefix of a valid frame
+  kError,     // protocol violation; close the connection
+};
+
+/// Incremental decode of the first frame in `buf`. On kFrame, fills
+/// `*frame` and sets `*consumed`; on kError, fills `*error` with a
+/// typed status (kInvalidArgument for an impossible length prefix,
+/// kCorruption for a checksum mismatch). Never reads past buf.
+DecodeStatus DecodeFrame(std::string_view buf, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed, Status* error);
+
+// ---- Typed requests / responses -----------------------------------------
+
+/// A decoded request frame, all variants flattened.
+struct WireRequest {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  uint32_t protocol = 0;       // kHello
+  std::string text;            // kExecute / kPrepare
+  uint64_t stmt_id = 0;        // kExecPrepared / kClosePrepared
+  std::vector<Value> params;   // kExecPrepared
+};
+
+/// Decodes a request frame's body. Errors on response-typed frames and
+/// on malformed bodies (kInvalidArgument).
+Result<WireRequest> DecodeRequest(const Frame& frame);
+
+std::string EncodeHello(uint64_t request_id);
+std::string EncodeExecute(uint64_t request_id, std::string_view text);
+std::string EncodePrepare(uint64_t request_id, std::string_view text);
+std::string EncodeExecPrepared(uint64_t request_id, uint64_t stmt_id,
+                               const std::vector<Value>& params);
+std::string EncodeClosePrepared(uint64_t request_id, uint64_t stmt_id);
+std::string EncodePing(uint64_t request_id);
+std::string EncodeGoodbye(uint64_t request_id);
+
+/// A decoded response frame, all variants flattened.
+struct WireResponse {
+  FrameType type = FrameType::kPong;
+  uint64_t request_id = 0;
+
+  Status error;                 // kError: the typed remote status
+  std::string message;          // kResultOk
+  uint64_t count = 0;           // kResultCount
+  uint32_t protocol = 0;        // kHelloOk
+  uint64_t session_id = 0;      // kHelloOk
+  uint64_t stmt_id = 0;         // kPrepareOk
+  uint32_t n_params = 0;        // kPrepareOk
+
+  // kResultTable: schema + materialized rows.
+  std::vector<std::string> columns;
+  std::vector<DataType> types;
+  std::vector<Row> rows;
+
+  // kResultGroups: "col, SUM(x), ..." header + group rows.
+  std::vector<std::string> group_header;
+  std::vector<Row> group_rows;
+};
+
+/// Decodes a response frame's body. Errors on request-typed frames and
+/// on malformed bodies.
+Result<WireResponse> DecodeResponse(const Frame& frame);
+
+std::string EncodeHelloOk(uint64_t request_id, uint64_t session_id);
+std::string EncodeResultOk(uint64_t request_id, std::string_view message);
+std::string EncodeResultCount(uint64_t request_id, uint64_t count);
+/// Encodes a SELECT result table (schema + all rows, materialized).
+std::string EncodeResultTable(uint64_t request_id, const Table& table);
+/// Encodes a GROUP BY result (header labels + group rows).
+std::string EncodeResultGroups(uint64_t request_id,
+                               const QueryResult& result);
+/// Encodes the response for any QueryResult verb.
+std::string EncodeQueryResult(uint64_t request_id, const QueryResult& result);
+std::string EncodeError(uint64_t request_id, const Status& status);
+std::string EncodePong(uint64_t request_id);
+std::string EncodePrepareOk(uint64_t request_id, uint64_t stmt_id,
+                            uint32_t n_params);
+
+/// Renders a WireResponse the way the embedded shell renders a
+/// QueryResult (the thin-client display path).
+std::string FormatWireResponse(const WireResponse& response);
+
+}  // namespace server
+}  // namespace cods
+
+#endif  // CODS_SERVER_WIRE_H_
