@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/wire.h"

@@ -58,7 +58,7 @@
 #include "evolution/advisor.h"
 #include "evolution/engine.h"
 #include "evolution/inverse.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 #include "plan/script_planner.h"
 #include "query/query_engine.h"
 #include "server/client.h"
@@ -168,7 +168,7 @@ class Shell {
       if (IsInvertible(smo.kind)) {
         // Best-effort logging against the pre-application snapshot;
         // lossy ops simply are not undoable.
-        (void)log_.Record(smo, versions().GetSnapshot().root());
+        log_.Record(smo, versions().GetSnapshot().root()).IgnoreError();
       }
       Status st = ApplySmo(smo);
       if (!st.ok()) {

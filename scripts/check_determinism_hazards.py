@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Determinism-hazard lint for the CODS library sources.
+
+CODS guarantees bit-identical results at every thread count (planned
+script execution, parallel column builds, snapshot commits). That
+guarantee is easy to lose to an innocent-looking line, so this lint
+flags the constructs that historically break it:
+
+  unordered-iteration  Iterating a std::unordered_map / unordered_set
+                       (range-for or .begin()). Hash iteration order is
+                       unspecified and varies across libstdc++ versions
+                       and seeds; anything order-dependent downstream
+                       becomes nondeterministic. Probing (find / count /
+                       insert / try_emplace, and find()==end() checks)
+                       is fine and is not flagged.
+
+  raw-random           rand(), srand(), std::random_device. All
+                       randomness goes through the seeded cods::Rng
+                       (common/random.h) so workloads replay exactly.
+
+  wall-clock           Clock reads: *_clock::now(), time(), clock(),
+                       gettimeofday, clock_gettime, localtime/gmtime.
+                       Timing belongs in bench/ (exempt, not scanned) or
+                       in explicitly annotated sites — the server's
+                       admission deadlines, task-graph stats, the
+                       Stopwatch utility itself.
+
+  dangling-result      Binding a reference to, or range-for-ing over,
+                       Result<T>::ValueOrDie() called on a TEMPORARY:
+                         for (auto& r : Load(path).ValueOrDie()) ...
+                       ValueOrDie()&& returns T&& into the temporary
+                       Result, which dies at the end of the range-init
+                       expression (before C++23 lifetime extension) —
+                       the loop walks freed memory. Name the Result
+                       first. ValueOrDie() on a named lvalue, including
+                       std::move(name).ValueOrDie(), is not flagged.
+
+Escape hatch — a justified annotation on the offending line or on the
+line directly above it:
+
+    // cods-lint: allow(<rule>): <why this site is sound>
+
+The justification is mandatory: an allow() with nothing after the colon
+(or no colon) is itself an error. A file whose entire purpose is the
+hazard (e.g. common/stopwatch.h) may instead carry, in its first 15
+lines:
+
+    // cods-lint: allow-file(<rule>): <why>
+
+Usage: check_determinism_hazards.py [path...]
+With no arguments, lints src/ of the repo containing this script.
+Exit 0 when clean, 1 with one line per finding otherwise.
+"""
+
+import os
+import re
+import sys
+
+RULES = ("unordered-iteration", "raw-random", "wall-clock", "dangling-result")
+
+ALLOW_RE = re.compile(
+    r"//\s*cods-lint:\s*allow\(([a-z-]+)\)(?::\s*(\S.*))?")
+ALLOW_FILE_RE = re.compile(
+    r"//\s*cods-lint:\s*allow-file\(([a-z-]+)\)(?::\s*(\S.*))?")
+
+RAW_RANDOM_RE = re.compile(r"\b(?:rand|srand)\s*\(|\brandom_device\b")
+WALL_CLOCK_RE = re.compile(
+    r"\b\w*_?[Cc]lock::now\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0|&)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\bclock\s*\(\s*\)"
+    r"|\blocaltime|\bgmtime")
+
+# Declarations: std::unordered_map<...> name / std::unordered_set<...> name.
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;]+)\)")
+BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+VALUE_OR_DIE_FOR_RE = re.compile(r"\bfor\s*\([^;]*?:\s*(.+?)\.ValueOrDie\(\)")
+VALUE_OR_DIE_REF_RE = re.compile(
+    r"&\s*[A-Za-z_]\w*\s*=\s*(.+?)\.ValueOrDie\(\)\s*;")
+MOVED_NAME_RE = re.compile(r"^(?:std\s*::\s*)?move\s*\(\s*[A-Za-z_]\w*\s*\)$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def skip_balanced(text, start):
+    """Index just past the '>' matching the '<' at text[start]."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def unordered_names(text):
+    """Names of variables/members declared with an unordered container."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        close = skip_balanced(text, m.end() - 1)
+        ident = IDENT_RE.match(text, pos=_skip_ws(text, close))
+        if ident:
+            names.add(ident.group(0))
+    return names
+
+
+def _skip_ws(text, i):
+    while i < len(text) and text[i].isspace():
+        i += 1
+    return i
+
+
+def is_temporary(expr):
+    """True if `expr` (the object ValueOrDie is called on) is a temporary:
+    anything with a call in it except std::move(<name>)."""
+    expr = expr.strip()
+    # Peel trailing value-producing chains back to the base object:
+    # `Load(p).ValueOrDie()` -> base `Load(p)`. We only get the base here.
+    if MOVED_NAME_RE.match(expr):
+        return False
+    return "(" in expr
+
+
+def strip_strings_and_comments(line):
+    """Blank out string/char literals and // comments so patterns inside
+    them don't fire. Keeps the line length (columns stay meaningful)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\" and i + 1 < n:
+                out.append("..")
+                i += 2
+                continue
+            out.append(c if c == in_str else ".")
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def check_file(path, display, errors):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    file_allowed = set()
+    for line in raw_lines[:15]:
+        m = ALLOW_FILE_RE.search(line)
+        if m:
+            rule, why = m.group(1), m.group(2)
+            if rule not in RULES:
+                errors.append(f"{display}: allow-file names unknown rule "
+                              f"'{rule}' (rules: {', '.join(RULES)})")
+            elif not why:
+                errors.append(f"{display}: allow-file({rule}) needs a "
+                              f"justification after the colon")
+            else:
+                file_allowed.add(rule)
+
+    code_lines = [strip_strings_and_comments(l) for l in raw_lines]
+    tracked = unordered_names("\n".join(code_lines))
+
+    def allowed(idx, rule):
+        if rule in file_allowed:
+            return True
+        # An annotation covers the whole statement it precedes (or sits
+        # on), and justifications may wrap onto several comment lines —
+        # so the candidates are: every line of the statement containing
+        # `idx`, plus the contiguous comment block directly above it.
+        start = idx
+        while start > 0:
+            raw_prev = raw_lines[start - 1].strip()
+            if raw_prev == "" or raw_prev.startswith("//"):
+                break
+            if code_lines[start - 1].rstrip().endswith((";", "{", "}")):
+                break
+            start -= 1
+        candidates = list(range(start, idx + 1))
+        k = start - 1
+        while k >= 0 and raw_lines[k].lstrip().startswith("//"):
+            candidates.append(k)
+            k -= 1
+        for j in candidates:
+            m = ALLOW_RE.search(raw_lines[j])
+            if m and m.group(1) == rule:
+                if not m.group(2):
+                    errors.append(
+                        f"{display}:{j + 1}: allow({rule}) needs a "
+                        f"justification after the colon")
+                return True  # bad allow already errs; don't double-report
+        return False
+
+    def report(idx, rule, what):
+        if not allowed(idx, rule):
+            errors.append(f"{display}:{idx + 1}: [{rule}] {what}")
+
+    for idx, line in enumerate(code_lines):
+        if RAW_RANDOM_RE.search(line):
+            report(idx, "raw-random",
+                   "rand()/random_device — use the seeded cods::Rng "
+                   "(common/random.h)")
+        if WALL_CLOCK_RE.search(line):
+            report(idx, "wall-clock",
+                   "clock read — timing belongs in bench/ or an "
+                   "annotated deadline/stats site")
+        for m in RANGE_FOR_RE.finditer(line):
+            expr = m.group(2).strip()
+            base = IDENT_RE.match(expr)
+            if base and base.group(0) in tracked:
+                report(idx, "unordered-iteration",
+                       f"range-for over unordered container "
+                       f"'{base.group(0)}' — iteration order is "
+                       f"unspecified; copy to a sorted vector first")
+            dm = VALUE_OR_DIE_FOR_RE.search(m.group(0))
+            if dm and is_temporary(dm.group(1)):
+                report(idx, "dangling-result",
+                       "range-for over ValueOrDie() of a Result "
+                       "temporary — the Result dies before the loop "
+                       "body runs; name it first")
+        for m in BEGIN_CALL_RE.finditer(line):
+            if m.group(1) in tracked:
+                report(idx, "unordered-iteration",
+                       f"iterating unordered container '{m.group(1)}' "
+                       f"via begin() — iteration order is unspecified")
+        m = VALUE_OR_DIE_REF_RE.search(line)
+        if m and is_temporary(m.group(1)):
+            report(idx, "dangling-result",
+                   "reference bound to ValueOrDie() of a Result "
+                   "temporary — dangles when the statement ends; "
+                   "name the Result first")
+
+    # Unused allow() annotations are suppressed hazards waiting to hide a
+    # future real one; an allow naming an unknown rule is always an error.
+    for idx, line in enumerate(raw_lines):
+        m = ALLOW_RE.search(line)
+        if m and m.group(1) not in RULES and "allow-file" not in line:
+            errors.append(f"{display}:{idx + 1}: allow names unknown rule "
+                          f"'{m.group(1)}' (rules: {', '.join(RULES)})")
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        args = [os.path.join(repo_root(), "src")]
+    errors = []
+    count = 0
+    for arg in args:
+        if os.path.isdir(arg):
+            base = arg
+            for dirpath, _, filenames in os.walk(arg):
+                for name in sorted(filenames):
+                    if name.endswith((".h", ".cc")):
+                        p = os.path.join(dirpath, name)
+                        check_file(p, os.path.relpath(p, base), errors)
+                        count += 1
+        else:
+            check_file(arg, arg, errors)
+            count += 1
+    if errors:
+        for e in errors:
+            print(e)
+        return 1
+    print(f"determinism hazards OK ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

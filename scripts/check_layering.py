@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Layering lint: enforces the CODS module dependency DAG.
+
+Every directory under src/ is a layer. A file in layer X may #include
+project headers only from X itself or from the layers listed for X in
+ALLOWED_DEPS below. The graph is a DAG ordered roughly
+
+    common -> bitmap -> storage -> exec -> {smo, query, evolution}
+           -> plan -> concurrency -> durability -> server
+
+with rowstore and workload as small side layers off storage. Tests,
+benches, and examples sit outside the library and may include anything.
+
+The check is purely syntactic: it parses `#include "..."` lines (project
+includes are always double-quoted and rooted at src/) and maps each
+include to the first path component. Angle-bracket includes (the
+standard library) are ignored.
+
+Exit status 0 when the tree conforms; 1 with one line per offending
+edge otherwise. Run from anywhere; the repo root is located relative to
+this script.
+
+There is deliberately NO escape hatch here (unlike
+check_determinism_hazards.py): a layering exception is an architecture
+change and belongs in ALLOWED_DEPS, in a commit that explains it.
+"""
+
+import os
+import re
+import sys
+
+# Layer -> set of layers its files may #include from (besides itself).
+# Keep this map in sync with the architecture section of ROADMAP.md.
+ALLOWED_DEPS = {
+    "common": set(),
+    "bitmap": {"common"},
+    "storage": {"common", "bitmap"},
+    "exec": {"common", "bitmap", "storage"},
+    "rowstore": {"common", "storage"},
+    "workload": {"common", "storage"},
+    "evolution": {"common", "bitmap", "storage", "exec"},
+    "query": {"common", "bitmap", "storage", "exec", "rowstore"},
+    "smo": {"common", "evolution", "query"},
+    "plan": {"common", "storage", "evolution"},
+    "concurrency": {"common", "storage", "evolution", "plan"},
+    "durability": {"common", "storage", "evolution", "smo", "concurrency"},
+    "server": {
+        "common", "bitmap", "storage", "exec", "query", "evolution",
+        "smo", "concurrency", "durability",
+    },
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def layer_of(relpath):
+    """First path component of a src/-relative path, or None."""
+    parts = relpath.split("/")
+    return parts[0] if len(parts) > 1 else None
+
+
+def check_file(path, src_rel, errors):
+    layer = layer_of(src_rel)
+    if layer is None:
+        return  # file directly under src/ (none today) has no layer
+    allowed = ALLOWED_DEPS.get(layer)
+    if allowed is None:
+        errors.append(
+            f"{src_rel}: unknown layer '{layer}' — add it to ALLOWED_DEPS "
+            f"in {os.path.basename(__file__)}")
+        return
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = layer_of(m.group(1))
+            if target is None or target == layer:
+                continue
+            if target not in ALLOWED_DEPS:
+                continue  # not a project layer (e.g. a local header)
+            if target not in allowed:
+                errors.append(
+                    f"src/{src_rel}:{lineno}: layer '{layer}' may not "
+                    f"include from '{target}' (#include \"{m.group(1)}\")")
+
+
+def main():
+    # Optional argument: an alternate src/ root (used by tests/test_lints.py
+    # to lint synthetic trees with injected violations).
+    src = sys.argv[1] if len(sys.argv) > 1 else os.path.join(repo_root(), "src")
+    errors = []
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            check_file(path, os.path.relpath(path, src).replace(os.sep, "/"),
+                       errors)
+    if errors:
+        for e in sorted(errors):
+            print(e)
+        print()
+        print("Allowed dependencies (layer -> may include from):")
+        for layer in ALLOWED_DEPS:
+            deps = ", ".join(sorted(ALLOWED_DEPS[layer])) or "(nothing)"
+            print(f"  {layer:<12} -> {deps}")
+        return 1
+    print(f"layering OK ({sum(1 for _ in _walk_sources(src))} files)")
+    return 0
+
+
+def _walk_sources(src):
+    for dirpath, _, filenames in os.walk(src):
+        for name in filenames:
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

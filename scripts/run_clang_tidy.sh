@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every library source, using
+# the compile database from a CMake build directory. The baseline is
+# ZERO warnings on src/ — WarningsAsErrors in .clang-tidy makes any
+# finding a non-zero exit, so this script is a pass/fail CI gate, not a
+# report generator.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: ./build)
+#
+# The build dir must have been configured already (any options); the
+# tree exports compile_commands.json unconditionally via
+# CMAKE_EXPORT_COMPILE_COMMANDS in CMakeLists.txt. Compiling first is
+# not required — clang-tidy only needs the command database — but
+# generated headers, if the tree ever grows them, would need a build.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-"$ROOT/build"}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH." >&2
+  echo "This gate runs in the CI lint job (which installs it); locally" >&2
+  echo "install clang-tidy >= 14 to reproduce." >&2
+  exit 2
+fi
+
+if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: $BUILD/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"$BUILD\" -S \"$ROOT\"" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cc' | sort)
+echo "clang-tidy over ${#SOURCES[@]} sources ($(clang-tidy --version | head -1))"
+
+# run-clang-tidy parallelizes across cores and exits non-zero on any
+# finding (WarningsAsErrors); fall back to the serial binary when only
+# that is installed.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$BUILD" -quiet "${SOURCES[@]}"
+else
+  clang-tidy -p "$BUILD" --quiet "${SOURCES[@]}"
+fi
+echo "clang-tidy OK (zero warnings)"

@@ -105,7 +105,8 @@ WahBitmap WahGatherPositions(const WahBitmap& src,
   while (start < take.size()) {
     size_t end = start + 1;
     while (end < take.size() && take[end] > take[end - 1]) ++end;
-    std::vector<uint64_t> chunk(take.begin() + start, take.begin() + end);
+    std::vector<uint64_t> chunk(take.begin() + static_cast<ptrdiff_t>(start),
+                                take.begin() + static_cast<ptrdiff_t>(end));
     WahBitmap part = WahFilterPositions(src, chunk);
     out.Concat(part);
     start = end;

@@ -1,13 +1,12 @@
 // Comparison operators over Values — the shared vocabulary of every
 // predicate surface: PARTITION TABLE conditions (evolution), the query
-// expression AST (query/expr.h), and the statement parser. Lives in
-// common/ so the query layer does not depend on the evolution layer for
-// an enum.
+// expression AST (query/expr.h), and the statement parser. Only the
+// operator enum and its algebra live here; evaluating an operator
+// against actual Values needs the Value total order and lives one layer
+// up in storage/value_compare.h, keeping common/ dependency-free.
 
 #ifndef CODS_COMMON_COMPARE_H_
 #define CODS_COMMON_COMPARE_H_
-
-#include "storage/value.h"
 
 namespace cods {
 
@@ -17,24 +16,11 @@ enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 /// Script syntax of the operator ("=", "!=", "<", "<=", ">", ">=").
 const char* CompareOpToString(CompareOp op);
 
-/// Evaluates `lhs op rhs` with Value ordering. All six operators derive
-/// from the total order (equality is order-equivalence), so int64 3 and
-/// double 3.0 compare equal here even though Value::operator== (variant
-/// equality) distinguishes them.
-bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
-
 /// The operator selecting exactly the complement: NOT (x op v) is
 /// (x NegateCompareOp(op) v) for every pair of Values, since Value
 /// ordering is total. The expression compiler uses this to lower NOT
 /// over a comparison without a bitmap complement.
 CompareOp NegateCompareOp(CompareOp op);
-
-/// Renders a literal so the statement parser reads back the same value:
-/// strings are single-quoted with embedded quotes doubled (SQL style),
-/// doubles print with shortest-round-trip precision and always carry a
-/// point/exponent so they re-parse as doubles. Shared by Smo::ToString
-/// and Expr::ToString so SMO and query rendering cannot diverge.
-std::string FormatScriptLiteral(const Value& value);
 
 }  // namespace cods
 

@@ -222,6 +222,11 @@ class FaultInjectionWritableFile : public WritableFile {
       : env_(env), base_(std::move(base)), path_(std::move(path)) {}
 
   Status Append(const void* data, size_t n) override {
+    if (env_->fail_appends_ > 0) {
+      --env_->fail_appends_;
+      ++env_->ops_;
+      return Status::IOError("injected write failure on '" + path_ + "'");
+    }
     // Order matters: the bytes land in the base file first, THEN the
     // crash may trip — so a crash "during" this append sees the bytes as
     // part of the un-synced (droppable, tearable) suffix.
@@ -292,7 +297,7 @@ void FaultInjectionEnv::ApplyCrash() {
             0, static_cast<int64_t>(unsynced)));  // torn mid-suffix
         break;
     }
-    (void)base_->TruncateFile(path, fs.synced_size + kept);
+    base_->TruncateFile(path, fs.synced_size + kept).IgnoreError();
     // A torn sector may carry garbage: sometimes flip one bit inside the
     // surviving un-synced part.
     if (kept > 0 && rng_.NextBool(0.25)) {
@@ -302,7 +307,7 @@ void FaultInjectionEnv::ApplyCrash() {
                                             0, static_cast<int64_t>(kept) - 1));
         data.ValueOrDie()[pos] ^=
             static_cast<uint8_t>(1u << rng_.Uniform(0, 7));
-        (void)WriteFile(base_, path, data.ValueOrDie());
+        WriteFile(base_, path, data.ValueOrDie()).IgnoreError();
       }
     }
   }

@@ -126,6 +126,10 @@ class FaultInjectionEnv : public Env {
   void SetCrashAtOp(uint64_t op) { crash_at_op_ = op; }
   /// Makes the next `n` Sync() calls fail without crashing.
   void FailNextSyncs(int n) { fail_syncs_ = n; }
+  /// Makes the next `n` Append() calls fail without crashing and
+  /// without writing any bytes — a full disk / EIO on write, as opposed
+  /// to FailNextSyncs' lost fsync acknowledgment.
+  void FailNextAppends(int n) { fail_appends_ = n; }
 
   bool crashed() const { return crashed_; }
   /// Fault-relevant operations seen so far.
@@ -161,6 +165,7 @@ class FaultInjectionEnv : public Env {
   uint64_t ops_ = 0;
   uint64_t crash_at_op_ = 0;
   int fail_syncs_ = 0;
+  int fail_appends_ = 0;
   bool crashed_ = false;
   std::map<std::string, FileState> files_;
 };

@@ -19,7 +19,7 @@ namespace cods {
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).ValueOrDie();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, so functions can `return value;`).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -56,6 +56,11 @@ class Result {
     assert(ok());
     return std::get<T>(std::move(repr_));
   }
+
+  /// Explicitly discards the result, value and error alike — the only
+  /// sanctioned way to drop a Result on the floor (see
+  /// Status::IgnoreError for when that is legitimate).
+  void IgnoreError() const {}
 
   /// Alias for ValueOrDie, mirroring arrow::Result.
   const T& operator*() const& { return ValueOrDie(); }

@@ -1,0 +1,41 @@
+// ScriptLog: the engine-facing slice of the write-ahead log.
+//
+// The evolution engine logs statement scripts before (or, in snapshot
+// mode, while) committing them, but sits below the durability layer in
+// the architecture; this interface inverts that dependency. The engine
+// sees only the three-call commit protocol; durability/wal.h implements
+// it with the real length-prefixed, CRC32C-checksummed, fsync-at-commit
+// record format.
+
+#ifndef CODS_COMMON_SCRIPT_LOG_H_
+#define CODS_COMMON_SCRIPT_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cods {
+
+/// Redo-log protocol for one statement script: BeginScript, one
+/// AppendStatement per statement, then CommitScript — which makes the
+/// whole script durable and carries the count of statements that
+/// succeeded in memory (so mid-script failures replay as exact
+/// prefixes). Any non-OK return poisons the script: the caller must not
+/// acknowledge it as committed.
+class ScriptLog {
+ public:
+  virtual ~ScriptLog() = default;
+
+  /// Opens a script. Not yet durable (the commit carries the fsync).
+  virtual Status BeginScript() = 0;
+  /// Logs one statement of the open script. Not yet durable.
+  virtual Status AppendStatement(const std::string& text) = 0;
+  /// Closes the open script and makes it durable. `applied` = statements
+  /// that succeeded in memory.
+  virtual Status CommitScript(uint32_t applied) = 0;
+};
+
+}  // namespace cods
+
+#endif  // CODS_COMMON_SCRIPT_LOG_H_

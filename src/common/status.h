@@ -40,7 +40,13 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Result of an operation that can fail. Cheap to return in the OK case
 /// (a single pointer that is null on success).
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status forces
+/// its caller to look at it. Deliberate discards (best-effort cleanup on
+/// an already-failing path) must say so with IgnoreError(), which shows
+/// up in review; -Werror=unused-result turns silent drops into build
+/// failures in every CI config.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -126,6 +132,11 @@ class Status {
 
   /// Prefixes the message with additional context, keeping the code.
   Status WithContext(const std::string& context) const;
+
+  /// Explicitly discards the status. The only sanctioned way to drop a
+  /// Status on the floor — reserve it for best-effort cleanup where a
+  /// failure genuinely changes nothing (and say why in a comment).
+  void IgnoreError() const {}
 
  private:
   struct State {

@@ -1,5 +1,9 @@
 // Wall-clock stopwatch used by the benchmark harness and the evolution
 // status tracker.
+//
+// cods-lint: allow-file(wall-clock): this IS the sanctioned timing
+// utility; every other clock read should go through it or carry its own
+// justification.
 
 #ifndef CODS_COMMON_STOPWATCH_H_
 #define CODS_COMMON_STOPWATCH_H_

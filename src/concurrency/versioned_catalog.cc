@@ -1,4 +1,4 @@
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 
 #include <unordered_set>
 

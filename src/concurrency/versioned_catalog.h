@@ -13,8 +13,8 @@
 // or through Apply(), so the atomic root swap is the single choke point
 // every writer crosses.
 
-#ifndef CODS_EVOLUTION_VERSIONED_CATALOG_H_
-#define CODS_EVOLUTION_VERSIONED_CATALOG_H_
+#ifndef CODS_CONCURRENCY_VERSIONED_CATALOG_H_
+#define CODS_CONCURRENCY_VERSIONED_CATALOG_H_
 
 #include <functional>
 #include <string>
@@ -110,4 +110,4 @@ class VersionedCatalog {
 
 }  // namespace cods
 
-#endif  // CODS_EVOLUTION_VERSIONED_CATALOG_H_
+#endif  // CODS_CONCURRENCY_VERSIONED_CATALOG_H_

@@ -187,7 +187,7 @@ void DurableDb::MaybeAutoCheckpoint() {
       wal_->size_bytes() >= options_.auto_checkpoint_wal_bytes) {
     // Best-effort: a failure poisons the db via failed_, and the next
     // mutation reports it.
-    (void)Checkpoint();
+    Checkpoint().IgnoreError();
   }
 }
 

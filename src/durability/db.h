@@ -45,7 +45,7 @@
 #include "common/env.h"
 #include "durability/wal.h"
 #include "evolution/engine.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 
 namespace cods {
 

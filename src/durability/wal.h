@@ -48,6 +48,7 @@
 
 #include "common/env.h"
 #include "common/result.h"
+#include "common/script_log.h"
 
 namespace cods {
 
@@ -92,7 +93,7 @@ Result<WalContents> ReadWal(Env* env, const std::string& path);
 /// poisons itself and every later call returns the original error, so a
 /// half-appended (torn) record can never be followed by more records —
 /// the tail stays cleanly truncatable.
-class WalWriter {
+class WalWriter : public ScriptLog {
  public:
   /// Opens `path` for appending; new records start at `next_lsn`.
   static Result<std::unique_ptr<WalWriter>> Open(Env* env,
@@ -100,12 +101,12 @@ class WalWriter {
                                                  uint64_t next_lsn);
 
   /// Opens a script. No fsync (the commit carries it).
-  Status BeginScript();
+  Status BeginScript() override;
   /// Logs one statement of the open script. No fsync.
-  Status AppendStatement(const std::string& text);
+  Status AppendStatement(const std::string& text) override;
   /// Closes the open script and makes it durable (append + fsync).
   /// `applied` = statements that succeeded in memory.
-  Status CommitScript(uint32_t applied);
+  Status CommitScript(uint32_t applied) override;
   /// Logs a self-committing VersionedCatalog mark (append + fsync).
   Status AppendVersionMark(const std::string& message);
 

@@ -1,9 +1,6 @@
 #include "evolution/engine.h"
 
-#include "concurrency/snapshot_catalog.h"
-#include "durability/wal.h"
-#include "plan/script_planner.h"
-#include "plan/staged_catalog.h"
+#include "common/script_log.h"
 
 namespace cods {
 
@@ -16,17 +13,6 @@ EvolutionEngine::EvolutionEngine(Catalog* catalog,
       options_(options),
       exec_ctx_(options.num_threads) {
   CODS_CHECK(catalog_ != nullptr);
-}
-
-EvolutionEngine::EvolutionEngine(SnapshotCatalog* snapshots,
-                                 EvolutionObserver* observer,
-                                 EngineOptions options)
-    : catalog_(nullptr),
-      snapshots_(snapshots),
-      observer_(observer),
-      options_(options),
-      exec_ctx_(options.num_threads) {
-  CODS_CHECK(snapshots_ != nullptr);
 }
 
 Status EvolutionEngine::MaybeValidate(const Table& table) {
@@ -100,7 +86,7 @@ Status EvolutionEngine::RunSerial(const std::vector<Smo>& script,
 Status EvolutionEngine::RunLogged(const std::vector<Smo>& script,
                                   TaskGraphStats* stats, bool planned) {
   if (script.empty()) return Status::OK();
-  WalWriter& wal = *options_.wal;
+  ScriptLog& wal = *options_.wal;
   // Log the whole script before touching the catalog: an I/O failure
   // here aborts with the catalog untouched, and the torn record tail is
   // exactly what recovery truncates away.
@@ -126,134 +112,6 @@ Status EvolutionEngine::ApplyAllPlanned(const std::vector<Smo>& script,
   if (snapshots_ != nullptr) return RunSnapshot(script, stats, true);
   if (options_.wal != nullptr) return RunLogged(script, stats, true);
   return RunPlanned(script, stats, nullptr);
-}
-
-Status EvolutionEngine::StageScript(
-    StagedCatalog* staged, const std::vector<Smo>& script, bool planned,
-    TaskGraphStats* stats, std::vector<std::vector<CatalogEffect>>* effects,
-    size_t* applied) {
-  const size_t n = script.size();
-  *applied = 0;
-
-  if (!planned) {
-    // Serial staging: one operator at a time against the overlay, same
-    // order and context strings as RunSerial.
-    for (size_t i = 0; i < n; ++i) {
-      StagedCatalog::View view = staged->MakeView(&(*effects)[i]);
-      Status st = ApplyTo(view, script[i], observer_)
-                      .WithContext(script[i].ToString());
-      if (!st.ok()) return st;
-      ++*applied;
-    }
-    return Status::OK();
-  }
-
-  ScriptPlan plan = PlanScript(script);
-  std::vector<StagedCatalog::View> views;
-  views.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    views.push_back(staged->MakeView(&(*effects)[i]));
-  }
-
-  // Observers written for serial execution must not see concurrent
-  // callbacks from overlapping operators.
-  SerializedObserver serialized(observer_);
-  EvolutionObserver* observer = observer_ != nullptr ? &serialized : nullptr;
-
-  TaskGraph graph;
-  for (size_t i = 0; i < n; ++i) {
-    graph.AddTask(
-        [this, &views, &script, observer, i]() -> Status {
-          // Same context string as the serial ApplyAll loop attaches.
-          return ApplyTo(views[i], script[i], observer)
-              .WithContext(script[i].ToString());
-        },
-        SmoKindToString(script[i].kind));
-  }
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t dep : plan.tasks[i].deps) {
-      graph.AddDependency(static_cast<int>(i), static_cast<int>(dep));
-    }
-  }
-
-  Status run_status = graph.Run(exec_ctx_);
-  if (stats != nullptr) *stats = graph.stats();
-
-  // Planner graphs are acyclic by construction; a non-OK Run with every
-  // task status OK means nothing executed (defensive) — commit nothing.
-  if (!run_status.ok()) {
-    bool any_task_failed = false;
-    for (size_t i = 0; i < n && !any_task_failed; ++i) {
-      any_task_failed = !graph.task_status(static_cast<int>(i)).ok();
-    }
-    if (!any_task_failed) return run_status;
-  }
-
-  // The commit prefix stops at the first failed SCRIPT position —
-  // exactly the operators serial ApplyAll would have applied.
-  for (size_t i = 0; i < n; ++i) {
-    const Status& st = graph.task_status(static_cast<int>(i));
-    if (!st.ok()) return st;
-    ++*applied;
-  }
-  return Status::OK();
-}
-
-Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
-                                   TaskGraphStats* stats, size_t* applied) {
-  if (stats != nullptr) *stats = {};
-  if (script.empty()) return Status::OK();
-  StagedCatalog staged(catalog_);
-  std::vector<std::vector<CatalogEffect>> effects(script.size());
-  size_t prefix = 0;
-  Status run =
-      StageScript(&staged, script, /*planned=*/true, stats, &effects, &prefix);
-  // Commit the staged effects of the applied prefix in script order.
-  for (size_t i = 0; i < prefix; ++i) {
-    for (const CatalogEffect& effect : effects[i]) {
-      CODS_RETURN_NOT_OK(ApplyEffect(effect, catalog_));
-    }
-    if (applied != nullptr) ++*applied;
-  }
-  return run;
-}
-
-Status EvolutionEngine::RunSnapshot(const std::vector<Smo>& script,
-                                    TaskGraphStats* stats, bool planned) {
-  if (stats != nullptr) *stats = {};
-  if (script.empty()) return Status::OK();
-  // Pin the base root and stage the whole script against it; readers
-  // keep serving, and nothing here touches the published root.
-  RootPtr base = snapshots_->current();
-  StagedCatalog staged(base.get());
-  std::vector<std::vector<CatalogEffect>> effects(script.size());
-  size_t applied = 0;
-  Status run = StageScript(&staged, script, planned, stats, &effects, &applied);
-
-  std::vector<CatalogEffect> prefix;
-  for (size_t i = 0; i < applied; ++i) {
-    prefix.insert(prefix.end(), effects[i].begin(), effects[i].end());
-  }
-  // In snapshot mode the WAL records the script inside the commit
-  // critical section: after conflict validation (an aborted script
-  // never reaches the log — it had no effect, so replay must not see
-  // it) and strictly before the root swap (readers can only observe
-  // roots whose scripts are fsync-durable).
-  SnapshotCatalog::PreSwapFn pre_swap;
-  if (options_.wal != nullptr) {
-    pre_swap = [this, &script, applied]() -> Status {
-      WalWriter& wal = *options_.wal;
-      CODS_RETURN_NOT_OK(wal.BeginScript());
-      for (const Smo& smo : script) {
-        CODS_RETURN_NOT_OK(wal.AppendStatement(smo.ToString()));
-      }
-      return wal.CommitScript(static_cast<uint32_t>(applied));
-    };
-  }
-  // A conflict abort or durability failure outranks the script's own
-  // status: the caller must not treat any part of it as applied.
-  CODS_RETURN_NOT_OK(snapshots_->CommitEffects(base, prefix, pre_swap));
-  return run;
 }
 
 Status EvolutionEngine::ApplyCreateTable(TableStore& store, const Smo& smo) {

@@ -29,7 +29,7 @@
 
 namespace cods {
 
-class WalWriter;        // durability/wal.h
+class ScriptLog;        // common/script_log.h (durability's WalWriter)
 class SnapshotCatalog;  // concurrency/snapshot_catalog.h
 class StagedCatalog;    // plan/staged_catalog.h
 struct CatalogEffect;   // plan/staged_catalog.h
@@ -67,7 +67,7 @@ struct EngineOptions {
   /// after conflict validation and strictly before the root swap: an
   /// aborted script never reaches the log, and a root can only become
   /// visible to readers once the script producing it is fsync-durable.
-  WalWriter* wal = nullptr;
+  ScriptLog* wal = nullptr;
 };
 
 /// Applies SMOs to a catalog.
@@ -120,6 +120,12 @@ class EvolutionEngine {
   SnapshotCatalog* snapshots() { return snapshots_; }
 
  private:
+  // The planned and snapshot execution cores below are declared here but
+  // DEFINED one layer up (plan/engine_planned.cc and
+  // concurrency/engine_snapshot.cc): evolution sits below plan and
+  // concurrency in the architecture, so the integration glue that needs
+  // their types lives with them and this header only forward-declares.
+
   // Unlogged execution cores; `applied` (optional) receives the number
   // of operators whose effects reached the catalog.
   Status RunSerial(const std::vector<Smo>& script, size_t* applied);

@@ -5,6 +5,7 @@
 #include "bitmap/wah_ops.h"
 #include "exec/exec.h"
 #include "exec/parallel_build.h"
+#include "storage/value_compare.h"
 
 namespace cods {
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "storage/value_compare.h"
 
 namespace cods {
 

@@ -1,6 +1,10 @@
 #include "exec/parallel_build.h"
 
+#include <atomic>
+
+#include "bitmap/codec.h"
 #include "common/logging.h"
+#include "storage/table.h"
 
 namespace cods {
 
@@ -89,6 +93,139 @@ Result<std::shared_ptr<const Column>> FilterColumnBitmaps(
   return std::shared_ptr<const Column>(
       Column::FromValueBitmaps(column.type(), column.dict(),
                                std::move(filtered), filter.num_positions()));
+}
+
+// ---------------------------------------------------------------------------
+// Exec-using members of storage::Column. Column sits below exec in the
+// layering, so its header only forward-declares ExecContext and the
+// definitions that actually run on the parallel runtime live here.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Re-encodes freshly built WAH bitmaps into their density-chosen codec
+// containers, one task per value. The per-vid results land in pre-sized
+// index-ordered slots and the representation choice is a pure function
+// of content, so the conversion is bit-identical at every thread count.
+std::vector<ValueBitmap> EncodeValueBitmaps(const ExecContext& ctx,
+                                            std::vector<WahBitmap> wahs) {
+  std::vector<ValueBitmap> out(wahs.size());
+  Status st = ParallelFor(ctx, 0, wahs.size(), 16, [&](uint64_t v) {
+    out[v] = ValueBitmap::FromWah(std::move(wahs[v]));
+    return Status::OK();
+  });
+  CODS_CHECK(st.ok()) << st.ToString();
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<Column> Column::FromVids(DataType type, Dictionary dict,
+                                         const std::vector<Vid>& vids,
+                                         const ExecContext* ctx) {
+  auto col = std::shared_ptr<Column>(new Column());
+  col->type_ = type;
+  col->encoding_ = ColumnEncoding::kWahBitmap;
+  col->rows_ = vids.size();
+  const ExecContext& exec = ResolveContext(ctx);
+  col->bitmaps_ = EncodeValueBitmaps(
+      exec, BuildValueBitmaps(exec, vids.data(), vids.size(), dict.size()));
+  col->dict_ = std::move(dict);
+  return col;
+}
+
+std::shared_ptr<Column> Column::FromBitmaps(DataType type, Dictionary dict,
+                                            std::vector<WahBitmap> bitmaps,
+                                            uint64_t rows,
+                                            const ExecContext* ctx) {
+  CODS_CHECK(bitmaps.size() == dict.size())
+      << "bitmap count " << bitmaps.size() << " != dictionary size "
+      << dict.size();
+  return FromValueBitmaps(
+      type, std::move(dict),
+      EncodeValueBitmaps(ResolveContext(ctx), std::move(bitmaps)), rows);
+}
+
+std::vector<Vid> Column::DecodeVids(const ExecContext* ctx) const {
+  if (encoding_ == ColumnEncoding::kRle) {
+    return rle_.Decode();
+  }
+  std::vector<Vid> out(rows_, 0);
+  // Value bitmaps partition the row set, so the per-vid writes target
+  // disjoint positions — safe to run concurrently, identical result.
+  Status st = ParallelFor(
+      ResolveContext(ctx), 0, bitmaps_.size(), 16, [&](uint64_t vid) {
+        bitmaps_[vid].ForEachSetBit(
+            [&](uint64_t pos) { out[pos] = static_cast<Vid>(vid); });
+        return Status::OK();
+      });
+  CODS_CHECK(st.ok()) << st.ToString();
+  return out;
+}
+
+Status Table::ValidateInvariants(const ExecContext* ctx) const {
+  if (columns_.size() != schema_.num_columns()) {
+    return Status::Corruption("schema arity mismatch");
+  }
+  // Per-column validation is independent; ParallelFor returns the first
+  // failing column in schema order, matching the serial walk.
+  ExecContext exec = ResolveContext(ctx);
+  return ParallelFor(exec, 0, columns_.size(), 1, [&](uint64_t i) -> Status {
+    if (columns_[i]->rows() != rows_) {
+      return Status::Corruption("column row count mismatch in '" +
+                                schema_.column(i).name + "'");
+    }
+    return columns_[i]->ValidateInvariants(&exec).WithContext(
+        "column '" + schema_.column(i).name + "'");
+  });
+}
+
+Status Column::ValidateInvariants(const ExecContext* ctx) const {
+  if (encoding_ == ColumnEncoding::kRle) {
+    if (rle_.size() != rows_) {
+      return Status::Corruption("RLE length != row count");
+    }
+    for (const RleVector::Run& r : rle_.runs()) {
+      if (r.value >= dict_.size()) {
+        return Status::Corruption("RLE vid outside dictionary");
+      }
+    }
+    return Status::OK();
+  }
+  if (bitmaps_.size() != dict_.size()) {
+    return Status::Corruption("bitmap count != dictionary size");
+  }
+  // Per-bitmap structural + canonical-representation check and popcount,
+  // parallel over value bitmaps. The sum is order-independent, so a
+  // relaxed atomic accumulation stays deterministic.
+  std::atomic<uint64_t> ones{0};
+  CODS_RETURN_NOT_OK(ParallelForChunked(
+      ResolveContext(ctx), 0, bitmaps_.size(), 16,
+      [&](uint64_t lo, uint64_t hi) -> Status {
+        uint64_t local = 0;
+        for (uint64_t v = lo; v < hi; ++v) {
+          CODS_RETURN_NOT_OK(bitmaps_[v].Validate(rows_));
+          local += bitmaps_[v].CountOnes();
+        }
+        ones.fetch_add(local, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  uint64_t total_ones = ones.load(std::memory_order_relaxed);
+  if (total_ones != rows_) {
+    return Status::Corruption("bitmaps do not partition rows: " +
+                              std::to_string(total_ones) + " ones over " +
+                              std::to_string(rows_) + " rows");
+  }
+  // Coverage = |union of all value bitmaps|, computed by the count-only
+  // k-way codec kernel in one pass — the union bitmap is never
+  // materialized.
+  std::vector<const ValueBitmap*> ptrs;
+  ptrs.reserve(bitmaps_.size());
+  for (const ValueBitmap& bm : bitmaps_) ptrs.push_back(&bm);
+  if (CodecOrManyCount(ptrs, rows_) != rows_) {
+    return Status::Corruption("bitmaps overlap or leave gaps");
+  }
+  return Status::OK();
 }
 
 }  // namespace cods

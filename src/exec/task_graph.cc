@@ -141,8 +141,11 @@ void TaskGraph::ExecuteTask(RunState* st, int id) {
                                      " did not succeed");
     st->skipped.fetch_add(1, std::memory_order_relaxed);
   } else {
+    // cods-lint: allow(wall-clock): per-task runtime feeds TaskGraphStats
+    // only; it never influences scheduling order or results.
     auto t0 = std::chrono::steady_clock::now();
     statuses_[i] = tasks_[i].fn();
+    // cods-lint: allow(wall-clock): stats only, see above.
     st->seconds[i] = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
@@ -188,6 +191,7 @@ Status TaskGraph::Run(const ExecContext& ctx) {
   stats_.threads = ctx.num_threads();
   stats_.max_parallel = 0;
   if (n == 0) return Status::OK();
+  // cods-lint: allow(wall-clock): wall time feeds TaskGraphStats only.
   const auto wall0 = std::chrono::steady_clock::now();
 
   // Cycle check (Kahn's algorithm) before anything executes: a cyclic
@@ -246,6 +250,7 @@ Status TaskGraph::Run(const ExecContext& ctx) {
   stats_.max_parallel = st->max_parallel.load(std::memory_order_relaxed);
   stats_.task_seconds = 0;
   for (double s : st->seconds) stats_.task_seconds += s;
+  // cods-lint: allow(wall-clock): wall time feeds TaskGraphStats only.
   stats_.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall0)
                             .count();

@@ -1,0 +1,106 @@
+// The planned execution core of EvolutionEngine.
+//
+// EvolutionEngine (evolution/engine.h) declares RunPlanned and
+// StageScript but evolution sits below plan/ in the architecture, so the
+// definitions — which need the script planner and the staged-catalog
+// overlay — live here, in the layer that owns those types. They link
+// into the same engine; only the include graph is layered.
+
+#include "evolution/engine.h"
+#include "evolution/observer.h"
+#include "plan/script_planner.h"
+#include "plan/staged_catalog.h"
+
+namespace cods {
+
+Status EvolutionEngine::StageScript(
+    StagedCatalog* staged, const std::vector<Smo>& script, bool planned,
+    TaskGraphStats* stats, std::vector<std::vector<CatalogEffect>>* effects,
+    size_t* applied) {
+  const size_t n = script.size();
+  *applied = 0;
+
+  if (!planned) {
+    // Serial staging: one operator at a time against the overlay, same
+    // order and context strings as RunSerial.
+    for (size_t i = 0; i < n; ++i) {
+      StagedCatalog::View view = staged->MakeView(&(*effects)[i]);
+      Status st = ApplyTo(view, script[i], observer_)
+                      .WithContext(script[i].ToString());
+      if (!st.ok()) return st;
+      ++*applied;
+    }
+    return Status::OK();
+  }
+
+  ScriptPlan plan = PlanScript(script);
+  std::vector<StagedCatalog::View> views;
+  views.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    views.push_back(staged->MakeView(&(*effects)[i]));
+  }
+
+  // Observers written for serial execution must not see concurrent
+  // callbacks from overlapping operators.
+  SerializedObserver serialized(observer_);
+  EvolutionObserver* observer = observer_ != nullptr ? &serialized : nullptr;
+
+  TaskGraph graph;
+  for (size_t i = 0; i < n; ++i) {
+    graph.AddTask(
+        [this, &views, &script, observer, i]() -> Status {
+          // Same context string as the serial ApplyAll loop attaches.
+          return ApplyTo(views[i], script[i], observer)
+              .WithContext(script[i].ToString());
+        },
+        SmoKindToString(script[i].kind));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t dep : plan.tasks[i].deps) {
+      graph.AddDependency(static_cast<int>(i), static_cast<int>(dep));
+    }
+  }
+
+  Status run_status = graph.Run(exec_ctx_);
+  if (stats != nullptr) *stats = graph.stats();
+
+  // Planner graphs are acyclic by construction; a non-OK Run with every
+  // task status OK means nothing executed (defensive) — commit nothing.
+  if (!run_status.ok()) {
+    bool any_task_failed = false;
+    for (size_t i = 0; i < n && !any_task_failed; ++i) {
+      any_task_failed = !graph.task_status(static_cast<int>(i)).ok();
+    }
+    if (!any_task_failed) return run_status;
+  }
+
+  // The commit prefix stops at the first failed SCRIPT position —
+  // exactly the operators serial ApplyAll would have applied.
+  for (size_t i = 0; i < n; ++i) {
+    const Status& st = graph.task_status(static_cast<int>(i));
+    if (!st.ok()) return st;
+    ++*applied;
+  }
+  return Status::OK();
+}
+
+Status EvolutionEngine::RunPlanned(const std::vector<Smo>& script,
+                                   TaskGraphStats* stats, size_t* applied) {
+  if (stats != nullptr) *stats = {};
+  if (script.empty()) return Status::OK();
+  StagedCatalog staged(catalog_);
+  std::vector<std::vector<CatalogEffect>> effects(script.size());
+  size_t prefix = 0;
+  Status run =
+      StageScript(&staged, script, /*planned=*/true, stats, &effects, &prefix);
+  // Commit the staged effects of the applied prefix in script order.
+  for (size_t i = 0; i < prefix; ++i) {
+    for (const CatalogEffect& effect : effects[i]) {
+      CODS_RETURN_NOT_OK(ApplyEffect(effect, catalog_));
+    }
+    if (applied != nullptr) ++*applied;
+  }
+  return run;
+}
+
+}  // namespace cods

@@ -5,6 +5,7 @@
 #include "bitmap/codec.h"
 #include "bitmap/wah_ops.h"
 #include "common/logging.h"
+#include "storage/value_compare.h"
 
 namespace cods {
 

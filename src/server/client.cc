@@ -66,7 +66,7 @@ Client::~Client() { Close(); }
 void Client::Close() {
   if (fd_ < 0) return;
   // Best-effort goodbye; the server closes after acking it.
-  (void)SendAll(EncodeGoodbye(NextRequestId()));
+  SendAll(EncodeGoodbye(NextRequestId())).IgnoreError();
   close(fd_);
   fd_ = -1;
 }

@@ -151,6 +151,8 @@ void Server::Shutdown() {
   // Phase 2: run every queued statement to completion.
   admission_.Drain();
   // Phase 3: wait (bounded) for the loop to flush every response.
+  // cods-lint: allow(wall-clock): shutdown flush deadline; bounds how
+  // long Stop() waits, never what any statement computes.
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   for (;;) {
     bool all_flushed = true;
@@ -165,6 +167,7 @@ void Server::Shutdown() {
         }
       }
     }
+    // cods-lint: allow(wall-clock): same shutdown deadline as above.
     if (all_flushed || std::chrono::steady_clock::now() > deadline) break;
     WakeLoop();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -523,6 +526,8 @@ void Server::AdmitStatement(const std::shared_ptr<Conn>& conn,
   payload->stmt = std::move(stmt);
   AdmissionTask task;
   task.payload = payload;
+  // cods-lint: allow(wall-clock): admission deadline — timeouts are part
+  // of the server contract (kTimedOut), not of query results.
   task.deadline = options_.statement_timeout_ms > 0
                       ? std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(
@@ -545,6 +550,8 @@ void Server::AdmitStatement(const std::shared_ptr<Conn>& conn,
 // ---- Batch execution (worker threads) -----------------------------------
 
 void Server::RunBatch(Lane lane, std::vector<AdmissionTask> tasks) {
+  // cods-lint: allow(wall-clock): deadline check against the admission
+  // timestamp above; expiry yields kTimedOut, never a different result.
   auto now = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<PendingStatement>> queries;
   std::vector<std::shared_ptr<PendingStatement>> writes;

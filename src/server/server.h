@@ -42,7 +42,7 @@
 
 #include "durability/db.h"
 #include "evolution/engine.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 #include "server/admission.h"
 #include "server/batch.h"
 #include "server/prepared.h"

@@ -20,11 +20,16 @@
 #include "bitmap/rle.h"
 #include "bitmap/wah_bitmap.h"
 #include "common/result.h"
-#include "exec/exec.h"
 #include "storage/dictionary.h"
 #include "storage/value.h"
 
 namespace cods {
+
+// The parallel build/decode/validate members take an execution context
+// but storage sits below exec in the layering: the context is only ever
+// passed through by pointer, and the exec-using member definitions live
+// in exec/parallel_build.cc, one layer up.
+class ExecContext;
 
 /// Physical encoding of a column.
 enum class ColumnEncoding : uint8_t {

@@ -498,8 +498,8 @@ Result<Catalog> DeserializeCatalog(const std::vector<uint8_t>& image,
                               std::to_string(version));
   }
   BinaryReader in(image.data(), body_size);
-  (void)in.U32();  // magic, re-consumed
-  (void)in.U32();  // version
+  in.U32().IgnoreError();  // magic: validated above, re-consumed here
+  in.U32().IgnoreError();  // version: validated above, re-consumed here
   CODS_ASSIGN_OR_RETURN(uint32_t table_count, in.U32());
   if (table_count > kMaxReasonableCount) {
     return Status::Corruption("implausible table count");

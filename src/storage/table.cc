@@ -95,23 +95,6 @@ uint64_t Table::SizeBytes() const {
   return bytes;
 }
 
-Status Table::ValidateInvariants(const ExecContext* ctx) const {
-  if (columns_.size() != schema_.num_columns()) {
-    return Status::Corruption("schema arity mismatch");
-  }
-  // Per-column validation is independent; ParallelFor returns the first
-  // failing column in schema order, matching the serial walk.
-  ExecContext exec = ResolveContext(ctx);
-  return ParallelFor(exec, 0, columns_.size(), 1, [&](uint64_t i) -> Status {
-    if (columns_[i]->rows() != rows_) {
-      return Status::Corruption("column row count mismatch in '" +
-                                schema_.column(i).name + "'");
-    }
-    return columns_[i]->ValidateInvariants(&exec).WithContext(
-        "column '" + schema_.column(i).name + "'");
-  });
-}
-
 TableBuilder::TableBuilder(std::string name, Schema schema)
     : name_(std::move(name)),
       schema_(std::move(schema)),

@@ -1,0 +1,51 @@
+#include "storage/value_compare.h"
+
+#include <charconv>
+
+namespace cods {
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  // Every operator derives from the total order `<` (equality is
+  // order-equivalence: neither side less). This keeps the six operators
+  // exact complements of each other — NOT (x op v) == (x negate(op) v)
+  // — even across int64/double operands, where variant equality
+  // (operator==) and numeric order disagree about 3 vs 3.0.
+  switch (op) {
+    case CompareOp::kEq:
+      return !(lhs < rhs) && !(rhs < lhs);
+    case CompareOp::kNe:
+      return lhs < rhs || rhs < lhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return !(rhs < lhs);
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return !(lhs < rhs);
+  }
+  return false;
+}
+
+std::string FormatScriptLiteral(const Value& value) {
+  if (value.is_null()) return "NULL";
+  if (value.is_int64()) return std::to_string(value.int64());
+  if (value.is_double()) {
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value.dbl());
+    std::string out(buf, ptr);
+    // Keep the token a number-with-a-point so the parser types it as a
+    // double rather than an int64.
+    if (out.find_first_of(".eEn") == std::string::npos) out += ".0";
+    return out;
+  }
+  std::string out = "'";
+  for (char c : value.str()) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace cods

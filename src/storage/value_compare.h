@@ -1,0 +1,32 @@
+// Value-level evaluation of the comparison vocabulary in
+// common/compare.h. The CompareOp enum itself lives in common/ (so every
+// layer can name an operator without pulling in storage); evaluating an
+// operator against actual Values requires the Value total order, so the
+// evaluation functions live here, one layer up.
+
+#ifndef CODS_STORAGE_VALUE_COMPARE_H_
+#define CODS_STORAGE_VALUE_COMPARE_H_
+
+#include <string>
+
+#include "common/compare.h"
+#include "storage/value.h"
+
+namespace cods {
+
+/// Evaluates `lhs op rhs` with Value ordering. All six operators derive
+/// from the total order (equality is order-equivalence), so int64 3 and
+/// double 3.0 compare equal here even though Value::operator== (variant
+/// equality) distinguishes them.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// Renders a literal so the statement parser reads back the same value:
+/// strings are single-quoted with embedded quotes doubled (SQL style),
+/// doubles print with shortest-round-trip precision and always carry a
+/// point/exponent so they re-parse as doubles. Shared by Smo::ToString
+/// and Expr::ToString so SMO and query rendering cannot diverge.
+std::string FormatScriptLiteral(const Value& value);
+
+}  // namespace cods
+
+#endif  // CODS_STORAGE_VALUE_COMPARE_H_

@@ -2,6 +2,7 @@
 // against naive row-at-a-time filtering.
 
 #include "query/column_select.h"
+#include "storage/value_compare.h"
 
 #include "gtest/gtest.h"
 #include "test_util.h"

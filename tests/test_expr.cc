@@ -4,6 +4,7 @@
 // row-at-a-time oracle.
 
 #include "query/expr.h"
+#include "storage/value_compare.h"
 
 #include <cmath>
 

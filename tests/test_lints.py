@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Unit tests for the repo's custom linters — scripts/check_layering.py
+and scripts/check_determinism_hazards.py gate every CI run, so their
+behavior is pinned here: each rule fires on a known-bad snippet and
+names the right rule, the justified escape hatch suppresses a finding,
+a bare (unjustified) escape hatch is itself an error, and the real tree
+passes. Registered with ctest as `test_lints`."""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "scripts")
+LAYERING = os.path.join(SCRIPTS, "check_layering.py")
+HAZARDS = os.path.join(SCRIPTS, "check_determinism_hazards.py")
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+
+
+def run(script, *args):
+    return subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True, text=True)
+
+
+class LayeringTest(unittest.TestCase):
+    def make_tree(self, files):
+        """Writes {relpath: content} under a temp src/ root."""
+        root = tempfile.mkdtemp(prefix="cods_lint_")
+        self.addCleanup(lambda: __import__("shutil").rmtree(root))
+        for rel, content in files.items():
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w") as f:
+                f.write(content)
+        return root
+
+    def test_clean_tree_passes(self):
+        root = self.make_tree({
+            "common/status.h": "#include <string>\n",
+            "bitmap/wah.h": '#include "common/status.h"\n',
+            "storage/column.h": '#include "bitmap/wah.h"\n'
+                                '#include "common/status.h"\n',
+        })
+        proc = run(LAYERING, root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_upward_edge_fails_with_offending_edge(self):
+        root = self.make_tree({
+            "bitmap/wah.h": '#include "storage/column.h"\n',
+            "storage/column.h": "\n",
+        })
+        proc = run(LAYERING, root)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("bitmap/wah.h:1", proc.stdout)
+        self.assertIn("'bitmap' may not include from 'storage'", proc.stdout)
+        # The failure message teaches the DAG.
+        self.assertIn("Allowed dependencies", proc.stdout)
+
+    def test_lateral_edge_fails(self):
+        # smo and plan are siblings: neither may include the other.
+        root = self.make_tree({
+            "plan/planner.h": '#include "smo/parser.h"\n',
+            "smo/parser.h": "\n",
+        })
+        proc = run(LAYERING, root)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("'plan' may not include from 'smo'", proc.stdout)
+
+    def test_self_and_stdlib_includes_ignored(self):
+        root = self.make_tree({
+            "server/wire.h": "#include <cstdint>\n"
+                             '#include "server/session.h"\n',
+            "server/session.h": "\n",
+        })
+        proc = run(LAYERING, root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_real_tree_passes(self):
+        proc = run(LAYERING, REPO_SRC)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+class HazardsTest(unittest.TestCase):
+    def lint_snippet(self, content, name="snippet.cc"):
+        path = os.path.join(tempfile.mkdtemp(prefix="cods_lint_"), name)
+        self.addCleanup(
+            lambda: __import__("shutil").rmtree(os.path.dirname(path)))
+        with open(path, "w") as f:
+            f.write(content)
+        return run(HAZARDS, path)
+
+    def assert_flags(self, content, rule, line=None):
+        proc = self.lint_snippet(content)
+        self.assertEqual(proc.returncode, 1,
+                         f"expected a finding:\n{proc.stdout}{proc.stderr}")
+        self.assertIn(f"[{rule}]", proc.stdout)
+        if line is not None:
+            self.assertIn(f":{line}:", proc.stdout)
+        return proc
+
+    def assert_clean(self, content):
+        proc = self.lint_snippet(content)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    # ---- unordered-iteration ------------------------------------------
+
+    def test_range_for_over_unordered_map_flagged(self):
+        self.assert_flags(
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, int> counts;\n"
+            "void f() {\n"
+            "  for (const auto& [k, v] : counts) { (void)k; (void)v; }\n"
+            "}\n",
+            "unordered-iteration", line=4)
+
+    def test_begin_iteration_over_unordered_set_flagged(self):
+        self.assert_flags(
+            "#include <unordered_set>\n"
+            "std::unordered_set<std::string, Hash, Eq> seen(16, h, e);\n"
+            "void f() {\n"
+            "  for (auto it = seen.begin(); it != seen.end(); ++it) {}\n"
+            "}\n",
+            "unordered-iteration", line=4)
+
+    def test_probing_not_flagged(self):
+        self.assert_clean(
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, int> counts;\n"
+            "bool f(int k) {\n"
+            "  if (counts.find(k) == counts.end()) return false;\n"
+            "  return counts.count(k) > 0 && counts.at(k) != 0;\n"
+            "}\n")
+
+    def test_range_for_over_ordered_map_not_flagged(self):
+        self.assert_clean(
+            "#include <map>\n"
+            "std::map<int, int> counts;\n"
+            "void f() {\n"
+            "  for (const auto& [k, v] : counts) { (void)k; (void)v; }\n"
+            "}\n")
+
+    # ---- raw-random ---------------------------------------------------
+
+    def test_rand_flagged(self):
+        self.assert_flags("int f() { return rand() % 6; }\n",
+                          "raw-random", line=1)
+
+    def test_random_device_flagged(self):
+        self.assert_flags(
+            "#include <random>\n"
+            "std::mt19937_64 Make() { return std::mt19937_64(\n"
+            "    std::random_device{}()); }\n",
+            "raw-random")
+
+    def test_seeded_engine_not_flagged(self):
+        self.assert_clean(
+            "#include <random>\n"
+            "std::mt19937_64 Make() { return std::mt19937_64(42); }\n")
+
+    # ---- wall-clock ---------------------------------------------------
+
+    def test_clock_now_flagged(self):
+        self.assert_flags(
+            "#include <chrono>\n"
+            "auto T() { return std::chrono::steady_clock::now(); }\n",
+            "wall-clock", line=2)
+
+    def test_time_call_flagged(self):
+        self.assert_flags(
+            "#include <ctime>\n"
+            "long T() { return time(nullptr); }\n",
+            "wall-clock", line=2)
+
+    def test_clock_in_comment_or_string_not_flagged(self):
+        self.assert_clean(
+            "// steady_clock::now() is forbidden here\n"
+            "const char* kMsg = \"time(nullptr) goes through Stopwatch\";\n")
+
+    # ---- dangling-result ----------------------------------------------
+
+    def test_range_for_over_result_temporary_flagged(self):
+        self.assert_flags(
+            "void f() {\n"
+            "  for (const auto& row : LoadRows(\"t\").ValueOrDie()) {\n"
+            "    Use(row);\n"
+            "  }\n"
+            "}\n",
+            "dangling-result", line=2)
+
+    def test_reference_to_result_temporary_flagged(self):
+        self.assert_flags(
+            "void f() {\n"
+            "  const auto& rows = LoadRows(\"t\").ValueOrDie();\n"
+            "}\n",
+            "dangling-result", line=2)
+
+    def test_named_result_not_flagged(self):
+        self.assert_clean(
+            "void f() {\n"
+            "  auto r = LoadRows(\"t\");\n"
+            "  for (const auto& row : r.ValueOrDie()) Use(row);\n"
+            "  auto rows = std::move(r).ValueOrDie();\n"
+            "}\n")
+
+    # ---- escape hatch -------------------------------------------------
+
+    def test_justified_allow_suppresses(self):
+        self.assert_clean(
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, int> counts;\n"
+            "void f(std::vector<int>* out) {\n"
+            "  // cods-lint: allow(unordered-iteration): sorted below.\n"
+            "  for (const auto& [k, v] : counts) out->push_back(k + v);\n"
+            "  std::sort(out->begin(), out->end());\n"
+            "}\n")
+
+    def test_allow_on_same_line_suppresses(self):
+        self.assert_clean(
+            "#include <chrono>\n"
+            "auto T() { return std::chrono::steady_clock::now(); }"
+            "  // cods-lint: allow(wall-clock): bench helper.\n")
+
+    def test_multiline_justification_covers_statement(self):
+        self.assert_clean(
+            "#include <chrono>\n"
+            "void f() {\n"
+            "  // cods-lint: allow(wall-clock): stats only; the duration\n"
+            "  // below never influences results.\n"
+            "  auto d = std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now() - t0);\n"
+            "}\n")
+
+    def test_unjustified_allow_is_an_error(self):
+        proc = self.lint_snippet(
+            "#include <chrono>\n"
+            "// cods-lint: allow(wall-clock)\n"
+            "auto T() { return std::chrono::steady_clock::now(); }\n")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("needs a justification", proc.stdout)
+
+    def test_allow_unknown_rule_is_an_error(self):
+        proc = self.lint_snippet(
+            "// cods-lint: allow(no-such-rule): because reasons.\n"
+            "int x = 1;\n")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("unknown rule", proc.stdout)
+
+    def test_allow_file_suppresses_whole_file(self):
+        self.assert_clean(
+            "// Timing helper.\n"
+            "// cods-lint: allow-file(wall-clock): this is the timing\n"
+            "// utility itself.\n"
+            "#include <chrono>\n"
+            "auto A() { return std::chrono::steady_clock::now(); }\n"
+            "auto B() { return std::chrono::system_clock::now(); }\n")
+
+    def test_allow_does_not_suppress_other_rule(self):
+        self.assert_flags(
+            "#include <chrono>\n"
+            "// cods-lint: allow(raw-random): wrong rule for this line.\n"
+            "auto T() { return std::chrono::steady_clock::now(); }\n",
+            "wall-clock")
+
+    # ---- the real tree ------------------------------------------------
+
+    def test_real_tree_passes(self):
+        proc = run(HAZARDS, REPO_SRC)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

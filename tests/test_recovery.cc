@@ -120,7 +120,7 @@ RunOutcome RunWorkload(Env* env, const std::string& dir, uint64_t threshold,
     if (!db->GetStats().healthy) break;
     out.attempted = static_cast<int>(2 + m);
     if (mutations[m].is_mark) {
-      (void)db->CommitVersion(mutations[m].text);
+      db->CommitVersion(mutations[m].text).IgnoreError();
     } else {
       std::vector<Smo> script =
           ParseSmoScript(mutations[m].text).ValueOrDie();
@@ -128,9 +128,9 @@ RunOutcome RunWorkload(Env* env, const std::string& dir, uint64_t threshold,
       // fails in memory, and under a crash any call may error — what
       // matters for the oracle is the durable state, tracked below.
       if (planned) {
-        (void)db->ApplyScriptPlanned(script);
+        db->ApplyScriptPlanned(script).IgnoreError();
       } else {
-        (void)db->ApplyScript(script);
+        db->ApplyScript(script).IgnoreError();
       }
     }
     if (images != nullptr) {

@@ -27,7 +27,7 @@
 
 #include "common/env.h"
 #include "durability/db.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 #include "gtest/gtest.h"
 #include "query/expr.h"
 #include "server/admission.h"

@@ -1,7 +1,7 @@
 // Tests for the versioned catalog: snapshots, time travel, checkout,
 // and the storage-sharing accounting that makes versioning cheap.
 
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 
 #include "evolution/engine.h"
 #include "gtest/gtest.h"

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "evolution/versioned_catalog.h"
+#include "concurrency/versioned_catalog.h"
 #include "gtest/gtest.h"
 
 namespace cods {
@@ -238,6 +238,59 @@ TEST_F(WalTest, WriterFailuresAreSticky) {
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r.ValueOrDie().entries.size(), 1u);
   EXPECT_EQ(r.ValueOrDie().max_lsn, r.ValueOrDie().entries.empty() ? 0u : 3u);
+}
+
+// Directed coverage for the WritableFile::Append call sites in wal.cc:
+// a failed WRITE (disk full / EIO, as opposed to the lost fsync ack
+// above) must surface as the IOError of the logging call that issued
+// it, from each of BeginScript, AppendStatement, and CommitScript —
+// never be swallowed into a fake successful commit — and must poison
+// the writer exactly like a sync failure.
+TEST_F(WalTest, WriterAppendFailuresPropagate) {
+  // The writer opens in append mode, so stale logs from a previous run
+  // of this binary would pollute each block's reader checks.
+  for (const char* name :
+       {"/append_fail_begin.log", "/append_fail_stmt.log",
+        "/append_fail_commit.log"}) {
+    if (Env::Default()->FileExists(dir_ + name)) {
+      ASSERT_TRUE(Env::Default()->DeleteFile(dir_ + name).ok());
+    }
+  }
+  {
+    const std::string path = dir_ + "/append_fail_begin.log";
+    FaultInjectionEnv fenv(Env::Default(), /*seed=*/7);
+    auto w = WalWriter::Open(&fenv, path, 1).ValueOrDie();
+    fenv.FailNextAppends(1);
+    EXPECT_TRUE(w->BeginScript().IsIOError());
+    EXPECT_FALSE(w->health().ok());  // sticky, like sync failures
+    EXPECT_TRUE(w->BeginScript().IsIOError());
+  }
+  {
+    const std::string path = dir_ + "/append_fail_stmt.log";
+    FaultInjectionEnv fenv(Env::Default(), /*seed=*/7);
+    auto w = WalWriter::Open(&fenv, path, 1).ValueOrDie();
+    ASSERT_TRUE(w->BeginScript().ok());
+    fenv.FailNextAppends(1);
+    EXPECT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").IsIOError());
+    EXPECT_TRUE(w->CommitScript(1).IsIOError());  // poisoned
+    EXPECT_EQ(w->durable_lsn(), 0u);
+  }
+  {
+    const std::string path = dir_ + "/append_fail_commit.log";
+    FaultInjectionEnv fenv(Env::Default(), /*seed=*/7);
+    auto w = WalWriter::Open(&fenv, path, 1).ValueOrDie();
+    ASSERT_TRUE(w->BeginScript().ok());
+    ASSERT_TRUE(w->AppendStatement("CREATE TABLE R (a INT64)").ok());
+    fenv.FailNextAppends(1);
+    EXPECT_TRUE(w->CommitScript(1).IsIOError());
+    EXPECT_EQ(w->durable_lsn(), 0u);
+    // The failed commit-record write left no commit on disk: the reader
+    // sees the script as an uncommitted tail and replays nothing.
+    Result<WalContents> r = ReadWal(Env::Default(), path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.ValueOrDie().entries.empty());
+    EXPECT_EQ(r.ValueOrDie().committed_bytes, 0u);
+  }
 }
 
 TEST_F(WalTest, MisuseIsRejected) {
